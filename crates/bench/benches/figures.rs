@@ -1,0 +1,62 @@
+//! Criterion versions of the headline comparisons: Sage vs the baseline
+//! systems (Figure 1 / Figure 7 shape) and the Table 4 block-size ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_baselines::{galois_like, gbbs};
+use sage_graph::{gen, CompressedCsr};
+
+fn bench_fig1_headline(c: &mut Criterion) {
+    // Sage vs GBBS-style vs Galois-like on the same topology: BFS and CC.
+    let g = gen::rmat(14, 16, gen::RmatParams::web(), 1);
+    let mut group = c.benchmark_group("fig1_headline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("bfs/sage", |b| b.iter(|| sage_core::algo::bfs::bfs(&g, 0)));
+    group.bench_function("bfs/galois_like", |b| b.iter(|| galois_like::bfs(&g, 0)));
+    group.bench_function("cc/sage", |b| {
+        b.iter(|| sage_core::algo::connectivity::connectivity(&g, 0.2, 1))
+    });
+    group.bench_function("cc/galois_like", |b| b.iter(|| galois_like::connectivity(&g)));
+    group.finish();
+}
+
+fn bench_fig7_pair(c: &mut Criterion) {
+    // Sage's filter-based deletion vs GBBS's mutating deletion: the
+    // mechanism behind the Figure 7 gap under NVRAM pricing.
+    let g = gen::rmat(13, 16, gen::RmatParams::default(), 2);
+    let mut group = c.benchmark_group("fig7_pair");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("matching/sage_filter", |b| {
+        b.iter(|| sage_core::algo::maximal_matching::maximal_matching(&g, 1))
+    });
+    group.bench_function("matching/gbbs_mutate", |b| {
+        b.iter(|| gbbs::gbbs_maximal_matching(&g, 1))
+    });
+    group.bench_function("triangles/sage_filter", |b| {
+        b.iter(|| sage_core::algo::triangle::triangle_count(&g).count)
+    });
+    group.bench_function("triangles/gbbs_mutate", |b| b.iter(|| gbbs::gbbs_triangle_count(&g)));
+    group.finish();
+}
+
+fn bench_tc_block_size(c: &mut Criterion) {
+    // Table 4: FB ∈ {64, 128, 256} on a compressed web-like graph.
+    let base = gen::rmat(12, 16, gen::RmatParams::web(), 3);
+    let mut group = c.benchmark_group("tc_block_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for fb in [64usize, 128, 256] {
+        let compressed = CompressedCsr::from_csr(&base, fb);
+        group.bench_with_input(BenchmarkId::from_parameter(fb), &compressed, |b, g| {
+            b.iter(|| sage_core::algo::triangle::triangle_count(g).count)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_headline, bench_fig7_pair, bench_tc_block_size);
+criterion_main!(benches);

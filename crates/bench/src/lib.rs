@@ -1,0 +1,184 @@
+#![warn(missing_docs)]
+//! Shared infrastructure for the experiment harness: the synthetic workload
+//! suite (Table 2 substitutes), problem runners, and table formatting.
+
+pub mod catalog;
+pub mod experiments;
+pub mod suite;
+
+pub use suite::{BenchGraph, Suite};
+
+use sage_graph::{Graph, V};
+use sage_nvram::{Meter, MeterSnapshot};
+use std::time::Instant;
+
+/// Outcome of one timed algorithm run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Problem name (paper's spelling).
+    pub name: &'static str,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Memory traffic attributed to the run.
+    pub traffic: MeterSnapshot,
+}
+
+/// Time `f` and capture its meter delta.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, RunResult) {
+    let before = Meter::global().snapshot();
+    let start = Instant::now();
+    let out = f();
+    let seconds = start.elapsed().as_secs_f64();
+    let traffic = Meter::global().snapshot().since(&before);
+    (out, RunResult { name, seconds, traffic })
+}
+
+/// The 18 problems of the evaluation in Figure 1 order, plus full PageRank
+/// (Figure 1 charts both `PageRank-Iter` and `PageRank`).
+pub const PROBLEMS: [&str; 19] = [
+    "BFS",
+    "wBFS",
+    "Bellman-Ford",
+    "Widest-Path",
+    "Betweenness",
+    "O(k)-Spanner",
+    "LDD",
+    "Connectivity",
+    "SpanningForest",
+    "Biconnectivity",
+    "MIS",
+    "Maximal-Matching",
+    "Graph-Coloring",
+    "Apx-Set-Cover",
+    "k-Core",
+    "Apx-Dens-Subgraph",
+    "Triangle-Count",
+    "PageRank-Iter",
+    "PageRank",
+];
+
+/// Run one Sage problem by name on an unweighted graph plus its weighted
+/// companion (both views of the same topology).
+pub fn run_sage_problem<G: Graph, GW: Graph>(
+    name: &'static str,
+    g: &G,
+    gw: &GW,
+    src: V,
+    seed: u64,
+) -> RunResult {
+    use sage_core::algo::*;
+    let (_, r) = match name {
+        "BFS" => {
+            let (out, r) = timed(name, || bfs::bfs(g, src));
+            (out.len(), r)
+        }
+        "wBFS" => {
+            let (out, r) = timed(name, || wbfs::wbfs(gw, src));
+            (out.len(), r)
+        }
+        "Bellman-Ford" => {
+            let (out, r) = timed(name, || bellman_ford::bellman_ford(gw, src));
+            (out.map_or(0, |v| v.len()), r)
+        }
+        "Widest-Path" => {
+            let (out, r) = timed(name, || widest_path::widest_path_bucketed(gw, src));
+            (out.len(), r)
+        }
+        "Betweenness" => {
+            let (out, r) = timed(name, || betweenness::betweenness(g, src));
+            (out.len(), r)
+        }
+        "O(k)-Spanner" => {
+            let k = spanner::default_k(g.num_vertices());
+            let (out, r) = timed(name, || spanner::spanner(g, k, seed));
+            (out.len(), r)
+        }
+        "LDD" => {
+            let (out, r) = timed(name, || ldd::ldd(g, 0.2, seed));
+            (out.cluster.len(), r)
+        }
+        "Connectivity" => {
+            let (out, r) = timed(name, || connectivity::connectivity(g, 0.2, seed));
+            (out.len(), r)
+        }
+        "SpanningForest" => {
+            let (out, r) = timed(name, || spanning_forest::spanning_forest(g, 0.2, seed));
+            (out.len(), r)
+        }
+        "Biconnectivity" => {
+            let (out, r) = timed(name, || biconnectivity::biconnectivity(g, seed));
+            (out.labels.len(), r)
+        }
+        "MIS" => {
+            let (out, r) = timed(name, || mis::mis(g, seed));
+            (out.len(), r)
+        }
+        "Maximal-Matching" => {
+            let (out, r) = timed(name, || maximal_matching::maximal_matching(g, seed));
+            (out.len(), r)
+        }
+        "Graph-Coloring" => {
+            let (out, r) = timed(name, || coloring::coloring(g, seed));
+            (out.len(), r)
+        }
+        "Apx-Set-Cover" => {
+            // Vertices as sets covering their neighborhoods: the bipartite
+            // double cover of g (see experiments::double_cover).
+            let inst = experiments::double_cover(g);
+            let n = g.num_vertices();
+            let (out, r) = timed(name, || {
+                sage_core::algo::set_cover::set_cover(&inst, n, 0.1, seed)
+            });
+            (out.sets.len(), r)
+        }
+        "k-Core" => {
+            let (out, r) = timed(name, || kcore::kcore(g));
+            (out.coreness.len(), r)
+        }
+        "Apx-Dens-Subgraph" => {
+            let (out, r) = timed(name, || densest_subgraph::densest_subgraph(g, 0.001));
+            (out.subset.len(), r)
+        }
+        "Triangle-Count" => {
+            let (out, r) = timed(name, || triangle::triangle_count(g));
+            (out.count as usize, r)
+        }
+        "PageRank-Iter" => {
+            let p0 = vec![1.0 / g.num_vertices() as f64; g.num_vertices()];
+            let (out, r) = timed(name, || pagerank::pagerank_iteration(g, &p0));
+            (out.0.len(), r)
+        }
+        "PageRank" => {
+            let (out, r) = timed(name, || pagerank::pagerank(g, 1e-6, 100));
+            (out.ranks.len(), r)
+        }
+        other => panic!("unknown problem {other}"),
+    };
+    r
+}
+
+/// Print a formatted table: header + rows of (label, columns).
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(8);
+    for (_, cols) in rows {
+        for (i, c) in cols.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    print!("{:label_w$}", "");
+    for (h, w) in header.iter().zip(&widths) {
+        print!("  {h:>w$}");
+    }
+    println!();
+    for (label, cols) in rows {
+        print!("{label:label_w$}");
+        for (c, w) in cols.iter().zip(&widths) {
+            print!("  {c:>w$}");
+        }
+        println!();
+    }
+}

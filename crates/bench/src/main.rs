@@ -1,0 +1,40 @@
+//! Experiment harness CLI: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! sage-bench <experiment> [SAGE_SCALE=17] [SAGE_THREADS=N]
+//!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa all
+//! ```
+
+use sage_nvram::alloc_track::TrackingAlloc;
+
+// Table 5 measures DRAM peaks, so the harness runs under the tracking
+// allocator.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    println!(
+        "sage-bench: scale=2^{} threads={} (override with SAGE_SCALE / SAGE_THREADS)",
+        sage_bench::Suite::base_scale(),
+        sage_parallel::num_threads()
+    );
+    match arg.as_str() {
+        "fig1" => sage_bench::experiments::fig1(),
+        "fig2" => sage_bench::experiments::fig2(),
+        "fig6" => sage_bench::experiments::fig6(),
+        "fig7" => sage_bench::experiments::fig7(),
+        "table1" => sage_bench::experiments::table1(),
+        "table2" => sage_bench::experiments::table2(),
+        "table3" => sage_bench::experiments::table3(),
+        "table4" => sage_bench::experiments::table4(),
+        "table5" => sage_bench::experiments::table5(),
+        "numa" => sage_bench::experiments::numa(),
+        "all" => sage_bench::experiments::all(),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!("choose one of: fig1 fig2 fig6 fig7 table1..table5 numa all");
+            std::process::exit(2);
+        }
+    }
+}

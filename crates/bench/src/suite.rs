@@ -1,0 +1,98 @@
+//! The synthetic graph suite standing in for Table 2's inputs.
+//!
+//! The paper's graphs are social networks (Twitter, LiveJournal, com-Orkut)
+//! and web crawls (ClueWeb, Hyperlink2014/2012) with average degrees 17–76.
+//! Each suite entry is an R-MAT graph in the same degree regime, scaled by
+//! `SAGE_SCALE` (vertex count `2^scale`), with the web-style graphs carried
+//! in the Ligra+ byte-compressed format exactly as in the paper (§5.1.3).
+
+use sage_graph::{build_csr, gen, BuildOptions, CompressedCsr, Csr, Graph};
+
+/// One benchmark input: a topology in uncompressed and (optionally)
+/// compressed form, plus a weighted companion for the SSSP problems.
+pub struct BenchGraph {
+    /// Suite name, e.g. `"clueweb-sim"`.
+    pub name: &'static str,
+    /// Uncompressed CSR.
+    pub csr: Csr,
+    /// Weighted CSR (weights uniform in `[1, log n)`, §5.1.3).
+    pub weighted: Csr,
+    /// Ligra+ compressed form for the web-style inputs.
+    pub compressed: Option<CompressedCsr>,
+}
+
+impl BenchGraph {
+    fn new(
+        name: &'static str,
+        scale: u32,
+        edge_factor: usize,
+        params: gen::RmatParams,
+        compress: bool,
+        seed: u64,
+    ) -> Self {
+        let list = gen::rmat_edges(scale, edge_factor, params, seed);
+        let csr = build_csr(list, BuildOptions::default());
+        let weighted = build_csr(
+            gen::rmat_edges(scale, edge_factor, params, seed).with_random_weights(seed),
+            BuildOptions::default(),
+        );
+        let compressed = compress.then(|| CompressedCsr::from_csr(&csr, 64));
+        Self { name, csr, weighted, compressed }
+    }
+
+    /// Directed edge count.
+    pub fn m(&self) -> usize {
+        self.csr.num_edges()
+    }
+}
+
+/// The three-graph suite used by most experiments (the paper's ClueWeb /
+/// Hyperlink2014 / Hyperlink2012 trio, at laptop scale).
+pub struct Suite {
+    /// The simulated inputs, ordered small to large.
+    pub graphs: Vec<BenchGraph>,
+}
+
+impl Suite {
+    /// Base scale: `SAGE_SCALE` env var (default 14 → n = 16384 for quick
+    /// runs; the committed experiment logs use 17).
+    pub fn base_scale() -> u32 {
+        std::env::var("SAGE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(14)
+    }
+
+    /// Build the suite at the configured scale.
+    pub fn load() -> Self {
+        let s = Self::base_scale();
+        Self {
+            graphs: vec![
+                // ClueWeb-like: web crawl, davg ≈ 76 in the paper; compressed.
+                BenchGraph::new("clueweb-sim", s, 24, gen::RmatParams::web(), true, 0xC1),
+                // Hyperlink2014-like: davg ≈ 72; compressed.
+                BenchGraph::new("hyperlink14-sim", s + 1, 20, gen::RmatParams::web(), true, 0x14),
+                // Hyperlink2012-like: the largest; davg ≈ 63; compressed.
+                BenchGraph::new("hyperlink12-sim", s + 2, 16, gen::RmatParams::web(), true, 0x12),
+            ],
+        }
+    }
+
+    /// A small social-network-like graph (Twitter-sim) for quick baselines.
+    pub fn social() -> BenchGraph {
+        let s = Self::base_scale();
+        BenchGraph::new("twitter-sim", s, 16, gen::RmatParams::default(), false, 0x77)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_consistent_views() {
+        // Tiny scale for the test.
+        let g = BenchGraph::new("t", 8, 8, gen::RmatParams::default(), true, 1);
+        assert_eq!(g.csr.num_edges(), g.compressed.as_ref().unwrap().num_edges());
+        assert_eq!(g.csr.num_vertices(), g.weighted.num_vertices());
+        assert!(g.weighted.is_weighted());
+        assert!(!g.csr.is_weighted());
+    }
+}

@@ -1,0 +1,325 @@
+//! Biconnectivity (§4.3.2): Tarjan-Vishkin over a BFS forest, with the
+//! component step run on a graphFilter.
+//!
+//! Pipeline:
+//! 1. connectivity → one root per component; multi-source BFS forest;
+//! 2. preorder numbers and subtree sizes by level-synchronous tree passes
+//!    (`O(dG)` rounds, matching the `O(dG log n + log³ n)` depth of Table 1);
+//! 3. `low`/`high` values per vertex;
+//! 4. build a **graphFilter** keeping (a) all non-tree edges and (b) tree
+//!    edges `(v,w)` (w a child, v not a root) whose subtree escapes
+//!    `subtree(v)` — exactly the paper's "call to connectivity that runs on
+//!    the input graph, with a large subset of the edges removed";
+//! 5. connectivity on the filter labels each non-root vertex `w` with the
+//!    biconnected component of its tree edge `(parent(w), w)`.
+//!
+//! BFS forests admit this simplification because every non-tree edge joins
+//! unrelated vertices (level difference ≤ 1) and all root-incident edges are
+//! tree edges.
+
+use crate::algo::common::atomic_vec;
+use crate::algo::connectivity::connectivity;
+use crate::edge_map::{edge_map, ClaimFn, EdgeMapOpts, UNVISITED};
+use crate::filter::GraphFilter;
+use crate::vertex_subset::VertexSubset;
+use sage_graph::{Graph, V};
+use sage_parallel as par;
+use std::sync::atomic::Ordering;
+
+/// Output of [`biconnectivity`]: a per-edge labeling expressed through the
+/// BFS forest (Table 1's "mapping from each edge to the label of its
+/// biconnected component").
+pub struct Biconnectivity {
+    /// BFS forest parents (`parent[root] == root`).
+    pub parent: Vec<V>,
+    /// Component label (in the filtered graph) of each vertex; the label of
+    /// tree edge `(parent[v], v)` is `labels[v]`.
+    pub labels: Vec<V>,
+}
+
+impl Biconnectivity {
+    /// Biconnected-component id of edge `(u, v)`.
+    pub fn edge_label(&self, u: V, v: V) -> V {
+        if self.parent[v as usize] == u {
+            self.labels[v as usize]
+        } else if self.parent[u as usize] == v {
+            self.labels[u as usize]
+        } else {
+            // Non-tree edge: both endpoints share a filtered component.
+            self.labels[u as usize]
+        }
+    }
+}
+
+/// Compute biconnectivity labels for every edge of `g`.
+pub fn biconnectivity<G: Graph>(g: &G, seed: u64) -> Biconnectivity {
+    let n = g.num_vertices();
+    // 1. Components and one root (minimum vertex) per component.
+    let cc = connectivity(g, 0.2, seed);
+    let mut min_of = vec![u32::MAX; n];
+    for v in 0..n {
+        let l = cc[v] as usize;
+        min_of[l] = min_of[l].min(v as u32);
+    }
+    let roots: Vec<V> = par::pack_index(n, |v| min_of[cc[v] as usize] as usize == v);
+
+    // Multi-source BFS forest with levels.
+    let parents = atomic_vec(n, UNVISITED);
+    let levels = atomic_vec(n, u64::MAX);
+    for &r in &roots {
+        parents[r as usize].store(r as u64, Ordering::Relaxed);
+        levels[r as usize].store(0, Ordering::Relaxed);
+    }
+    let mut level_lists: Vec<Vec<V>> = vec![roots.clone()];
+    let mut frontier = VertexSubset::from_sparse(n, roots);
+    let mut round = 0u64;
+    while !frontier.is_empty() {
+        round += 1;
+        let f = ClaimFn { parents: &parents };
+        let mut next = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
+        if next.is_empty() {
+            break;
+        }
+        let r = round;
+        next.for_each(|v| levels[v as usize].store(r, Ordering::Relaxed));
+        level_lists.push(next.as_sparse().to_vec());
+        frontier = next;
+    }
+    let parent: Vec<V> = parents.iter().map(|p| p.load(Ordering::Relaxed) as V).collect();
+    let level: Vec<u64> = levels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
+
+    // 2. Children arrays (CSR over the forest).
+    let mut child_count = vec![0u64; n + 1];
+    for v in 0..n {
+        if parent[v] as usize != v {
+            child_count[parent[v] as usize] += 1;
+        }
+    }
+    let mut child_off = child_count.clone();
+    let total_children = par::scan_add(&mut child_off[..n]) as usize;
+    child_off[n] = total_children as u64;
+    let mut children = vec![0u32; total_children];
+    {
+        let mut cursor = child_off.clone();
+        for v in 0..n {
+            let p = parent[v] as usize;
+            if p != v {
+                children[cursor[p] as usize] = v as u32;
+                cursor[p] += 1;
+            }
+        }
+    }
+    let kids = |v: usize| &children[child_off[v] as usize..child_off[v + 1] as usize];
+
+    // 3. Subtree sizes (bottom-up) and preorder numbers (top-down).
+    let mut size = vec![1u64; n];
+    for l in (0..level_lists.len()).rev() {
+        let list = &level_lists[l];
+        let sp = par::SendPtr(size.as_mut_ptr());
+        par::par_for(0, list.len(), |i| {
+            let v = list[i] as usize;
+            let mut s = 1u64;
+            for &c in kids(v) {
+                // SAFETY: children are one level deeper, already final.
+                s += unsafe { *sp.add(c as usize) };
+            }
+            // SAFETY: distinct v per iteration.
+            unsafe { *sp.add(v) = s };
+        });
+    }
+    let mut pre = vec![0u64; n];
+    {
+        // Root bases: consecutive preorder ranges per tree.
+        let mut base = 0u64;
+        for &r in &level_lists[0] {
+            pre[r as usize] = base;
+            base += size[r as usize];
+        }
+    }
+    for list in level_lists.iter() {
+        let pp = par::SendPtr(pre.as_mut_ptr());
+        let size_ref: &[u64] = &size;
+        par::par_for(0, list.len(), |i| {
+            let v = list[i] as usize;
+            // SAFETY: pre[v] was assigned when v's parent (or root base) ran.
+            let mut next = unsafe { *pp.add(v) } + 1;
+            for &c in kids(v) {
+                // SAFETY: each child written exactly once, by its parent.
+                unsafe { *pp.add(c as usize) = next };
+                next += size_ref[c as usize];
+            }
+        });
+    }
+
+    // 4. low/high (bottom-up over levels).
+    let mut low: Vec<u64> = pre.clone();
+    let mut high: Vec<u64> = pre.clone();
+    for l in (0..level_lists.len()).rev() {
+        let list = &level_lists[l];
+        let lp = par::SendPtr(low.as_mut_ptr());
+        let hp = par::SendPtr(high.as_mut_ptr());
+        let pre_ref: &[u64] = &pre;
+        let parent_ref: &[V] = &parent;
+        par::par_for(0, list.len(), |i| {
+            let v = list[i];
+            let vi = v as usize;
+            let mut lo = pre_ref[vi];
+            let mut hi = pre_ref[vi];
+            g.for_each_edge(v, |u, _| {
+                let ui = u as usize;
+                let is_tree = parent_ref[vi] == u || parent_ref[ui] == v;
+                if !is_tree {
+                    lo = lo.min(pre_ref[ui]);
+                    hi = hi.max(pre_ref[ui]);
+                }
+            });
+            for &c in kids(vi) {
+                // SAFETY: children finalized in the previous (deeper) pass.
+                unsafe {
+                    lo = lo.min(*lp.add(c as usize));
+                    hi = hi.max(*hp.add(c as usize));
+                }
+            }
+            // SAFETY: distinct v per iteration.
+            unsafe {
+                *lp.add(vi) = lo;
+                *hp.add(vi) = hi;
+            }
+        });
+    }
+
+    // 5. Filter + connectivity: keep non-tree edges and non-critical tree
+    // edges; drop all root-incident (tree) edges.
+    let mut filter = GraphFilter::new(g, true);
+    {
+        let parent_ref: &[V] = &parent;
+        let pre_ref: &[u64] = &pre;
+        let size_ref: &[u64] = &size;
+        let low_ref: &[u64] = &low;
+        let high_ref: &[u64] = &high;
+        let is_root = |v: V| parent_ref[v as usize] == v;
+        filter.filter_edges(move |a, b, _| {
+            let (p, w) = if parent_ref[b as usize] == a {
+                (a, b)
+            } else if parent_ref[a as usize] == b {
+                (b, a)
+            } else {
+                return true; // non-tree edge: always keep
+            };
+            if is_root(p) {
+                return false;
+            }
+            // Keep iff subtree(w) escapes subtree(p).
+            low_ref[w as usize] < pre_ref[p as usize]
+                || high_ref[w as usize] >= pre_ref[p as usize] + size_ref[p as usize]
+        });
+    }
+    let labels = connectivity(&filter, 0.2, par::hash64(seed ^ 0xB1C0));
+    let _ = level;
+    Biconnectivity { parent, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use sage_graph::{build_csr, gen, BuildOptions, EdgeList};
+    use std::collections::{HashMap, HashSet};
+
+    /// Compare our labeling against Hopcroft-Tarjan as partitions of edges.
+    fn check_against_ht(g: &sage_graph::Csr, seed: u64) {
+        let ht = seq::biconnected_components(g);
+        let ours = biconnectivity(g, seed);
+        let mut ht_groups: HashMap<u32, HashSet<(V, V)>> = HashMap::new();
+        let mut our_groups: HashMap<V, HashSet<(V, V)>> = HashMap::new();
+        for (&e, &c) in &ht {
+            ht_groups.entry(c).or_default().insert(e);
+        }
+        for u in 0..g.num_vertices() as V {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    our_groups.entry(ours.edge_label(u, v)).or_default().insert((u, v));
+                }
+            }
+        }
+        let ht_partition: HashSet<Vec<(V, V)>> = ht_groups
+            .into_values()
+            .map(|s| {
+                let mut v: Vec<_> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let our_partition: HashSet<Vec<(V, V)>> = our_groups
+            .into_values()
+            .map(|s| {
+                let mut v: Vec<_> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(our_partition, ht_partition);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        let g = build_csr(EdgeList::new(5, edges), BuildOptions::default());
+        check_against_ht(&g, 1);
+    }
+
+    #[test]
+    fn path_of_bridges() {
+        let g = gen::path(20);
+        check_against_ht(&g, 2);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = gen::cycle(30);
+        let b = biconnectivity(&g, 3);
+        let mut labels = HashSet::new();
+        for u in 0..30u32 {
+            for &v in g.neighbors(u) {
+                labels.insert(b.edge_label(u, v));
+            }
+        }
+        assert_eq!(labels.len(), 1);
+    }
+
+    #[test]
+    fn random_graphs_match_hopcroft_tarjan() {
+        for seed in 0..4u64 {
+            let g = gen::erdos_renyi(120, 180 + 40 * seed as usize, seed);
+            check_against_ht(&g, seed + 10);
+        }
+    }
+
+    #[test]
+    fn denser_random_graph() {
+        let g = gen::rmat(7, 3, gen::RmatParams::default(), 71);
+        check_against_ht(&g, 20);
+    }
+
+    #[test]
+    fn barbell_with_bridge() {
+        // Two K5s joined by a single bridge edge.
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((4, 5)); // bridge
+        let g = build_csr(EdgeList::new(10, edges), BuildOptions::default());
+        check_against_ht(&g, 30);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = gen::two_cliques(6);
+        check_against_ht(&g, 40);
+    }
+}

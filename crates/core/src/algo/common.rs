@@ -1,0 +1,77 @@
+//! Shared atomic helpers for the algorithm implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomically set `a = min(a, val)`; returns `true` if `val` was written.
+#[inline]
+pub fn atomic_min(a: &AtomicU64, val: u64) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while val < cur {
+        match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Atomically set `a = max(a, val)`; returns `true` if `val` was written.
+#[inline]
+pub fn atomic_max(a: &AtomicU64, val: u64) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while val > cur {
+        match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Atomic `f64 += delta` via bit-cast CAS (the fetch-add-double of §4.3.4).
+#[inline]
+pub fn atomic_add_f64(a: &AtomicU64, delta: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + delta;
+        match a.compare_exchange_weak(cur, next.to_bits(), Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Allocate a vector of `n` atomics initialized to `init`.
+pub fn atomic_vec(n: usize, init: u64) -> Vec<AtomicU64> {
+    (0..n).map(|_| AtomicU64::new(init)).collect()
+}
+
+/// Snapshot a `Vec<AtomicU64>` into plain values.
+pub fn unwrap_atomic(v: Vec<AtomicU64>) -> Vec<u64> {
+    v.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_semantics() {
+        let a = AtomicU64::new(10);
+        assert!(atomic_min(&a, 5));
+        assert!(!atomic_min(&a, 7));
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+        assert!(atomic_max(&a, 9));
+        assert!(!atomic_max(&a, 2));
+        assert_eq!(a.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn f64_add_accumulates() {
+        let a = AtomicU64::new(0f64.to_bits());
+        sage_parallel::par_for(0, 1000, |_| atomic_add_f64(&a, 0.5));
+        let v = f64::from_bits(a.load(Ordering::Relaxed));
+        assert!((v - 500.0).abs() < 1e-9);
+    }
+}

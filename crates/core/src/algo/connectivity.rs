@@ -1,0 +1,163 @@
+//! Connectivity via LDD + contraction (§4.3.2), after Shun et al. [86].
+//!
+//! One round of LDD with constant β leaves `O(βm)` inter-cluster edges in
+//! expectation (and `O(n)` for `β = O(1/log n)` by Corollary 3.1 of [69]);
+//! the deduplicated inter-cluster graph is built *in small memory* and the
+//! algorithm recurses. `O(m)` expected work, `O(log³ n)` depth whp,
+//! `O(n)` words of small memory (Theorem C.2).
+
+use crate::algo::ldd::ldd;
+use sage_graph::{build_csr, BuildOptions, EdgeList, Graph, V};
+use sage_parallel as par;
+use sage_parallel::ConcurrentMap;
+
+/// Pack an undirected pair into a canonical u64 key.
+#[inline]
+pub(crate) fn pair_key(a: V, b: V) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Connected-component labels: `labels[v]` is a vertex id shared by exactly
+/// the vertices of `v`'s component.
+pub fn connectivity<G: Graph>(g: &G, beta: f64, seed: u64) -> Vec<V> {
+    connectivity_rec(g, beta, seed, 0)
+}
+
+fn connectivity_rec<G: Graph>(g: &G, beta: f64, seed: u64, depth: usize) -> Vec<V> {
+    assert!(depth < 64, "contraction failed to converge");
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if g.num_edges() == 0 {
+        return (0..n as V).collect();
+    }
+    let decomposition = ldd(g, beta, seed);
+    let cluster = decomposition.cluster;
+
+    // Deduplicate inter-cluster edges into small memory.
+    let inter = crate::algo::ldd::count_inter_cluster_edges(g, &cluster);
+    if inter == 0 {
+        return cluster;
+    }
+    let map = ConcurrentMap::with_capacity((inter as usize).max(16));
+    par::par_for(0, n, |vi| {
+        let v = vi as V;
+        let cv = cluster[vi];
+        g.for_each_edge(v, |u, _| {
+            let cu = cluster[u as usize];
+            if cv != cu {
+                map.insert_if_absent(pair_key(cv, cu), 0);
+            }
+        });
+    });
+    let contracted: Vec<(V, V)> = map
+        .entries()
+        .into_iter()
+        .map(|(k, _)| ((k >> 32) as V, (k & 0xFFFF_FFFF) as V))
+        .collect();
+
+    // Relabel cluster centers densely.
+    let centers: Vec<V> = par::pack_index(n, |v| cluster[v] as usize == v);
+    let mut dense_of = vec![0u32; n];
+    {
+        let dp = par::SendPtr(dense_of.as_mut_ptr());
+        let centers_ref: &[V] = &centers;
+        par::par_for(0, centers.len(), |i| unsafe {
+            // SAFETY: centers are distinct indices.
+            *dp.add(centers_ref[i] as usize) = i as u32;
+        });
+    }
+    let edges: Vec<(V, V)> = contracted
+        .iter()
+        .map(|&(a, b)| (dense_of[a as usize], dense_of[b as usize]))
+        .collect();
+    let mut cg = build_csr(
+        EdgeList::new(centers.len(), edges),
+        BuildOptions { symmetrize: true, block_size: 64 },
+    );
+    // The contracted graph is algorithm state: it lives in the PSAM's small
+    // memory (Theorem C.2), so its reads are DRAM traffic.
+    cg.mark_dram_resident();
+    let sub = connectivity_rec(&cg, beta, par::hash64(seed.wrapping_add(depth as u64 + 1)), depth + 1);
+    // Compose: label of v = center label of its cluster's component.
+    par::par_map(n, |v| centers[sub[dense_of[cluster[v] as usize] as usize] as usize])
+}
+
+/// Number of connected components implied by a labeling.
+pub fn num_components(labels: &[V]) -> usize {
+    let mut sorted = labels.to_vec();
+    par::par_sort(&mut sorted);
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use sage_graph::{gen, CompressedCsr};
+
+    fn check_matches_union_find(g: &sage_graph::Csr, seed: u64) {
+        let got = seq::canonicalize_labels(&connectivity(g, 0.2, seed));
+        let want = seq::canonicalize_labels(&seq::components(g));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_union_find_on_rmat() {
+        let g = gen::rmat(10, 4, gen::RmatParams::default(), 41);
+        check_matches_union_find(&g, 1);
+    }
+
+    #[test]
+    fn matches_union_find_on_sparse_fragments() {
+        // Very sparse: many components.
+        let g = gen::erdos_renyi(4000, 1500, 5);
+        check_matches_union_find(&g, 2);
+    }
+
+    #[test]
+    fn two_cliques_two_components() {
+        let g = gen::two_cliques(25);
+        let labels = connectivity(&g, 0.2, 3);
+        assert_eq!(num_components(&labels), 2);
+        check_matches_union_find(&g, 3);
+    }
+
+    #[test]
+    fn grid_single_component() {
+        let g = gen::grid(30, 30);
+        let labels = connectivity(&g, 0.2, 4);
+        assert_eq!(num_components(&labels), 1);
+    }
+
+    #[test]
+    fn compressed_graph_connectivity() {
+        let csr = gen::rmat(9, 4, gen::RmatParams::default(), 47);
+        let g = CompressedCsr::from_csr(&csr, 64);
+        let got = seq::canonicalize_labels(&connectivity(&g, 0.2, 9));
+        let want = seq::canonicalize_labels(&seq::components(&csr));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn edgeless_graph_all_singletons() {
+        let g = sage_graph::build_csr(
+            sage_graph::EdgeList::new(10, vec![]),
+            sage_graph::BuildOptions::default(),
+        );
+        let labels = connectivity(&g, 0.2, 1);
+        assert_eq!(labels, (0..10).collect::<Vec<V>>());
+    }
+
+    #[test]
+    fn zero_nvram_writes() {
+        use sage_nvram::Meter;
+        let g = gen::rmat(9, 8, gen::RmatParams::default(), 49);
+        let before = Meter::global().snapshot();
+        let _ = connectivity(&g, 0.2, 5);
+        assert_eq!(Meter::global().snapshot().since(&before).graph_write, 0);
+    }
+}

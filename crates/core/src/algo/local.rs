@@ -1,0 +1,169 @@
+//! Local graph algorithms — the paper's other §3.2 applicability example:
+//! "local search problems including CoSimRank, personalized PageRank, and
+//! other local clustering problems naturally fit in the regular PSAM model."
+//!
+//! Implements the Andersen–Chung–Lang push algorithm for approximate
+//! personalized PageRank and a sweep-cut local clustering on top of it. The
+//! state is two sparse maps proportional to the support of the solution —
+//! far below `O(n)` — and the graph is only read.
+
+use sage_graph::{Graph, V};
+use std::collections::HashMap;
+
+/// Approximate personalized PageRank from `src`.
+///
+/// Returns `(estimate, residual)` maps satisfying the ACL invariant
+/// `p(v) + α·r(v) ≤ ppr(v)` with `r(v) < eps · deg(v)` for all v.
+/// `alpha` is the teleport probability.
+pub fn ppr_push<G: Graph>(
+    g: &G,
+    src: V,
+    alpha: f64,
+    eps: f64,
+) -> (HashMap<V, f64>, HashMap<V, f64>) {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+    assert!(eps > 0.0);
+    let mut p: HashMap<V, f64> = HashMap::new();
+    let mut r: HashMap<V, f64> = HashMap::new();
+    r.insert(src, 1.0);
+    let mut queue = vec![src];
+    while let Some(u) = queue.pop() {
+        let deg = g.degree(u).max(1) as f64;
+        let ru = r.get(&u).copied().unwrap_or(0.0);
+        if ru < eps * deg {
+            continue;
+        }
+        // Push: keep alpha fraction, spread the rest over the neighbors.
+        *p.entry(u).or_insert(0.0) += alpha * ru;
+        r.insert(u, 0.0);
+        let spread = (1.0 - alpha) * ru / deg;
+        g.for_each_edge(u, |v, _| {
+            let rv = r.entry(v).or_insert(0.0);
+            *rv += spread;
+            if *rv >= eps * g.degree(v).max(1) as f64 {
+                queue.push(v);
+            }
+        });
+    }
+    (p, r)
+}
+
+/// Sweep cut over the degree-normalized PPR vector: returns the prefix with
+/// the best conductance and that conductance.
+pub fn sweep_cut<G: Graph>(g: &G, scores: &HashMap<V, f64>) -> (Vec<V>, f64) {
+    if scores.is_empty() {
+        return (Vec::new(), 1.0);
+    }
+    let mut order: Vec<(V, f64)> = scores
+        .iter()
+        .map(|(&v, &s)| (v, s / g.degree(v).max(1) as f64))
+        .collect();
+    order.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let total_vol = 2.0 * g.num_edges() as f64 / 2.0;
+    let mut in_set: std::collections::HashSet<V> = Default::default();
+    let mut vol = 0.0f64;
+    let mut cut = 0.0f64;
+    let mut best = (Vec::new(), 1.0f64);
+    let mut prefix = Vec::new();
+    for &(v, _) in &order {
+        // Adding v: edges to the set leave the cut; others join it.
+        let mut to_set = 0.0;
+        g.for_each_edge(v, |u, _| {
+            if in_set.contains(&u) {
+                to_set += 1.0;
+            }
+        });
+        let deg = g.degree(v) as f64;
+        cut += deg - 2.0 * to_set;
+        vol += deg;
+        in_set.insert(v);
+        prefix.push(v);
+        if total_vol - vol < 1.0 {
+            // The set swallowed the whole graph: conductance is undefined
+            // (cut 0 over an empty complement), not a better cluster.
+            break;
+        }
+        let denom = vol.min(total_vol - vol).max(1.0);
+        let phi = cut / denom;
+        if phi < best.1 {
+            best = (prefix.clone(), phi);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_graph::gen;
+
+    #[test]
+    fn push_invariant_residuals_below_threshold() {
+        let g = gen::rmat(9, 8, gen::RmatParams::default(), 161);
+        let eps = 1e-4;
+        let (_, r) = ppr_push(&g, 0, 0.15, eps);
+        for (&v, &rv) in &r {
+            assert!(
+                rv < eps * g.degree(v).max(1) as f64 + 1e-12,
+                "residual of {v} too large: {rv}"
+            );
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        // p mass + residual mass == 1 at all times (pushes conserve mass).
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 163);
+        let (p, r) = ppr_push(&g, 3, 0.2, 1e-5);
+        let total: f64 = p.values().sum::<f64>() + r.values().sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+    }
+
+    #[test]
+    fn support_is_local() {
+        // On a long path, mass from one end cannot reach the other.
+        let g = gen::path(10_000);
+        let (p, r) = ppr_push(&g, 0, 0.15, 1e-4);
+        let touched: std::collections::HashSet<u32> =
+            p.keys().chain(r.keys()).copied().collect();
+        assert!(touched.len() < 200, "support {} is not local", touched.len());
+        assert!(touched.iter().all(|&v| v < 200));
+    }
+
+    #[test]
+    fn sweep_finds_a_planted_community() {
+        // Two dense cliques joined by one edge: sweeping PPR from inside one
+        // clique must cut at the bridge.
+        let g = gen::two_cliques(20);
+        let mut edges = Vec::new();
+        for u in 0..g.num_vertices() as V {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges.push((0, 20)); // bridge
+        let joined = sage_graph::build_csr(
+            sage_graph::EdgeList::new(40, edges),
+            sage_graph::BuildOptions::default(),
+        );
+        let (p, _) = ppr_push(&joined, 5, 0.15, 1e-6);
+        let (cluster, phi) = sweep_cut(&joined, &p);
+        let members: std::collections::HashSet<V> = cluster.into_iter().collect();
+        let in_first = members.iter().filter(|&&v| v < 20).count();
+        assert!(in_first >= 18, "cluster missed the clique: {in_first}/20");
+        assert!(members.iter().filter(|&&v| v >= 20).count() <= 2);
+        assert!(phi < 0.05, "conductance {phi} too high");
+    }
+
+    #[test]
+    fn zero_nvram_writes() {
+        use sage_nvram::Meter;
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 165);
+        let before = Meter::global().snapshot();
+        let (p, _) = ppr_push(&g, 0, 0.15, 1e-5);
+        let _ = sweep_cut(&g, &p);
+        assert_eq!(Meter::global().snapshot().since(&before).graph_write, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Spanning forest via LDD + contraction (§4.3.2).
+//!
+//! Identical recursion to [`crate::algo::connectivity`], additionally keeping
+//! (i) the LDD BFS tree edges of each level and (ii) one witness original
+//! edge per contracted inter-cluster edge, which maps the recursive forest
+//! back to edges of the input graph.
+
+use crate::algo::connectivity::pair_key;
+use crate::algo::ldd::ldd;
+use sage_graph::{build_csr, BuildOptions, EdgeList, Graph, NONE_V, V};
+use sage_parallel as par;
+use sage_parallel::ConcurrentMap;
+
+/// Edges of a spanning forest of `g`.
+pub fn spanning_forest<G: Graph>(g: &G, beta: f64, seed: u64) -> Vec<(V, V)> {
+    spanning_forest_rec(g, beta, seed, 0, &|a, b| (a, b))
+}
+
+fn spanning_forest_rec<G: Graph>(
+    g: &G,
+    beta: f64,
+    seed: u64,
+    depth: usize,
+    to_original: &dyn Fn(V, V) -> (V, V),
+) -> Vec<(V, V)> {
+    assert!(depth < 64, "contraction failed to converge");
+    let n = g.num_vertices();
+    if n == 0 || g.num_edges() == 0 {
+        return Vec::new();
+    }
+    let d = ldd(g, beta, seed);
+    // LDD BFS tree edges (in this level's vertex space -> map to original).
+    let mut forest: Vec<(V, V)> = (0..n)
+        .filter(|&v| d.parent[v] != NONE_V && d.parent[v] as usize != v)
+        .map(|v| to_original(d.parent[v], v as V))
+        .collect();
+
+    let inter = crate::algo::ldd::count_inter_cluster_edges(g, &d.cluster);
+    if inter == 0 {
+        return forest;
+    }
+    // Witness map: contracted pair -> one original edge (encoded endpoint
+    // pair of *this* level, mapped through to_original at extraction).
+    let map = ConcurrentMap::with_capacity((inter as usize).max(16));
+    let cluster = &d.cluster;
+    par::par_for(0, n, |vi| {
+        let v = vi as V;
+        let cv = cluster[vi];
+        g.for_each_edge(v, |u, _| {
+            let cu = cluster[u as usize];
+            if cv != cu {
+                map.insert_if_absent(pair_key(cv, cu), ((v as u64) << 32) | u as u64);
+            }
+        });
+    });
+    let entries = map.entries();
+    let contracted: Vec<(V, V)> =
+        entries.iter().map(|&(k, _)| ((k >> 32) as V, (k & 0xFFFF_FFFF) as V)).collect();
+
+    let centers: Vec<V> = par::pack_index(n, |v| cluster[v] as usize == v);
+    let mut dense_of = vec![0u32; n];
+    for (i, &c) in centers.iter().enumerate() {
+        dense_of[c as usize] = i as u32;
+    }
+    let edges: Vec<(V, V)> =
+        contracted.iter().map(|&(a, b)| (dense_of[a as usize], dense_of[b as usize])).collect();
+    let mut cg = build_csr(
+        EdgeList::new(centers.len(), edges),
+        BuildOptions { symmetrize: true, block_size: 64 },
+    );
+    // Contracted graphs are small-memory state (Theorem C.2).
+    cg.mark_dram_resident();
+    // Witness lookup for a contracted (dense) edge, composed with the current
+    // level's original mapping.
+    let witness = |a: V, b: V| -> (V, V) {
+        let key = pair_key(centers[a as usize], centers[b as usize]);
+        let enc = map.get_encoded(key).expect("forest edge must exist in witness map");
+        to_original((enc >> 32) as V, (enc & 0xFFFF_FFFF) as V)
+    };
+    let sub = spanning_forest_rec(
+        &cg,
+        beta,
+        par::hash64(seed.wrapping_add(depth as u64 + 1)),
+        depth + 1,
+        &witness,
+    );
+    forest.extend(sub);
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{self, UnionFind};
+    use sage_graph::gen;
+
+    fn check_forest(g: &sage_graph::Csr, forest: &[(V, V)]) {
+        let n = g.num_vertices();
+        // Every forest edge is a real edge.
+        for &(u, v) in forest {
+            assert!(g.neighbors(u).contains(&v), "({u},{v}) not in graph");
+        }
+        // Acyclic and spanning: n - #components edges, all unions succeed.
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in forest {
+            assert!(uf.union(u, v), "cycle through ({u},{v})");
+        }
+        let want_components =
+            crate::algo::connectivity::num_components(&seq::components(g));
+        assert_eq!(forest.len(), n - want_components, "forest size");
+        // Spanning: same component structure as the graph.
+        let mut uf2 = UnionFind::new(n);
+        for &(u, v) in forest {
+            uf2.union(u, v);
+        }
+        let labels = seq::components(g);
+        for v in 0..n as u32 {
+            let in_graph_same = labels[v as usize];
+            assert_eq!(
+                uf2.find(v) == uf2.find(in_graph_same),
+                true,
+                "vertex {v} disconnected from its component root in the forest"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_of_rmat() {
+        let g = gen::rmat(9, 6, gen::RmatParams::default(), 51);
+        let f = spanning_forest(&g, 0.2, 1);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_of_disconnected_graph() {
+        let g = gen::erdos_renyi(2000, 900, 6);
+        let f = spanning_forest(&g, 0.2, 2);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_of_two_cliques() {
+        let g = gen::two_cliques(15);
+        let f = spanning_forest(&g, 0.2, 3);
+        check_forest(&g, &f);
+        assert_eq!(f.len(), 28); // (15-1) * 2
+    }
+
+    #[test]
+    fn forest_of_tree_is_the_tree() {
+        let g = gen::path(300);
+        let f = spanning_forest(&g, 0.2, 4);
+        check_forest(&g, &f);
+        assert_eq!(f.len(), 299);
+    }
+}

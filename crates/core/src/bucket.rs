@@ -1,0 +1,345 @@
+//! Julienne-style bucketing (Appendix B) with semi-eager packing.
+//!
+//! A bucketing structure maintains a dynamic map from vertices to integer
+//! buckets and repeatedly extracts the lowest (or highest) non-empty bucket.
+//! It underpins weighted BFS, k-core, approximate densest subgraph, and
+//! approximate set cover.
+//!
+//! Julienne's original strategy is *lazy*: moved vertices are simply
+//! re-inserted and stale copies are skipped at extraction, which can hold up
+//! to `O(#updates)` words — too much for the PSAM. The paper's *semi-eager*
+//! variant (Appendix B) tracks live/dead counts per bucket and physically
+//! packs a bucket when its dead entries outnumber the live ones, bounding the
+//! structure at `O(n)` words. Both strategies are implemented and tested for
+//! equivalence; semi-eager is the default.
+//!
+//! As in Julienne's practical variant, a constant number of *open* buckets is
+//! kept (the next [`OPEN_BUCKETS`] priorities) plus one overflow bucket that
+//! is re-split when reached.
+
+use sage_graph::V;
+use sage_nvram::meter;
+use sage_parallel as par;
+
+/// Number of open buckets kept ahead of the current priority.
+pub const OPEN_BUCKETS: usize = 128;
+
+/// Bucket id meaning "never schedule this vertex again".
+pub const CLOSED: u64 = u64::MAX;
+
+/// Extraction order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Extract the smallest bucket first (wBFS, k-core).
+    Increasing,
+    /// Extract the largest bucket first (set cover).
+    Decreasing,
+}
+
+/// Packing strategy; see module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Packing {
+    /// Julienne's lazy deletion.
+    Lazy,
+    /// The paper's semi-eager packing (Appendix B).
+    SemiEager,
+}
+
+/// A dynamic bucketing structure over vertices `0..n`.
+pub struct Buckets {
+    order: Order,
+    packing: Packing,
+    /// Current bucket of each vertex (internal key space), CLOSED if done.
+    ids: Vec<u64>,
+    /// Open buckets: `open[i]` holds vertices with key `base + i`.
+    open: Vec<Vec<V>>,
+    /// Dead (stale) entry count per open bucket, for semi-eager packing.
+    dead: Vec<usize>,
+    /// Everything with key >= base + OPEN_BUCKETS.
+    overflow: Vec<V>,
+    /// Key of `open[0]`.
+    base: u64,
+}
+
+impl Buckets {
+    /// Build from an initial priority function; `None` leaves the vertex out.
+    pub fn new(
+        n: usize,
+        order: Order,
+        packing: Packing,
+        key_of: impl Fn(V) -> Option<u64> + Sync,
+    ) -> Self {
+        let keys: Vec<u64> = par::par_map(n, |v| match key_of(v as V) {
+            Some(k) => match order {
+                Order::Increasing => k,
+                Order::Decreasing => u64::MAX - 1 - k,
+            },
+            None => CLOSED,
+        });
+        meter::aux_write(n as u64);
+        // `base` starts at 0: clamping in `update` must only reflect already
+        // extracted priorities. Inserts beyond the open range fall into the
+        // overflow bucket and are re-split on first extraction.
+        let mut b = Self {
+            order,
+            packing,
+            ids: keys,
+            open: (0..OPEN_BUCKETS).map(|_| Vec::new()).collect(),
+            dead: vec![0; OPEN_BUCKETS],
+            overflow: Vec::new(),
+            base: 0,
+        };
+        for v in 0..n as V {
+            b.insert(v);
+        }
+        b
+    }
+
+    /// Vertices not yet closed.
+    pub fn remaining(&self) -> usize {
+        self.ids.iter().filter(|&&k| k != CLOSED).count()
+    }
+
+    #[inline]
+    fn insert(&mut self, v: V) {
+        let k = self.ids[v as usize];
+        if k == CLOSED {
+            return;
+        }
+        debug_assert!(k >= self.base, "key below the current bucket");
+        let rel = (k - self.base) as usize;
+        if rel < OPEN_BUCKETS {
+            self.open[rel].push(v);
+        } else {
+            self.overflow.push(v);
+        }
+    }
+
+    /// Move `v` to (internal-order) priority `new_key`; `CLOSED` removes it.
+    /// Keys below the current bucket are clamped to it (monotone algorithms
+    /// never decrease priorities in Increasing order).
+    pub fn update(&mut self, v: V, new_key: u64) {
+        let external = new_key;
+        let k = match (self.order, external) {
+            (_, CLOSED) => CLOSED,
+            (Order::Increasing, k) => k,
+            (Order::Decreasing, k) => u64::MAX - 1 - k,
+        };
+        let old = self.ids[v as usize];
+        if old == k {
+            return;
+        }
+        // Account the stale copy for semi-eager packing.
+        if old != CLOSED && old >= self.base {
+            let rel = (old - self.base) as usize;
+            if rel < OPEN_BUCKETS {
+                self.dead[rel] += 1;
+                if self.packing == Packing::SemiEager {
+                    self.maybe_pack(rel);
+                }
+            }
+        }
+        let clamped = if k == CLOSED { CLOSED } else { k.max(self.base) };
+        self.ids[v as usize] = clamped;
+        meter::aux_write(1);
+        if clamped != CLOSED {
+            self.insert(v);
+        }
+    }
+
+    /// Batch form of [`Buckets::update`] (`update_buckets` in Julienne).
+    pub fn update_batch(&mut self, moves: &[(V, u64)]) {
+        for &(v, k) in moves {
+            self.update(v, k);
+        }
+    }
+
+    /// Semi-eager packing: physically drop stale entries once they outnumber
+    /// the live ones (Appendix B).
+    fn maybe_pack(&mut self, rel: usize) {
+        let bucket = &mut self.open[rel];
+        if self.dead[rel] <= bucket.len() / 2 || bucket.len() < 16 {
+            return;
+        }
+        let key = self.base + rel as u64;
+        let ids = &self.ids;
+        bucket.retain(|&v| ids[v as usize] == key);
+        meter::aux_write(bucket.len() as u64);
+        self.dead[rel] = 0;
+    }
+
+    /// Extract the next non-empty bucket: `(external_key, live_vertices)`.
+    /// Returns `None` when every vertex is closed.
+    pub fn next_bucket(&mut self) -> Option<(u64, Vec<V>)> {
+        loop {
+            // Scan open buckets.
+            for rel in 0..OPEN_BUCKETS {
+                if self.open[rel].is_empty() {
+                    continue;
+                }
+                let key = self.base + rel as u64;
+                let raw = std::mem::take(&mut self.open[rel]);
+                self.dead[rel] = 0;
+                let ids = &self.ids;
+                let mut live: Vec<V> = if raw.len() > 2048 {
+                    let raw_ref: &[V] = &raw;
+                    par::pack_index(raw.len(), |i| ids[raw_ref[i] as usize] == key)
+                        .into_iter()
+                        .map(|i| raw[i as usize])
+                        .collect()
+                } else {
+                    raw.iter().copied().filter(|&v| ids[v as usize] == key).collect()
+                };
+                // A vertex moved away from this bucket and back again leaves
+                // multiple *live* copies; deduplicate before extraction.
+                if live.len() > 1 {
+                    par::par_sort(&mut live);
+                    live.dedup();
+                }
+                meter::aux_read(raw.len() as u64);
+                if live.is_empty() {
+                    continue;
+                }
+                // Close extracted vertices; callers re-insert survivors.
+                for &v in &live {
+                    self.ids[v as usize] = CLOSED;
+                }
+                let external = match self.order {
+                    Order::Increasing => key,
+                    Order::Decreasing => u64::MAX - 1 - key,
+                };
+                return Some((external, live));
+            }
+            // Open range exhausted: re-split the overflow bucket.
+            if self.overflow.is_empty() {
+                return None;
+            }
+            let over = std::mem::take(&mut self.overflow);
+            let ids = &self.ids;
+            let live: Vec<V> =
+                over.into_iter().filter(|&v| ids[v as usize] != CLOSED).collect();
+            if live.is_empty() {
+                return None;
+            }
+            let new_base =
+                live.iter().map(|&v| self.ids[v as usize]).min().expect("nonempty");
+            self.base = new_base;
+            self.dead.iter_mut().for_each(|d| *d = 0);
+            for v in live {
+                self.insert(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(b: &mut Buckets) -> Vec<(u64, Vec<V>)> {
+        let mut out = Vec::new();
+        while let Some((k, mut vs)) = b.next_bucket() {
+            vs.sort_unstable();
+            out.push((k, vs));
+        }
+        out
+    }
+
+    #[test]
+    fn increasing_extraction_order() {
+        let keys = [5u64, 1, 5, 3, 1];
+        let mut b = Buckets::new(5, Order::Increasing, Packing::SemiEager, |v| {
+            Some(keys[v as usize])
+        });
+        let got = drain(&mut b);
+        assert_eq!(got, vec![(1, vec![1, 4]), (3, vec![3]), (5, vec![0, 2])]);
+    }
+
+    #[test]
+    fn decreasing_extraction_order() {
+        let keys = [5u64, 1, 9, 3];
+        let mut b = Buckets::new(4, Order::Decreasing, Packing::SemiEager, |v| {
+            Some(keys[v as usize])
+        });
+        let got = drain(&mut b);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![9, 5, 3, 1]);
+    }
+
+    #[test]
+    fn none_vertices_never_appear() {
+        let mut b = Buckets::new(6, Order::Increasing, Packing::SemiEager, |v| {
+            if v % 2 == 0 {
+                Some(v as u64)
+            } else {
+                None
+            }
+        });
+        let got = drain(&mut b);
+        let all: Vec<V> = got.into_iter().flat_map(|(_, vs)| vs).collect();
+        assert_eq!(all, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn update_moves_vertices() {
+        let mut b =
+            Buckets::new(3, Order::Increasing, Packing::SemiEager, |_| Some(10));
+        b.update(1, 2);
+        let (k, vs) = b.next_bucket().unwrap();
+        assert_eq!((k, vs), (2, vec![1]));
+        b.update(0, CLOSED);
+        let (k, vs) = b.next_bucket().unwrap();
+        assert_eq!((k, vs), (10, vec![2]));
+        assert!(b.next_bucket().is_none());
+    }
+
+    #[test]
+    fn overflow_resplit() {
+        // Keys far beyond the open range.
+        let mut b = Buckets::new(4, Order::Increasing, Packing::SemiEager, |v| {
+            Some(1000 + 500 * v as u64)
+        });
+        let got = drain(&mut b);
+        assert_eq!(
+            got.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1000, 1500, 2000, 2500]
+        );
+    }
+
+    #[test]
+    fn lazy_and_semieager_agree_under_churn() {
+        let n = 500usize;
+        let run = |packing: Packing| {
+            let mut b = Buckets::new(n, Order::Increasing, packing, |v| Some(v as u64 % 50));
+            let mut order = Vec::new();
+            let mut round = 0u64;
+            while let Some((k, vs)) = b.next_bucket() {
+                order.push((k, { let mut s = vs.clone(); s.sort_unstable(); s }));
+                round += 1;
+                // Push a fraction of the extracted vertices to later buckets.
+                for &v in vs.iter().filter(|&&v| (v as u64 + round) % 3 == 0) {
+                    if k < 200 {
+                        b.update(v, k + 7);
+                    }
+                }
+            }
+            order
+        };
+        assert_eq!(run(Packing::Lazy), run(Packing::SemiEager));
+    }
+
+    #[test]
+    fn kcore_style_monotone_updates() {
+        // Simulate peeling: everyone starts at degree, moves down as
+        // neighbors vanish, clamped at the current bucket.
+        let degrees = [3u64, 3, 2, 1];
+        let mut b = Buckets::new(4, Order::Increasing, Packing::SemiEager, |v| {
+            Some(degrees[v as usize])
+        });
+        let (k, vs) = b.next_bucket().unwrap();
+        assert_eq!((k, vs), (1, vec![3]));
+        // Vertex 2 loses a neighbor: key would drop to 1 but clamps to >= 1.
+        b.update(2, 1);
+        let (k, vs) = b.next_bucket().unwrap();
+        assert_eq!((k, vs), (1, vec![2]));
+    }
+}

@@ -1,0 +1,564 @@
+//! Sequential reference implementations.
+//!
+//! Every parallel Sage algorithm is verified against one of these textbook
+//! implementations (or an invariant checker) in its module tests and in the
+//! workspace integration tests. They operate on [`Csr`] directly for clarity
+//! and are intentionally unoptimized.
+
+use sage_graph::{Csr, Graph, V};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS levels from `src` (`u64::MAX` = unreachable).
+pub fn bfs_levels(g: &Csr, src: V) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut level = vec![u64::MAX; n];
+    level[src as usize] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if level[v as usize] == u64::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Dijkstra distances from `src` (`u64::MAX` = unreachable). Reference for
+/// both wBFS and Bellman-Ford (all our weights are positive).
+pub fn dijkstra(g: &Csr, src: V) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![u64::MAX; n];
+    dist[src as usize] = 0;
+    let mut heap = BinaryHeap::from([(std::cmp::Reverse(0u64), src)]);
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for i in 0..g.degree(u) {
+            let v = g.neighbor_at(u, i);
+            let w = g.weight_at(u, i) as u64;
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push((std::cmp::Reverse(nd), v));
+            }
+        }
+    }
+    dist
+}
+
+/// Widest-path (max bottleneck) values from `src`; `0` = unreachable,
+/// source = `u64::MAX` (infinite capacity to itself).
+pub fn widest_path(g: &Csr, src: V) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut width = vec![0u64; n];
+    width[src as usize] = u64::MAX;
+    let mut heap = BinaryHeap::from([(u64::MAX, src)]);
+    while let Some((wd, u)) = heap.pop() {
+        if wd < width[u as usize] {
+            continue;
+        }
+        for i in 0..g.degree(u) {
+            let v = g.neighbor_at(u, i);
+            let w = g.weight_at(u, i) as u64;
+            let nw = wd.min(w);
+            if nw > width[v as usize] {
+                width[v as usize] = nw;
+                heap.push((nw, v));
+            }
+        }
+    }
+    width
+}
+
+/// Brandes single-source betweenness contributions.
+pub fn brandes(g: &Csr, src: V) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut sigma = vec![0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    sigma[src as usize] = 1.0;
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == i64::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == dist[u as usize] + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    let mut delta = vec![0f64; n];
+    for &u in order.iter().rev() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == dist[u as usize] + 1 {
+                delta[u as usize] += sigma[u as usize] / sigma[v as usize]
+                    * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    delta[src as usize] = 0.0;
+    delta
+}
+
+/// A tiny union-find used by several checkers.
+pub struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect() }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.max(rb) as usize] = ra.min(rb);
+        true
+    }
+}
+
+/// Connected-component labels, canonicalized to the minimum vertex id.
+pub fn components(g: &Csr) -> Vec<V> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n as V {
+        for &v in g.neighbors(u) {
+            uf.union(u, v);
+        }
+    }
+    (0..n as u32).map(|v| uf.find(v)).collect()
+}
+
+/// Canonicalize an arbitrary labeling to min-vertex-per-group form so two
+/// labelings can be compared.
+pub fn canonicalize_labels(labels: &[V]) -> Vec<V> {
+    let mut min_of = std::collections::HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        let e = min_of.entry(l).or_insert(v as V);
+        *e = (*e).min(v as V);
+    }
+    labels.iter().map(|l| min_of[l]).collect()
+}
+
+/// Coreness numbers by sequential peeling.
+pub fn coreness(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut deg: Vec<usize> = (0..n as V).map(|v| g.degree(v)).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    // Bucket queue peeling (standard O(m) algorithm).
+    let mut buckets: Vec<Vec<V>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as V);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut k = 0usize;
+    for d in 0..=maxd {
+        k = k.max(d);
+        let mut stack = std::mem::take(&mut buckets[d]);
+        while let Some(v) = stack.pop() {
+            if removed[v as usize] || deg[v as usize] > d {
+                // Stale entry: it will be (or was) handled at its true degree.
+                continue;
+            }
+            removed[v as usize] = true;
+            core[v as usize] = k as u32;
+            for &u in g.neighbors(v) {
+                if !removed[u as usize] && deg[u as usize] > d {
+                    deg[u as usize] -= 1;
+                    if deg[u as usize] == d {
+                        stack.push(u);
+                    } else {
+                        buckets[deg[u as usize]].push(u);
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
+/// Exact triangle count via sorted-adjacency intersections.
+pub fn triangle_count(g: &Csr) -> u64 {
+    let n = g.num_vertices();
+    let rank = |v: V| (g.degree(v), v);
+    let mut count = 0u64;
+    for u in 0..n as V {
+        for &v in g.neighbors(u) {
+            if rank(u) < rank(v) {
+                // Intersect higher-ranked neighbors of u and v.
+                let (mut i, mut j) = (0, 0);
+                let nu = g.neighbors(u);
+                let nv = g.neighbors(v);
+                while i < nu.len() && j < nv.len() {
+                    match nu[i].cmp(&nv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            if rank(v) < rank(nu[i]) {
+                                count += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Power-iteration PageRank with damping 0.85, converging to `eps` (L1).
+pub fn pagerank(g: &Csr, eps: f64, max_iters: usize) -> (Vec<f64>, usize) {
+    let n = g.num_vertices();
+    let damping = 0.85;
+    let mut p = vec![1.0 / n as f64; n];
+    let mut iters = 0;
+    for _ in 0..max_iters {
+        iters += 1;
+        // Dangling mass is redistributed uniformly, keeping Σp = 1.
+        let dangling: f64 =
+            (0..n as V).filter(|&u| g.degree(u) == 0).map(|u| p[u as usize]).sum();
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let mut next = vec![base; n];
+        for u in 0..n as V {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = damping * p[u as usize] / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let l1: f64 = (0..n).map(|i| (next[i] - p[i]).abs()).sum();
+        p = next;
+        if l1 < eps {
+            break;
+        }
+    }
+    (p, iters)
+}
+
+/// Greedy set cover on a bipartite instance (sets `0..num_sets`, elements
+/// above). Returns the chosen sets.
+pub fn greedy_set_cover(g: &Csr, num_sets: usize) -> Vec<V> {
+    let n = g.num_vertices();
+    let mut covered = vec![false; n - num_sets];
+    let mut chosen = Vec::new();
+    let mut uncovered = n - num_sets;
+    // Only elements with at least one covering set can be covered.
+    let coverable =
+        (num_sets..n).filter(|&e| g.degree(e as V) > 0).count();
+    let mut remaining = coverable;
+    uncovered = uncovered.min(coverable);
+    let _ = uncovered;
+    while remaining > 0 {
+        let (mut best, mut gain) = (V::MAX, 0usize);
+        for s in 0..num_sets as V {
+            let g_s = g
+                .neighbors(s)
+                .iter()
+                .filter(|&&e| !covered[e as usize - num_sets])
+                .count();
+            if g_s > gain {
+                gain = g_s;
+                best = s;
+            }
+        }
+        if best == V::MAX {
+            break;
+        }
+        chosen.push(best);
+        for &e in g.neighbors(best) {
+            if !covered[e as usize - num_sets] {
+                covered[e as usize - num_sets] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+/// Hopcroft–Tarjan biconnected components: returns, for each undirected edge
+/// `(u,v)` with `u < v`, a component id. Iterative DFS to avoid stack
+/// overflow on large graphs.
+pub fn biconnected_components(g: &Csr) -> std::collections::HashMap<(V, V), u32> {
+    let n = g.num_vertices();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut comp_of = std::collections::HashMap::new();
+    let mut estack: Vec<(V, V)> = Vec::new();
+    let mut comp_id = 0u32;
+
+    #[derive(Clone)]
+    struct Frame {
+        v: V,
+        parent: V,
+        edge_idx: usize,
+    }
+
+    for root in 0..n as V {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame { v: root, parent: V::MAX, edge_idx: 0 }];
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        while let Some(frame) = stack.last().cloned() {
+            let Frame { v, parent, edge_idx } = frame;
+            if edge_idx < g.degree(v) {
+                stack.last_mut().unwrap().edge_idx += 1;
+                let to = g.neighbor_at(v, edge_idx);
+                if disc[to as usize] == u32::MAX {
+                    estack.push((v.min(to), v.max(to)));
+                    disc[to as usize] = timer;
+                    low[to as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame { v: to, parent: v, edge_idx: 0 });
+                } else if to != parent && disc[to as usize] < disc[v as usize] {
+                    estack.push((v.min(to), v.max(to)));
+                    low[v as usize] = low[v as usize].min(disc[to as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(pf) = stack.last() {
+                    let p = pf.v;
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[p as usize] {
+                        // (p, v) closes a biconnected component.
+                        let key = (p.min(v), p.max(v));
+                        while let Some(e) = estack.pop() {
+                            comp_of.insert(e, comp_id);
+                            if e == key {
+                                break;
+                            }
+                        }
+                        comp_id += 1;
+                    }
+                }
+            }
+        }
+    }
+    comp_of
+}
+
+/// Is `set` an independent set that is also maximal?
+pub fn check_maximal_independent_set(g: &Csr, in_set: &[bool]) -> Result<(), String> {
+    for u in 0..g.num_vertices() as V {
+        if in_set[u as usize] {
+            for &v in g.neighbors(u) {
+                if in_set[v as usize] {
+                    return Err(format!("edge ({u},{v}) inside the set"));
+                }
+            }
+        } else {
+            let covered = g.neighbors(u).iter().any(|&v| in_set[v as usize]);
+            if !covered {
+                return Err(format!("vertex {u} could be added"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `mate` a valid maximal matching (`mate[v] == NONE_V` = unmatched)?
+pub fn check_maximal_matching(g: &Csr, mate: &[V]) -> Result<(), String> {
+    let none = sage_graph::NONE_V;
+    for u in 0..g.num_vertices() as V {
+        let m = mate[u as usize];
+        if m != none {
+            if mate[m as usize] != u {
+                return Err(format!("mate not mutual: {u} -> {m} -> {}", mate[m as usize]));
+            }
+            if !g.neighbors(u).contains(&m) {
+                return Err(format!("matched pair ({u},{m}) is not an edge"));
+            }
+        } else {
+            // Maximality: u must have no unmatched neighbor.
+            for &v in g.neighbors(u) {
+                if mate[v as usize] == none {
+                    return Err(format!("unmatched edge ({u},{v}) remains"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is `color` a proper coloring with at most `Δ+1` colors?
+pub fn check_coloring(g: &Csr, color: &[u32]) -> Result<(), String> {
+    let dmax = (0..g.num_vertices() as V).map(|v| g.degree(v)).max().unwrap_or(0);
+    for u in 0..g.num_vertices() as V {
+        if color[u as usize] as usize > dmax {
+            return Err(format!("vertex {u} uses color {} > Δ", color[u as usize]));
+        }
+        for &v in g.neighbors(u) {
+            if u != v && color[u as usize] == color[v as usize] {
+                return Err(format!("edge ({u},{v}) monochromatic"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_graph::gen;
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = gen::path(5);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let list = gen::rmat_edges(8, 8, gen::RmatParams::default(), 1).with_random_weights(4);
+        let g = sage_graph::build_csr(list, sage_graph::BuildOptions::default());
+        let d = dijkstra(&g, 0);
+        // Triangle inequality over every edge.
+        for u in 0..g.num_vertices() as V {
+            if d[u as usize] == u64::MAX {
+                continue;
+            }
+            for i in 0..g.degree(u) {
+                let v = g.neighbor_at(u, i);
+                let w = g.weight_at(u, i) as u64;
+                assert!(d[v as usize] <= d[u as usize] + w);
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_components_on_two_cliques() {
+        let g = gen::two_cliques(4);
+        let labels = components(&g);
+        assert_eq!(labels[..4], [0, 0, 0, 0]);
+        assert_eq!(labels[4..], [4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn coreness_of_clique_plus_tail() {
+        // K4 with a path attached: clique vertices have core 3, tail 1.
+        let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let g = sage_graph::build_csr(
+            sage_graph::EdgeList::new(6, edges),
+            sage_graph::BuildOptions::default(),
+        );
+        assert_eq!(coreness(&g), vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn triangles_in_complete_graph() {
+        let g = gen::complete(7);
+        assert_eq!(triangle_count(&g), 35); // C(7,3)
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 2);
+        let (p, iters) = pagerank(&g, 1e-8, 200);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(iters > 1);
+    }
+
+    #[test]
+    fn hopcroft_tarjan_on_two_triangles_sharing_a_vertex() {
+        // Triangles {0,1,2} and {2,3,4} share vertex 2: two bicomps.
+        let edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        let g = sage_graph::build_csr(
+            sage_graph::EdgeList::new(5, edges),
+            sage_graph::BuildOptions::default(),
+        );
+        let comp = biconnected_components(&g);
+        assert_eq!(comp.len(), 6);
+        let c1 = comp[&(0, 1)];
+        assert_eq!(comp[&(1, 2)], c1);
+        assert_eq!(comp[&(0, 2)], c1);
+        let c2 = comp[&(2, 3)];
+        assert_ne!(c1, c2);
+        assert_eq!(comp[&(3, 4)], c2);
+        assert_eq!(comp[&(2, 4)], c2);
+    }
+
+    #[test]
+    fn bridge_is_its_own_component() {
+        let g = gen::path(4); // 3 bridges
+        let comp = biconnected_components(&g);
+        assert_eq!(comp.len(), 3);
+        let ids: std::collections::HashSet<u32> = comp.values().copied().collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn brandes_on_path_center() {
+        let g = gen::path(5);
+        let d = brandes(&g, 0);
+        // From source 0 on a path, dependency of vertex i counts shortest
+        // paths through it: delta[1] = 3, delta[2] = 2, delta[3] = 1.
+        assert_eq!(d[1], 3.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], 1.0);
+        assert_eq!(d[4], 0.0);
+    }
+
+    #[test]
+    fn greedy_cover_covers() {
+        let g = gen::set_cover_instance(10, 60, 3, 1);
+        let chosen = greedy_set_cover(&g, 10);
+        let mut covered = vec![false; 60];
+        for &s in &chosen {
+            for &e in g.neighbors(s) {
+                covered[e as usize - 10] = true;
+            }
+        }
+        for e in 0..60 {
+            if g.degree((10 + e) as V) > 0 {
+                assert!(covered[e], "element {e} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn widest_path_simple() {
+        // 0 -5- 1 -2- 2 and 0 -1- 2: widest 0->2 = min(5,2) = 2.
+        let list = sage_graph::EdgeList {
+            n: 3,
+            edges: vec![(0, 1), (1, 2), (0, 2)],
+            weights: Some(vec![5, 2, 1]),
+        };
+        let g = sage_graph::build_csr(list, sage_graph::BuildOptions::default());
+        let w = widest_path(&g, 0);
+        assert_eq!(w[1], 5);
+        assert_eq!(w[2], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property test for the Julienne bucketing structure: random
+//! operation sequences are applied both to [`Buckets`] and to a trivial
+//! BTreeMap reference model, and the extraction sequences must coincide.
+
+use proptest::prelude::*;
+use sage_core::bucket::{Buckets, Order, Packing, CLOSED, OPEN_BUCKETS};
+use std::collections::BTreeMap;
+
+/// Reference model: key -> sorted set of vertices.
+struct Model {
+    key_of: Vec<u64>, // CLOSED = absent
+    order: Order,
+}
+
+impl Model {
+    fn new(keys: &[u64], order: Order) -> Self {
+        Self { key_of: keys.to_vec(), order }
+    }
+
+    fn update(&mut self, v: u32, key: u64) {
+        self.key_of[v as usize] = key;
+    }
+
+    fn next_bucket(&mut self) -> Option<(u64, Vec<u32>)> {
+        let mut by_key: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (v, &k) in self.key_of.iter().enumerate() {
+            if k != CLOSED {
+                by_key.entry(k).or_default().push(v as u32);
+            }
+        }
+        let (&k, _) = match self.order {
+            Order::Increasing => by_key.iter().next()?,
+            Order::Decreasing => by_key.iter().next_back()?,
+        };
+        let vs = by_key.remove(&k).unwrap();
+        for &v in &vs {
+            self.key_of[v as usize] = CLOSED;
+        }
+        Some((k, vs))
+    }
+}
+
+fn run_scenario(
+    n: usize,
+    keys: Vec<u64>,
+    moves: Vec<(u32, u64)>,
+    order: Order,
+    packing: Packing,
+) -> Result<(), TestCaseError> {
+    let keys: Vec<u64> = keys.into_iter().take(n).collect();
+    let mut model = Model::new(&keys, order);
+    let mut buckets = Buckets::new(n, order, packing, |v| {
+        let k = keys[v as usize];
+        if k == CLOSED {
+            None
+        } else {
+            Some(k)
+        }
+    });
+    let mut move_iter = moves.into_iter();
+    loop {
+        let got = buckets.next_bucket().map(|(k, mut vs)| {
+            vs.sort_unstable();
+            (k, vs)
+        });
+        let want = model.next_bucket();
+        prop_assert_eq!(&got, &want, "extraction diverged");
+        if got.is_none() {
+            break;
+        }
+        // Interleave a few updates between extractions. Keys are clamped to
+        // the just-extracted bucket by both sides (monotonicity contract).
+        let (cur, _) = got.unwrap();
+        for _ in 0..3 {
+            if let Some((v, raw_key)) = move_iter.next() {
+                let v = v % n as u32;
+                if model.key_of[v as usize] == CLOSED {
+                    continue; // already settled; Sage algorithms never reopen
+                }
+                let key = match order {
+                    Order::Increasing => raw_key.clamp(cur, cur + 3 * OPEN_BUCKETS as u64),
+                    Order::Decreasing => raw_key.clamp(cur.saturating_sub(3 * OPEN_BUCKETS as u64), cur),
+                };
+                model.update(v, key);
+                buckets.update(v, key);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn increasing_matches_model(
+        n in 1usize..80,
+        keys in proptest::collection::vec(0u64..200, 80),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..500), 0..60),
+    ) {
+        run_scenario(n, keys, moves, Order::Increasing, Packing::SemiEager)?;
+    }
+
+    #[test]
+    fn increasing_lazy_matches_model(
+        n in 1usize..80,
+        keys in proptest::collection::vec(0u64..200, 80),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..500), 0..60),
+    ) {
+        run_scenario(n, keys, moves, Order::Increasing, Packing::Lazy)?;
+    }
+
+    #[test]
+    fn decreasing_matches_model(
+        n in 1usize..80,
+        keys in proptest::collection::vec(0u64..200, 80),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..200), 0..60),
+    ) {
+        run_scenario(n, keys, moves, Order::Decreasing, Packing::SemiEager)?;
+    }
+
+    #[test]
+    fn keys_far_in_overflow(
+        n in 1usize..40,
+        keys in proptest::collection::vec(1_000u64..100_000, 40),
+    ) {
+        run_scenario(n, keys, Vec::new(), Order::Increasing, Packing::SemiEager)?;
+    }
+}

@@ -1,0 +1,193 @@
+//! Edge-list ingestion: sorting, deduplication, symmetrization, CSR assembly.
+//!
+//! The paper symmetrizes all inputs "so that all of the algorithms would work
+//! on them" (§5.1.3); the builder reproduces that pipeline in parallel.
+
+use crate::csr::Csr;
+use crate::V;
+use sage_parallel as par;
+
+/// A raw edge list with optional per-edge weights.
+pub struct EdgeList {
+    /// Number of vertices (ids must be `< n`).
+    pub n: usize,
+    /// Directed edge pairs.
+    pub edges: Vec<(V, V)>,
+    /// Optional weights, parallel to `edges`.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl EdgeList {
+    /// Unweighted edge list.
+    pub fn new(n: usize, edges: Vec<(V, V)>) -> Self {
+        Self { n, edges, weights: None }
+    }
+
+    /// Attach uniform random weights in `[1, max(2, log2 n))`, the paper's
+    /// weighting scheme for wBFS / Bellman-Ford / widest-path (§5.1.3).
+    ///
+    /// Weights are a deterministic hash of the (undirected) endpoints, so
+    /// symmetrization preserves `w(u,v) == w(v,u)`.
+    pub fn with_random_weights(mut self, seed: u64) -> Self {
+        let bound = (usize::BITS - self.n.leading_zeros()).max(2) as u64 - 1;
+        let edges = &self.edges;
+        let w: Vec<u32> = par::par_map(edges.len(), |i| {
+            let (u, v) = edges[i];
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            (1 + par::hash64_pair(seed ^ a as u64, b as u64) % bound) as u32
+        });
+        self.weights = Some(w);
+        self
+    }
+}
+
+/// Options controlling [`build_csr`].
+#[derive(Clone, Copy)]
+pub struct BuildOptions {
+    /// Add the reverse of every edge before deduplication.
+    pub symmetrize: bool,
+    /// Logical adjacency block size of the resulting graph (multiple of 64).
+    pub block_size: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self { symmetrize: true, block_size: 64 }
+    }
+}
+
+/// Build a CSR graph from an edge list: removes self-loops, optionally
+/// symmetrizes, sorts, deduplicates (keeping the first weight), and packs.
+pub fn build_csr(list: EdgeList, opts: BuildOptions) -> Csr {
+    let n = list.n;
+    let weighted = list.weights.is_some();
+    // Pack (u, v, w) into sortable tuples.
+    let mut triples: Vec<(u64, u32)> = Vec::with_capacity(
+        list.edges.len() * if opts.symmetrize { 2 } else { 1 },
+    );
+    let key = |u: V, v: V| ((u as u64) << 32) | v as u64;
+    for (i, &(u, v)) in list.edges.iter().enumerate() {
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range n={n}");
+        if u == v {
+            continue; // the paper assumes no self-edges (§2)
+        }
+        let w = list.weights.as_ref().map_or(0, |ws| ws[i]);
+        triples.push((key(u, v), w));
+        if opts.symmetrize {
+            triples.push((key(v, u), w));
+        }
+    }
+    par::par_sort_by_key(&mut triples, |&(k, _)| k);
+    // Deduplicate (the paper assumes no duplicate edges, §2).
+    triples.dedup_by_key(|&mut (k, _)| k);
+
+    let m = triples.len();
+    // Degrees via difference of first-occurrence positions.
+    let mut offsets = vec![0u64; n + 1];
+    {
+        let trip = &triples;
+        let counts: Vec<u64> = {
+            // Parallel count per source using binary search over the sorted keys.
+            par::par_map(n, |u| {
+                let lo = partition_point(trip, |&(k, _)| (k >> 32) < u as u64);
+                let hi = partition_point(trip, |&(k, _)| (k >> 32) <= u as u64);
+                (hi - lo) as u64
+            })
+        };
+        offsets[..n].copy_from_slice(&counts);
+    }
+    let total = par::scan_add(&mut offsets[..n]);
+    offsets[n] = total;
+    debug_assert_eq!(total as usize, m);
+
+    let edges: Vec<V> = par::par_map(m, |i| (triples[i].0 & 0xFFFF_FFFF) as V);
+    let weights: Option<Vec<u32>> =
+        if weighted { Some(par::par_map(m, |i| triples[i].1)) } else { None };
+
+    Csr::from_parts(
+        offsets.into(),
+        edges.into(),
+        weights.map(Into::into),
+        opts.block_size,
+    )
+}
+
+fn partition_point<T>(s: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut lo = 0;
+    let mut hi = s.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(&s[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn symmetrize_dedup_selfloops() {
+        let list = EdgeList::new(4, vec![(0, 1), (1, 0), (2, 2), (1, 2), (1, 2)]);
+        let g = build_csr(list, BuildOptions::default());
+        assert_eq!(g.num_vertices(), 4);
+        // Undirected edges {0,1}, {1,2} -> 4 directed edges.
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[V]);
+    }
+
+    #[test]
+    fn directed_build() {
+        let list = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let g = build_csr(list, BuildOptions { symmetrize: false, ..Default::default() });
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_unique() {
+        let list = EdgeList::new(10, vec![(0, 5), (0, 3), (0, 9), (0, 3), (5, 0)]);
+        let g = build_csr(list, BuildOptions::default());
+        assert_eq!(g.neighbors(0), &[3, 5, 9]);
+    }
+
+    #[test]
+    fn weights_symmetric_and_in_range() {
+        let n = 1000;
+        let edges: Vec<(V, V)> = (0..n as V - 1).map(|i| (i, i + 1)).collect();
+        let list = EdgeList::new(n, edges).with_random_weights(42);
+        let g = build_csr(list, BuildOptions::default());
+        assert!(g.is_weighted());
+        let log_n = (usize::BITS - n.leading_zeros()) as u32;
+        for v in 0..n as V {
+            let deg = g.degree(v);
+            for i in 0..deg {
+                let u = g.neighbor_at(v, i);
+                let w = g.weight_at(v, i);
+                assert!(w >= 1 && w < log_n, "weight {w} out of [1, {log_n})");
+                // Symmetric: find v in u's list and compare.
+                let j = g.neighbors(u).iter().position(|&x| x == v).unwrap();
+                assert_eq!(g.weight_at(u, j), w);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_rejected() {
+        build_csr(EdgeList::new(2, vec![(0, 5)]), BuildOptions::default());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = build_csr(EdgeList::new(5, vec![]), BuildOptions::default());
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

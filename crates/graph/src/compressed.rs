@@ -1,0 +1,402 @@
+//! Parallel byte-encoded compressed graphs (Ligra+ [87], §2 / §4.2.1).
+//!
+//! Each vertex's sorted adjacency list is difference-encoded with
+//! variable-length byte codes and divided into *compression blocks* of
+//! `block_size` edges. Blocks decode sequentially, but the per-vertex block
+//! offset table lets the edges of a high-degree vertex be traversed in
+//! parallel across blocks — the property `edgeMapChunked` and the graphFilter
+//! rely on. The graphFilter's filter block size must equal this compression
+//! block size (§4.2.1), which the engine asserts.
+//!
+//! Layout of a vertex's encoded region (4-byte aligned):
+//!
+//! ```text
+//! [u32 x (nblocks-1): byte offsets of blocks 1.. from region start]
+//! [block 0][block 1]...[block nblocks-1]
+//! ```
+//!
+//! Within a block the first edge is a zigzag varint of `ngh - v`; subsequent
+//! edges are varints of `diff - 1` (lists are strictly increasing). Weighted
+//! graphs interleave a weight varint after each target.
+
+use crate::csr::{Csr, Storage};
+use crate::{Graph, V};
+use sage_nvram::meter;
+use sage_parallel as par;
+
+/// A byte-compressed CSR graph.
+pub struct CompressedCsr {
+    pub(crate) voffsets: Storage<u64>,
+    pub(crate) degrees: Storage<u32>,
+    pub(crate) data: Storage<u8>,
+    pub(crate) m: usize,
+    pub(crate) weighted: bool,
+    pub(crate) block_size: usize,
+}
+
+#[inline]
+fn zigzag_encode(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn get_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        x |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+impl CompressedCsr {
+    /// Compress an existing CSR graph with the given compression block size
+    /// (a positive multiple of 64, per the graphFilter alignment rule).
+    pub fn from_csr(g: &Csr, block_size: usize) -> Self {
+        assert!(
+            block_size >= 64 && block_size % 64 == 0,
+            "compression block size must be a positive multiple of 64"
+        );
+        let n = g.num_vertices();
+        let weighted = g.is_weighted();
+        // Encode each vertex independently, in parallel.
+        let encoded: Vec<Vec<u8>> = par::par_map_grain(n, 64, |vi| {
+            let v = vi as V;
+            let deg = g.degree(v);
+            if deg == 0 {
+                return Vec::new();
+            }
+            let nblocks = deg.div_ceil(block_size);
+            // Encode blocks into a scratch buffer, remembering block starts.
+            let mut body = Vec::with_capacity(deg * 2);
+            let mut block_starts = Vec::with_capacity(nblocks);
+            for b in 0..nblocks {
+                block_starts.push(body.len() as u32);
+                let lo = b * block_size;
+                let hi = ((b + 1) * block_size).min(deg);
+                let mut prev: i64 = -1;
+                for i in lo..hi {
+                    let ngh = g.neighbor_at(v, i) as i64;
+                    if i == lo {
+                        put_varint(&mut body, zigzag_encode(ngh - v as i64));
+                    } else {
+                        debug_assert!(ngh > prev, "adjacency lists must be strictly increasing");
+                        put_varint(&mut body, (ngh - prev - 1) as u64);
+                    }
+                    prev = ngh;
+                    if weighted {
+                        put_varint(&mut body, g.weight_at(v, i) as u64);
+                    }
+                }
+            }
+            let header_bytes = (nblocks - 1) * 4;
+            let mut out = Vec::with_capacity(header_bytes + body.len());
+            for b in 1..nblocks {
+                let abs = header_bytes as u32 + block_starts[b];
+                out.extend_from_slice(&abs.to_le_bytes());
+            }
+            out.extend_from_slice(&body);
+            out
+        });
+        // Lay regions out 4-byte aligned.
+        let mut voffsets = vec![0u64; n + 1];
+        {
+            let sizes: Vec<u64> =
+                encoded.iter().map(|e| (e.len().div_ceil(4) * 4) as u64).collect();
+            voffsets[..n].copy_from_slice(&sizes);
+        }
+        let total = par::scan_add(&mut voffsets[..n]) as usize;
+        voffsets[n] = total as u64;
+        let mut data = vec![0u8; total];
+        {
+            let ptr = par::SendPtr(data.as_mut_ptr());
+            let voff = &voffsets;
+            let enc = &encoded;
+            par::par_for_grain(0, n, 64, |vi| {
+                let at = voff[vi] as usize;
+                let e = &enc[vi];
+                // SAFETY: regions are disjoint byte ranges.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(e.as_ptr(), ptr.add(at), e.len());
+                }
+            });
+        }
+        let degrees: Vec<u32> = par::par_map(n, |vi| g.degree(vi as V) as u32);
+        Self {
+            voffsets: voffsets.into(),
+            degrees: degrees.into(),
+            data: data.into(),
+            m: g.num_edges(),
+            weighted,
+            block_size,
+        }
+    }
+
+    /// Assemble from raw parts (used by the binary loader).
+    pub fn from_parts(
+        voffsets: Storage<u64>,
+        degrees: Storage<u32>,
+        data: Storage<u8>,
+        m: usize,
+        weighted: bool,
+        block_size: usize,
+    ) -> Self {
+        assert_eq!(voffsets.len(), degrees.len() + 1);
+        assert!(block_size >= 64 && block_size % 64 == 0);
+        Self { voffsets, degrees, data, m, weighted, block_size }
+    }
+
+    /// Size of all arrays in bytes (compression-ratio reporting, §4.2.3).
+    pub fn size_bytes(&self) -> usize {
+        self.voffsets.len() * 8 + self.degrees.len() * 4 + self.data.len()
+    }
+
+    /// Whether the encoded data lives in mapped NVRAM.
+    pub fn on_nvram(&self) -> bool {
+        self.data.is_nvram()
+    }
+
+    /// Borrow the raw parts (binary writer use).
+    pub(crate) fn parts(&self) -> (&[u64], &[u32], &[u8]) {
+        (&self.voffsets, &self.degrees, &self.data)
+    }
+
+    #[inline]
+    fn region(&self, v: V) -> &[u8] {
+        let lo = self.voffsets[v as usize] as usize;
+        let hi = self.voffsets[v as usize + 1] as usize;
+        &self.data[lo..hi]
+    }
+
+    /// Decode edges `[b*BS, min((b+1)*BS, deg))`, invoking
+    /// `f(index_in_block, neighbor, weight)`; returns bytes consumed.
+    #[inline]
+    fn decode_block_raw<F: FnMut(u32, V, u32)>(&self, v: V, blk: usize, mut f: F) -> usize {
+        let deg = self.degrees[v as usize] as usize;
+        debug_assert!(blk * self.block_size < deg, "block {blk} out of range");
+        let nblocks = deg.div_ceil(self.block_size);
+        let region = self.region(v);
+        let header = (nblocks - 1) * 4;
+        let start = if blk == 0 {
+            header
+        } else {
+            let at = (blk - 1) * 4;
+            u32::from_le_bytes(region[at..at + 4].try_into().unwrap()) as usize
+        };
+        let lo = blk * self.block_size;
+        let hi = ((blk + 1) * self.block_size).min(deg);
+        let mut pos = start;
+        let mut prev: i64 = -1;
+        for i in lo..hi {
+            let ngh = if i == lo {
+                (v as i64 + zigzag_decode(get_varint(region, &mut pos))) as V
+            } else {
+                (prev + 1 + get_varint(region, &mut pos) as i64) as V
+            };
+            prev = ngh as i64;
+            let w = if self.weighted { get_varint(region, &mut pos) as u32 } else { 0 };
+            f((i - lo) as u32, ngh, w);
+        }
+        pos - start
+    }
+}
+
+impl std::fmt::Debug for CompressedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompressedCsr(n={}, m={}, block={}, bytes={})",
+            self.num_vertices(),
+            self.m,
+            self.block_size,
+            self.size_bytes()
+        )
+    }
+}
+
+impl Graph for CompressedCsr {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn degree(&self, v: V) -> usize {
+        self.degrees[v as usize] as usize
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    #[inline]
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn for_each_edge<F: FnMut(V, u32)>(&self, v: V, mut f: F) {
+        let deg = self.degree(v);
+        if deg == 0 {
+            return;
+        }
+        let mut bytes = 0usize;
+        for b in 0..deg.div_ceil(self.block_size) {
+            bytes += self.decode_block_raw(v, b, |_, u, w| f(u, w));
+        }
+        meter::graph_read(bytes.div_ceil(8) as u64 + 2);
+    }
+
+    fn for_each_edge_while<F: FnMut(V, u32) -> bool>(&self, v: V, mut f: F) {
+        let deg = self.degree(v);
+        if deg == 0 {
+            return;
+        }
+        let mut bytes = 0usize;
+        let mut go = true;
+        for b in 0..deg.div_ceil(self.block_size) {
+            if !go {
+                break;
+            }
+            // A compressed block must be decoded in full to step through it
+            // (§4.2.3); early exit takes effect at block granularity.
+            bytes += self.decode_block_raw(v, b, |_, u, w| {
+                if go {
+                    go = f(u, w);
+                }
+            });
+        }
+        meter::graph_read(bytes.div_ceil(8) as u64 + 2);
+    }
+
+    fn decode_block<F: FnMut(u32, V, u32)>(&self, v: V, blk: usize, f: F) {
+        let bytes = self.decode_block_raw(v, blk, f);
+        meter::graph_read(bytes.div_ceil(8) as u64 + 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_csr, BuildOptions, EdgeList};
+    use crate::gen;
+
+    fn roundtrip_check(g: &Csr, block_size: usize) {
+        let c = CompressedCsr::from_csr(g, block_size);
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() as V {
+            assert_eq!(c.degree(v), g.degree(v), "degree of {v}");
+            let mut want = Vec::new();
+            g.for_each_edge(v, |u, w| want.push((u, w)));
+            let mut got = Vec::new();
+            c.for_each_edge(v, |u, w| got.push((u, w)));
+            assert_eq!(got, want, "neighbors of {v}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for x in [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), x);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for x in [0i64, 1, -1, 63, -64, i32::MAX as i64, i32::MIN as i64] {
+            assert_eq!(zigzag_decode(zigzag_encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn compress_small_graphs() {
+        roundtrip_check(&gen::path(50), 64);
+        roundtrip_check(&gen::star(100), 64);
+        roundtrip_check(&gen::complete(20), 64);
+    }
+
+    #[test]
+    fn compress_rmat_multiple_block_sizes() {
+        let g = gen::rmat(10, 8, gen::RmatParams::default(), 1);
+        for bs in [64, 128, 256] {
+            roundtrip_check(&g, bs);
+        }
+    }
+
+    #[test]
+    fn compress_weighted() {
+        let list = gen::rmat_edges(9, 8, gen::RmatParams::default(), 7).with_random_weights(3);
+        let g = build_csr(list, BuildOptions::default());
+        roundtrip_check(&g, 64);
+    }
+
+    #[test]
+    fn block_decode_matches_full_decode() {
+        let g = gen::rmat(9, 16, gen::RmatParams::default(), 5);
+        let c = CompressedCsr::from_csr(&g, 64);
+        for v in 0..g.num_vertices() as V {
+            let mut blockwise = Vec::new();
+            for b in 0..c.num_blocks_of(v) {
+                c.decode_block(v, b, |_, u, _| blockwise.push(u));
+            }
+            let mut full = Vec::new();
+            c.for_each_edge(v, |u, _| full.push(u));
+            assert_eq!(blockwise, full);
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_real_shaped_graphs() {
+        let g = gen::rmat(12, 16, gen::RmatParams::default(), 2);
+        let c = CompressedCsr::from_csr(&g, 64);
+        assert!(
+            c.size_bytes() < g.size_bytes(),
+            "compressed {} >= raw {}",
+            c.size_bytes(),
+            g.size_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_vertex_regions() {
+        let g = build_csr(EdgeList::new(4, vec![(0, 3)]), BuildOptions::default());
+        let c = CompressedCsr::from_csr(&g, 64);
+        assert_eq!(c.degree(1), 0);
+        let mut cnt = 0;
+        c.for_each_edge(1, |_, _| cnt += 1);
+        assert_eq!(cnt, 0);
+    }
+}

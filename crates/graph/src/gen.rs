@@ -1,0 +1,250 @@
+//! Synthetic graph generators substituting for the paper's inputs (Table 2).
+//!
+//! The paper's graphs are web crawls and social networks: low diameter,
+//! heavily skewed degrees, average degree 17–76. [`rmat`] with the standard
+//! social parameters reproduces that regime; [`rmat`] with more skew stands in
+//! for the web graphs. Deterministic given a seed, and generated in parallel
+//! (one hash-seeded PRNG per edge).
+
+use crate::builder::{build_csr, BuildOptions, EdgeList};
+use crate::csr::Csr;
+use crate::V;
+use sage_parallel as par;
+use sage_parallel::SplitMix64;
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the (0,0) quadrant.
+    pub a: f64,
+    /// Probability of the (0,1) quadrant.
+    pub b: f64,
+    /// Probability of the (1,0) quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    /// The classic Graph500 social-network parameters.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+impl RmatParams {
+    /// More skewed parameters resembling web crawls (heavier head).
+    pub fn web() -> Self {
+        Self { a: 0.65, b: 0.15, c: 0.15 }
+    }
+}
+
+/// Generate the directed edge list of an R-MAT graph with `2^scale` vertices
+/// and `edge_factor * 2^scale` sampled edges (before dedup/symmetrization).
+pub fn rmat_edges(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> EdgeList {
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let edges: Vec<(V, V)> = par::par_map(m, |i| {
+        let mut rng = SplitMix64::new(par::hash64(seed ^ (i as u64).wrapping_mul(0x100000001B3)));
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < p.a {
+                // (0,0)
+            } else if r < p.a + p.b {
+                v |= 1;
+            } else if r < p.a + p.b + p.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u as V, v as V)
+    });
+    EdgeList::new(n, edges)
+}
+
+/// Symmetrized R-MAT graph (the paper symmetrizes all inputs, §5.1.3).
+pub fn rmat(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> Csr {
+    build_csr(rmat_edges(scale, edge_factor, p, seed), BuildOptions::default())
+}
+
+/// Erdős–Rényi G(n, m): `m` uniformly random directed pairs, symmetrized.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    let edges: Vec<(V, V)> = par::par_map(m, |i| {
+        let mut rng = SplitMix64::new(par::hash64(seed ^ (i as u64) << 1));
+        (rng.next_below(n as u64) as V, rng.next_below(n as u64) as V)
+    });
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// Undirected path 0-1-…-(n-1).
+pub fn path(n: usize) -> Csr {
+    let edges: Vec<(V, V)> = (0..n.saturating_sub(1) as V).map(|i| (i, i + 1)).collect();
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// Cycle on `n` vertices.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<(V, V)> = (0..n as V - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n as V - 1, 0));
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// Star: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> Csr {
+    let edges: Vec<(V, V)> = (1..n as V).map(|i| (0, i)).collect();
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Csr {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as V {
+        for v in (u + 1)..n as V {
+            edges.push((u, v));
+        }
+    }
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// 2-D grid (rows x cols) with 4-neighbor connectivity: a high-diameter input
+/// exercising the traversal algorithms' round structure.
+pub fn grid(rows: usize, cols: usize) -> Csr {
+    let n = rows * cols;
+    let mut edges = Vec::with_capacity(2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as V;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    build_csr(EdgeList::new(n, edges), BuildOptions::default())
+}
+
+/// A bipartite set-cover instance encoded as a symmetric graph: vertices
+/// `0..num_sets` are sets, `num_sets..num_sets+num_elements` are elements,
+/// and each element is covered by `covers_per_element` random sets (at least
+/// one, so a cover always exists).
+pub fn set_cover_instance(
+    num_sets: usize,
+    num_elements: usize,
+    covers_per_element: usize,
+    seed: u64,
+) -> Csr {
+    assert!(covers_per_element >= 1);
+    let edges: Vec<(V, V)> = par::par_map(num_elements, |e| {
+        let mut rng = SplitMix64::new(par::hash64(seed ^ e as u64));
+        let elt = (num_sets + e) as V;
+        (rng.next_below(num_sets as u64) as V, elt)
+    })
+    .into_iter()
+    .chain((0..num_elements * covers_per_element.saturating_sub(1)).map(|i| {
+        let e = i % num_elements;
+        let mut rng = SplitMix64::new(par::hash64(seed ^ 0xC0FE ^ i as u64));
+        ((rng.next_below(num_sets as u64)) as V, (num_sets + e) as V)
+    }))
+    .collect();
+    build_csr(EdgeList::new(num_sets + num_elements, edges), BuildOptions::default())
+}
+
+/// Two disconnected cliques bridged by nothing — a multi-component fixture.
+pub fn two_cliques(k: usize) -> Csr {
+    let mut edges = Vec::new();
+    for base in [0usize, k] {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push(((base + u) as V, (base + v) as V));
+            }
+        }
+    }
+    build_csr(EdgeList::new(2 * k, edges), BuildOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 8, RmatParams::default(), 1);
+        let b = rmat(8, 8, RmatParams::default(), 1);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices() as V {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        let c = rmat(8, 8, RmatParams::default(), 2);
+        assert_ne!(
+            (0..a.num_vertices() as V).map(|v| a.degree(v)).collect::<Vec<_>>(),
+            (0..c.num_vertices() as V).map(|v| c.degree(v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 16, RmatParams::default(), 3);
+        let dmax = (0..g.num_vertices() as V).map(|v| g.degree(v)).max().unwrap();
+        assert!(dmax > 8 * g.avg_degree(), "dmax {dmax} vs davg {}", g.avg_degree());
+    }
+
+    #[test]
+    fn structured_graphs_have_expected_shape() {
+        let p = path(10);
+        assert_eq!(p.num_edges(), 18);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(5), 2);
+
+        let s = star(10);
+        assert_eq!(s.degree(0), 9);
+        assert_eq!(s.degree(1), 1);
+
+        let k = complete(6);
+        assert!((0..6).all(|v| k.degree(v) == 5));
+
+        let g = grid(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(6), 4); // interior
+
+        let c = cycle(8);
+        assert!((0..8).all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn set_cover_instance_covers_everything() {
+        let num_sets = 20;
+        let num_elems = 100;
+        let g = set_cover_instance(num_sets, num_elems, 3, 9);
+        for e in 0..num_elems {
+            let v = (num_sets + e) as V;
+            assert!(g.degree(v) >= 1, "element {e} uncovered");
+            for &s in g.neighbors(v) {
+                assert!((s as usize) < num_sets, "element adjacent to non-set");
+            }
+        }
+    }
+
+    #[test]
+    fn two_cliques_disconnected() {
+        let g = two_cliques(5);
+        assert_eq!(g.num_vertices(), 10);
+        for v in 0..5 {
+            assert!(g.neighbors(v).iter().all(|&u| u < 5));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_size() {
+        let g = erdos_renyi(1000, 5000, 4);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 5000, "symmetrized m = {}", g.num_edges());
+    }
+}

@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+//! Graph substrate for the Sage reproduction.
+//!
+//! Provides the two on-NVRAM graph representations the paper uses (§2, §5.1.3):
+//!
+//! * [`Csr`] — uncompressed compressed-sparse-row, used for the smaller inputs
+//!   (LiveJournal, com-Orkut, Twitter in the paper);
+//! * [`CompressedCsr`] — the parallel byte-encoded compression format of
+//!   Ligra+ [87] with difference-encoded, block-structured adjacency lists,
+//!   used for the web-scale inputs (ClueWeb, Hyperlink2014/2012).
+//!
+//! Both implement the closure-based [`Graph`] trait that the Sage engine is
+//! generic over, including the *block-granular* decoding interface that the
+//! graphFilter (§4.2) and `edgeMapChunked` (§4.1) build on. Graphs can live on
+//! the heap or in a read-only [`sage_nvram::NvRegion`] mapping ("on NVRAM");
+//! the [`io`] module defines the binary format and the zero-copy loader.
+//!
+//! [`gen`] contains the synthetic workload generators substituting for the
+//! paper's real-world inputs (Table 2), and [`stats`] the degree statistics
+//! used by the Figure 2 experiment.
+
+pub mod builder;
+pub mod compressed;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+
+pub use builder::{build_csr, BuildOptions, EdgeList};
+pub use compressed::CompressedCsr;
+pub use csr::{Csr, Storage};
+
+/// Vertex identifier. The paper's largest graph has 3.5 B vertices; at the
+/// laptop scale of this reproduction `u32` ids halve memory traffic, exactly
+/// like the `uintE` type GBBS uses.
+pub type V = u32;
+
+/// Sentinel for "no vertex".
+pub const NONE_V: V = V::MAX;
+
+/// Access interface all graph representations implement.
+///
+/// Iteration is closure-based so that compressed adjacency lists can decode
+/// on the fly without materializing neighbor arrays (which would violate the
+/// PSAM's `O(n)` small-memory budget).
+///
+/// Edge weights are passed as `u32` with `0` for unweighted graphs, mirroring
+/// Ligra's `weight_type` without generics; integral weights are what the
+/// paper evaluates (uniform in `[1, log n)`, §5.1.3).
+pub trait Graph: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges (sum of out-degrees).
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: V) -> usize;
+
+    /// Whether edges carry weights.
+    fn is_weighted(&self) -> bool;
+
+    /// Logical block size of adjacency lists (the compression block size for
+    /// compressed graphs; configurable for CSR). Always a multiple of 64 so
+    /// that the graphFilter's bitsets align with machine words (§4.2.1).
+    fn block_size(&self) -> usize;
+
+    /// Visit every out-neighbor of `v` with its weight.
+    fn for_each_edge<F: FnMut(V, u32)>(&self, v: V, f: F);
+
+    /// Visit out-neighbors until `f` returns `false`.
+    fn for_each_edge_while<F: FnMut(V, u32) -> bool>(&self, v: V, f: F);
+
+    /// Decode logical block `blk` of `v`'s adjacency list, yielding
+    /// `(index_within_block, neighbor, weight)` for each edge present.
+    fn decode_block<F: FnMut(u32, V, u32)>(&self, v: V, blk: usize, f: F);
+
+    /// Whether `edge_at` is O(1) (true for uncompressed CSR, false for
+    /// byte-compressed lists, which must decode a block sequentially,
+    /// §4.2.3). The graphFilter uses this to fetch only *active* edges with
+    /// the tzcnt/blsr bit loop instead of decoding whole blocks.
+    fn supports_random_access(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th edge of `v`'s adjacency list (`(neighbor, weight)`), only
+    /// meaningful when [`Graph::supports_random_access`] returns true.
+    fn edge_at(&self, _v: V, _i: usize) -> (V, u32) {
+        unimplemented!("edge_at requires random-access support")
+    }
+
+    /// Number of logical blocks of `v`'s adjacency list.
+    #[inline]
+    fn num_blocks_of(&self, v: V) -> usize {
+        self.degree(v).div_ceil(self.block_size())
+    }
+
+    /// Average degree `⌈m/n⌉`, the paper's `davg` used as the chunking group
+    /// size in `edgeMapChunked` (§4.1.2).
+    #[inline]
+    fn avg_degree(&self) -> usize {
+        let n = self.num_vertices().max(1);
+        self.num_edges().div_ceil(n).max(1)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn avg_degree_rounds_up() {
+        let g = gen::path(5); // 4 undirected edges -> 8 directed
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.avg_degree(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Degree statistics used by the Table 2 summary and the Figure 2 experiment.
+
+use crate::{Graph, V};
+use sage_parallel as par;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of directed edges.
+    pub m: usize,
+    /// Average degree `m/n` (Table 2's `davg`).
+    pub davg: f64,
+    /// Maximum degree Δ.
+    pub dmax: usize,
+    /// Vertices with degree 0.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Compute the statistics in parallel.
+    pub fn of(g: &impl Graph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let dmax = par::reduce_max(0, n, 0usize, |v| g.degree(v as V));
+        let isolated = par::reduce_add(0, n, |v| (g.degree(v as V) == 0) as u64) as usize;
+        Self { n, m, davg: if n == 0 { 0.0 } else { m as f64 / n as f64 }, dmax, isolated }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} davg={:.1} dmax={} isolated={}",
+            self.n, self.m, self.davg, self.dmax, self.isolated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_star() {
+        let s = GraphStats::of(&gen::star(11));
+        assert_eq!(s.n, 11);
+        assert_eq!(s.m, 20);
+        assert_eq!(s.dmax, 10);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let g = crate::build_csr(
+            crate::EdgeList::new(5, vec![(0, 1)]),
+            crate::BuildOptions::default(),
+        );
+        let s = GraphStats::of(&g);
+        assert_eq!(s.isolated, 3);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = GraphStats::of(&gen::path(3));
+        assert!(format!("{s}").contains("n=3"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Failure injection for the binary graph loader: a loader facing truncated,
+//! corrupted, or mis-typed files must return errors — never panic and never
+//! hand out out-of-bounds views.
+
+use proptest::prelude::*;
+use sage_graph::io::{load_compressed, load_csr, write_compressed, write_csr, Placement};
+use sage_graph::{gen, CompressedCsr, Graph};
+
+fn tmp(tag: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sage-io-fuzz-{}-{tag}", std::process::id()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn truncated_csr_files_error_cleanly(cut_fraction in 0.0f64..0.999, tag in any::<u64>()) {
+        let g = gen::rmat(7, 6, gen::RmatParams::default(), 5);
+        let path = tmp(tag);
+        write_csr(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).max(1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        // Must be Err for any strict prefix; never a panic.
+        for placement in [Placement::Dram, Placement::Nvram] {
+            prop_assert!(load_csr(&path, placement).is_err(), "cut at {} accepted", cut);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_header_errors_cleanly(byte in 0usize..64, val in any::<u8>(), tag in any::<u64>()) {
+        let g = gen::rmat(6, 6, gen::RmatParams::default(), 9);
+        let path = tmp(tag ^ 0xF00D);
+        write_csr(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        if bytes[byte] == val {
+            // No corruption happened; loading must succeed.
+            let _ = load_csr(&path, Placement::Dram).unwrap();
+        } else {
+            bytes[byte] = val;
+            std::fs::write(&path, &bytes).unwrap();
+            // Either a clean error or a graph whose invariants still hold
+            // (some header bytes are unused padding).
+            if let Ok(g2) = load_csr(&path, Placement::Dram) {
+                let _ = g2.num_edges();
+                prop_assert!(g2.num_vertices() <= g.num_vertices() * 2 + 64);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compressed_truncation_errors_cleanly(cut_fraction in 0.0f64..0.999, tag in any::<u64>()) {
+        let base = gen::rmat(7, 6, gen::RmatParams::web(), 3);
+        let c = CompressedCsr::from_csr(&base, 64);
+        let path = tmp(tag ^ 0xBEEF);
+        write_compressed(&c, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).max(1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(load_compressed(&path, Placement::Nvram).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected_not_misparsed(tag in any::<u64>()) {
+        let g = gen::rmat(6, 6, gen::RmatParams::default(), 4);
+        let c = CompressedCsr::from_csr(&g, 64);
+        let pa = tmp(tag ^ 0xA);
+        let pb = tmp(tag ^ 0xB);
+        write_csr(&g, &pa).unwrap();
+        write_compressed(&c, &pb).unwrap();
+        prop_assert!(load_compressed(&pa, Placement::Dram).is_err());
+        prop_assert!(load_csr(&pb, Placement::Dram).is_err());
+        std::fs::remove_file(&pa).unwrap();
+        std::fs::remove_file(&pb).unwrap();
+    }
+}

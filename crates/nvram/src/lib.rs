@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! NVRAM emulation substrate for the Parallel Semi-Asymmetric Model (PSAM).
+//!
+//! The paper evaluates Sage on Optane DC Persistent Memory configured in
+//! App-Direct mode with `fsdax`, mapping the device directly with `mmap`
+//! (§5.1.2). Without the hardware we reproduce the *programming model* and the
+//! *cost model*:
+//!
+//! * [`mmap`]/[`region`] — file-backed, **read-only** memory mappings. A graph
+//!   placed in an [`NvRegion`] physically cannot be written: a stray store
+//!   faults, which enforces the paper's zero-NVRAM-write discipline at the OS
+//!   level, exactly as fsdax-mapped read-only Optane would.
+//! * [`meter`] — the PSAM cost meter (Figure 3): unit-cost reads of both
+//!   memories, ω-cost writes to the large memory. Engine code reports traffic
+//!   at word granularity; the benchmark harness projects times for the four
+//!   evaluation configurations of Figure 7 (Sage-DRAM, Sage-NVRAM, GBBS-DRAM,
+//!   GBBS-NVRAM/libvmmalloc) and the Memory-Mode configuration of Figure 1.
+//! * [`memmode`] — a direct-mapped cache simulator reproducing Memory Mode's
+//!   "DRAM as a cache in front of NVRAM" behaviour (§5.1.2) with the 256-byte
+//!   effective NVRAM line size reported by [50].
+//! * [`alloc_track`] — a global-allocator shim measuring peak DRAM usage for
+//!   the Table 5 experiment.
+
+pub mod alloc_track;
+pub mod memmode;
+pub mod meter;
+pub mod mmap;
+pub mod region;
+
+pub use memmode::DirectMappedCache;
+pub use meter::{CostModel, MemConfig, Meter, MeterSnapshot};
+pub use mmap::MmapFile;
+pub use region::{NvRegion, NvSlice, Pod};

@@ -1,0 +1,307 @@
+//! The PSAM cost meter (Figure 3 of the paper).
+//!
+//! Engine code reports *semantic* memory traffic in words:
+//!
+//! * `graph_read` / `graph_write` — traffic to the graph itself, which lives
+//!   in the large memory (NVRAM) under Sage's discipline;
+//! * `aux_read` / `aux_write` — traffic to algorithm state, which lives in the
+//!   small memory (DRAM) under Sage's discipline.
+//!
+//! A [`MemConfig`] then decides which physical memory each class maps to, and
+//! a [`CostModel`] prices the accesses: unit-cost DRAM words, `r`-cost NVRAM
+//! reads, `r·ω`-cost NVRAM writes. The defaults (`r = 3`, `ω = 4`) are the
+//! device ratios the paper cites from [50, 96]: NVRAM reads ≈3x slower than
+//! DRAM, NVRAM writes a further ≈4x slower (12x total).
+//!
+//! The meter is a set of global atomics so that instrumentation does not
+//! thread a handle through every algorithm; the harness brackets each run
+//! with [`Meter::snapshot`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of counter shards; threads hash onto shards so that hot-path
+/// updates never contend on a shared cache line.
+const SHARDS: usize = 32;
+
+/// One shard: all four counters fit in a single 64-byte line, and shards are
+/// line-aligned so distinct threads touch distinct lines.
+#[repr(align(64))]
+struct Shard {
+    graph_read: AtomicU64,
+    graph_write: AtomicU64,
+    aux_read: AtomicU64,
+    aux_write: AtomicU64,
+}
+
+impl Shard {
+    const fn new() -> Self {
+        Self {
+            graph_read: AtomicU64::new(0),
+            graph_write: AtomicU64::new(0),
+            aux_read: AtomicU64::new(0),
+            aux_write: AtomicU64::new(0),
+        }
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+#[inline]
+fn shard() -> usize {
+    MY_SHARD.with(|s| *s)
+}
+
+/// Raw traffic counters, in machine words (sharded per thread; see
+/// [`Meter::snapshot`] for the aggregate view).
+pub struct Meter {
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        Self { shards: [const { Shard::new() }; SHARDS] }
+    }
+}
+
+/// A point-in-time copy of the meter, or the difference of two such copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Words read from the graph (large memory under Sage).
+    pub graph_read: u64,
+    /// Words written to the graph (zero for all Sage algorithms).
+    pub graph_write: u64,
+    /// Words read from algorithm state (small memory under Sage).
+    pub aux_read: u64,
+    /// Words written to algorithm state.
+    pub aux_write: u64,
+}
+
+impl MeterSnapshot {
+    /// Traffic between `earlier` and `self`.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            graph_read: self.graph_read - earlier.graph_read,
+            graph_write: self.graph_write - earlier.graph_write,
+            aux_read: self.aux_read - earlier.aux_read,
+            aux_write: self.aux_write - earlier.aux_write,
+        }
+    }
+
+    /// Total PSAM work: unit-cost for every access except graph writes,
+    /// which cost ω (the paper's work measure with reads charged 1).
+    pub fn psam_work(&self, omega: f64) -> f64 {
+        (self.graph_read + self.aux_read + self.aux_write) as f64
+            + self.graph_write as f64 * omega
+    }
+}
+
+static GLOBAL: Meter = Meter { shards: [const { Shard::new() }; SHARDS] };
+
+impl Meter {
+    /// The process-wide meter.
+    pub fn global() -> &'static Meter {
+        &GLOBAL
+    }
+
+    /// Sum the shards into a point-in-time view.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        let mut s = MeterSnapshot::default();
+        for shard in &self.shards {
+            s.graph_read += shard.graph_read.load(Ordering::Relaxed);
+            s.graph_write += shard.graph_write.load(Ordering::Relaxed);
+            s.aux_read += shard.aux_read.load(Ordering::Relaxed);
+            s.aux_write += shard.aux_write.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Zero all counters (harness use only; not linearizable w.r.t. workers).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.graph_read.store(0, Ordering::Relaxed);
+            shard.graph_write.store(0, Ordering::Relaxed);
+            shard.aux_read.store(0, Ordering::Relaxed);
+            shard.aux_write.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Record `words` read from the graph (bulk-reported by engine primitives).
+#[inline]
+pub fn graph_read(words: u64) {
+    GLOBAL.shards[shard()].graph_read.fetch_add(words, Ordering::Relaxed);
+}
+
+/// Record `words` written to the graph (only baseline systems do this).
+#[inline]
+pub fn graph_write(words: u64) {
+    GLOBAL.shards[shard()].graph_write.fetch_add(words, Ordering::Relaxed);
+}
+
+/// Record `words` read from algorithm state.
+#[inline]
+pub fn aux_read(words: u64) {
+    GLOBAL.shards[shard()].aux_read.fetch_add(words, Ordering::Relaxed);
+}
+
+/// Record `words` written to algorithm state.
+#[inline]
+pub fn aux_write(words: u64) {
+    GLOBAL.shards[shard()].aux_write.fetch_add(words, Ordering::Relaxed);
+}
+
+/// Relative per-word access costs (DRAM read ≡ 1).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// NVRAM read cost relative to a DRAM read (paper: ≈3 [50, 96]).
+    pub nvram_read: f64,
+    /// NVRAM write/read asymmetry ω (paper: ≈4, so writes ≈12x DRAM reads).
+    pub omega: f64,
+    /// Penalty multiplier for cross-socket NVRAM reads (§5.2: ≈3.7).
+    pub cross_socket: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { nvram_read: 3.0, omega: 4.0, cross_socket: 3.7 }
+    }
+}
+
+impl CostModel {
+    /// Cost of one NVRAM write in DRAM-read units.
+    pub fn nvram_write(&self) -> f64 {
+        self.nvram_read * self.omega
+    }
+}
+
+/// Where each traffic class physically lives — the four configurations of
+/// Figure 7 plus Memory Mode (Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MemConfig {
+    /// Sage discipline on real NVRAM (App-Direct): graph on NVRAM, state in DRAM.
+    SageAppDirect,
+    /// Everything in DRAM (the GBBS-DRAM / Sage-DRAM configurations).
+    AllDram,
+    /// libvmmalloc-style conversion: the entire heap, graph and state, on NVRAM.
+    NvramHeap,
+    /// Memory Mode: DRAM acts as a cache in front of NVRAM with the given hit
+    /// rate (estimated from working-set vs. DRAM size, or measured with
+    /// [`crate::memmode::DirectMappedCache`]).
+    MemoryMode {
+        /// Fraction of accesses served from the DRAM cache.
+        hit_rate: f64,
+    },
+}
+
+impl MemConfig {
+    /// Project the traffic in `s` onto this configuration under `model`,
+    /// returning abstract cost units (DRAM-read-equivalents).
+    pub fn project(&self, s: &MeterSnapshot, model: &CostModel) -> f64 {
+        let g_r = s.graph_read as f64;
+        let g_w = s.graph_write as f64;
+        let a_r = s.aux_read as f64;
+        let a_w = s.aux_write as f64;
+        match *self {
+            MemConfig::SageAppDirect => {
+                g_r * model.nvram_read + g_w * model.nvram_write() + a_r + a_w
+            }
+            MemConfig::AllDram => g_r + g_w + a_r + a_w,
+            MemConfig::NvramHeap => {
+                (g_r + a_r) * model.nvram_read + (g_w + a_w) * model.nvram_write()
+            }
+            MemConfig::MemoryMode { hit_rate } => {
+                let miss = 1.0 - hit_rate;
+                let read_cost = hit_rate + miss * model.nvram_read;
+                // A miss on write additionally evicts a dirty line to NVRAM.
+                let write_cost = hit_rate + miss * (model.nvram_read + model.nvram_write());
+                (g_r + a_r) * read_cost + (g_w + a_w) * write_cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let a = Meter::global().snapshot();
+        graph_read(50);
+        aux_write(7);
+        let b = Meter::global().snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.graph_read, 50);
+        assert_eq!(d.aux_write, 7);
+    }
+
+    #[test]
+    fn sharded_counters_aggregate_across_threads() {
+        let before = Meter::global().snapshot();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        graph_read(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = Meter::global().snapshot().since(&before);
+        assert!(d.graph_read >= 8000);
+    }
+
+    #[test]
+    fn psam_work_charges_omega_for_graph_writes() {
+        let s = MeterSnapshot { graph_read: 10, graph_write: 5, aux_read: 3, aux_write: 2 };
+        assert_eq!(s.psam_work(4.0), 10.0 + 3.0 + 2.0 + 20.0);
+    }
+
+    #[test]
+    fn sage_config_prices_graph_reads_at_nvram_rate() {
+        let model = CostModel::default();
+        let s = MeterSnapshot { graph_read: 100, graph_write: 0, aux_read: 10, aux_write: 10 };
+        let sage = MemConfig::SageAppDirect.project(&s, &model);
+        let dram = MemConfig::AllDram.project(&s, &model);
+        assert_eq!(sage, 100.0 * 3.0 + 20.0);
+        assert_eq!(dram, 120.0);
+        assert!(sage > dram);
+    }
+
+    #[test]
+    fn libvmmalloc_is_most_expensive_for_write_heavy_runs() {
+        let model = CostModel::default();
+        let s = MeterSnapshot { graph_read: 50, graph_write: 0, aux_read: 50, aux_write: 100 };
+        let sage = MemConfig::SageAppDirect.project(&s, &model);
+        let vm = MemConfig::NvramHeap.project(&s, &model);
+        assert!(vm > sage, "libvmmalloc {vm} must exceed Sage {sage}");
+    }
+
+    #[test]
+    fn memory_mode_interpolates_between_dram_and_nvram() {
+        let model = CostModel::default();
+        let s = MeterSnapshot { graph_read: 1000, graph_write: 0, aux_read: 0, aux_write: 0 };
+        let hot = MemConfig::MemoryMode { hit_rate: 1.0 }.project(&s, &model);
+        let cold = MemConfig::MemoryMode { hit_rate: 0.0 }.project(&s, &model);
+        let dram = MemConfig::AllDram.project(&s, &model);
+        assert!((hot - dram).abs() < 1e-9);
+        assert_eq!(cold, 3000.0);
+    }
+
+    #[test]
+    fn global_meter_accumulates() {
+        let before = Meter::global().snapshot();
+        graph_read(11);
+        aux_write(5);
+        let d = Meter::global().snapshot().since(&before);
+        assert!(d.graph_read >= 11);
+        assert!(d.aux_write >= 5);
+    }
+}

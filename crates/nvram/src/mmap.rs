@@ -1,0 +1,151 @@
+//! Minimal `mmap(2)` bindings for read-only file mappings.
+//!
+//! The bindings are declared directly (`extern "C"`) instead of pulling in
+//! `libc`/`memmap2`, keeping the dependency surface to the crates allowed for
+//! this reproduction. Only the calls needed to emulate fsdax-style mappings
+//! are exposed: `mmap(PROT_READ, MAP_SHARED)`, `munmap`, and `madvise`.
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::path::Path;
+
+const PROT_READ: i32 = 1;
+const MAP_SHARED: i32 = 1;
+const MADV_WILLNEED: i32 = 3;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+    fn madvise(addr: *mut c_void, length: usize, advice: i32) -> i32;
+}
+
+/// A read-only memory mapping of an entire file.
+///
+/// This is the emulated NVRAM device: byte-addressable, random access,
+/// and — because the mapping is `PROT_READ` — physically unwritable.
+pub struct MmapFile {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable for its entire lifetime.
+unsafe impl Send for MmapFile {}
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Map `path` read-only. Fails on missing or empty files.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot mmap empty file {}", path.display()),
+            ));
+        }
+        // SAFETY: standard read-only shared mapping of a regular file; the fd
+        // may be closed after mmap returns (the mapping keeps it alive).
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_SHARED, file.as_raw_fd(), 0)
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        // Hint the kernel we will touch the whole file; matches the paper's
+        // THP/prefault observations (§5.5). Failure is harmless.
+        unsafe {
+            let _ = madvise(ptr, len, MADV_WILLNEED);
+        }
+        Ok(Self { ptr, len })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the mapping has zero length (never constructed, by contract).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the mapping is valid for `len` bytes and immutable.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr/len` came from a successful mmap; unmapped exactly once.
+        unsafe {
+            let _ = munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sage-nvram-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let path = tmp("roundtrip");
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        std::fs::File::create(&path).unwrap().write_all(&data).unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.len(), data.len());
+        assert_eq!(map.as_bytes(), &data[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let path = tmp("empty");
+        std::fs::File::create(&path).unwrap();
+        assert!(MmapFile::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        assert!(MmapFile::open(Path::new("/nonexistent/sage-nvram")).is_err());
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = tmp("threads");
+        let data = vec![7u8; 1 << 16];
+        std::fs::File::create(&path).unwrap().write_all(&data).unwrap();
+        let map = std::sync::Arc::new(MmapFile::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.as_bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * (1u64 << 16));
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Typed read-only views over mapped NVRAM.
+//!
+//! An [`NvRegion`] is a reference-counted mapping; an [`NvSlice<T>`] is a
+//! typed window into it that dereferences to `&[T]`. Graphs loaded "onto
+//! NVRAM" hand out `NvSlice`s for their offset and edge arrays, so algorithm
+//! code is oblivious to whether a graph lives on the heap or in a mapping.
+
+use crate::mmap::MmapFile;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Marker for types safe to reinterpret from raw mapped bytes: fixed layout,
+/// no padding requirements beyond alignment, any bit pattern valid.
+///
+/// # Safety
+/// Implementors must be plain-old-data: `Copy`, no invalid bit patterns,
+/// no pointers.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// A reference-counted read-only mapped region (the emulated NVRAM device).
+#[derive(Clone)]
+pub struct NvRegion {
+    map: Arc<MmapFile>,
+}
+
+impl NvRegion {
+    /// Map a file as NVRAM.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(Self { map: Arc::new(MmapFile::open(path)?) })
+    }
+
+    /// Size of the region in bytes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the region is empty (cannot happen for successfully opened files).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Raw bytes of the region.
+    pub fn bytes(&self) -> &[u8] {
+        self.map.as_bytes()
+    }
+
+    /// A typed slice of `count` elements of `T` starting at `byte_offset`.
+    ///
+    /// Fails if the range is out of bounds or misaligned for `T`.
+    pub fn slice<T: Pod>(&self, byte_offset: usize, count: usize) -> io::Result<NvSlice<T>> {
+        let size = count
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "slice size overflow"))?;
+        let end = byte_offset
+            .checked_add(size)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "slice end overflow"))?;
+        if end > self.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("slice [{byte_offset}, {end}) beyond region of {} bytes", self.len()),
+            ));
+        }
+        let ptr = unsafe { self.map.as_bytes().as_ptr().add(byte_offset) };
+        if (ptr as usize) % std::mem::align_of::<T>() != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("offset {byte_offset} misaligned for {}", std::any::type_name::<T>()),
+            ));
+        }
+        Ok(NvSlice { _region: self.clone(), ptr: ptr as *const T, len: count })
+    }
+}
+
+/// A typed read-only slice living in an [`NvRegion`].
+#[derive(Clone)]
+pub struct NvSlice<T: Pod> {
+    _region: NvRegion,
+    ptr: *const T,
+    len: usize,
+}
+
+// SAFETY: the underlying region is immutable and kept alive by `_region`.
+unsafe impl<T: Pod> Send for NvSlice<T> {}
+unsafe impl<T: Pod> Sync for NvSlice<T> {}
+
+impl<T: Pod> std::ops::Deref for NvSlice<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: construction validated bounds and alignment.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for NvSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NvSlice(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sage-region-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn write_u64s(path: &Path, values: &[u64]) {
+        let mut f = std::fs::File::create(path).unwrap();
+        for v in values {
+            f.write_all(&v.to_le_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn typed_slice_roundtrip() {
+        let path = tmp("typed");
+        let values: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        write_u64s(&path, &values);
+        let region = NvRegion::open(&path).unwrap();
+        let slice: NvSlice<u64> = region.slice(0, 1000).unwrap();
+        assert_eq!(&*slice, &values[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let path = tmp("oob");
+        write_u64s(&path, &[1, 2, 3]);
+        let region = NvRegion::open(&path).unwrap();
+        assert!(region.slice::<u64>(0, 4).is_err());
+        assert!(region.slice::<u64>(8, 3).is_err());
+        assert!(region.slice::<u64>(0, 3).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let path = tmp("align");
+        write_u64s(&path, &[1, 2, 3]);
+        let region = NvRegion::open(&path).unwrap();
+        assert!(region.slice::<u64>(4, 1).is_err());
+        assert!(region.slice::<u32>(4, 2).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slice_outlives_region_handle() {
+        let path = tmp("lifetime");
+        write_u64s(&path, &[42]);
+        let slice = {
+            let region = NvRegion::open(&path).unwrap();
+            region.slice::<u64>(0, 1).unwrap()
+        };
+        assert_eq!(slice[0], 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

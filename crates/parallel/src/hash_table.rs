@@ -1,0 +1,230 @@
+//! A fixed-capacity concurrent open-addressing hash table.
+//!
+//! The paper's maximal-matching implementation "uses a parallel hash table to
+//! aggregate edges that will be processed in a given round" (§5.3); the sparse
+//! histogram and inter-cluster edge deduplication in connectivity use the same
+//! structure. Keys are `u64` (with one reserved EMPTY sentinel), values are
+//! `u64`, and all operations are lock-free CAS loops over linear probes.
+
+use crate::rng::hash64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const EMPTY: u64 = u64::MAX;
+
+/// A concurrent `u64 -> u64` map with a capacity fixed at construction.
+///
+/// Keys must not equal `u64::MAX`. Inserting more than the declared capacity
+/// panics (the callers size it from known bounds, e.g. frontier degrees).
+pub struct ConcurrentMap {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ConcurrentMap {
+    /// Create a table able to hold at least `capacity` entries with low
+    /// contention (size is rounded to the next power of two, ≥ 2x capacity).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(8) * 2).next_power_of_two();
+        let keys = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        let vals = (0..slots).map(|_| AtomicU64::new(0)).collect();
+        Self { keys, vals, mask: slots - 1 }
+    }
+
+    /// Total slot count (2x requested capacity, rounded up).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (hash64(key) as usize) & self.mask
+    }
+
+    /// Find the slot for `key`, claiming an empty one if absent.
+    #[inline]
+    fn probe_insert(&self, key: u64) -> usize {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is reserved");
+        let mut i = self.slot_of(key);
+        let mut tries = 0;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return i;
+            }
+            if cur == EMPTY {
+                match self.keys[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return i,
+                    Err(found) if found == key => return i,
+                    Err(_) => {} // someone else claimed it; keep probing
+                }
+            } else {
+                i = (i + 1) & self.mask;
+                tries += 1;
+                assert!(tries <= self.mask, "ConcurrentMap over capacity");
+                continue;
+            }
+        }
+    }
+
+    /// Add `delta` to the value of `key` (inserting 0 first if absent);
+    /// returns the previous value.
+    pub fn fetch_add(&self, key: u64, delta: u64) -> u64 {
+        let i = self.probe_insert(key);
+        self.vals[i].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Keep the minimum of the current value and `val` for `key`.
+    /// Absent keys behave as `u64::MAX`. Returns `true` if `val` was written.
+    pub fn fetch_min(&self, key: u64, val: u64) -> bool {
+        let i = self.probe_insert(key);
+        // First touch initializes the slot to MAX semantics: we encode
+        // "unset" as 0 from construction, so use a CAS loop from a snapshot
+        // and treat the first writer specially via a tag-free convention:
+        // values stored are `val + 1`, 0 means unset.
+        let enc = val + 1;
+        let mut cur = self.vals[i].load(Ordering::Acquire);
+        loop {
+            if cur != 0 && cur <= enc {
+                return false;
+            }
+            match self.vals[i].compare_exchange(cur, enc, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Insert `(key, val)` only if the key is absent; returns `true` on the
+    /// first insert.
+    pub fn insert_if_absent(&self, key: u64, val: u64) -> bool {
+        let i = self.probe_insert(key);
+        self.vals[i]
+            .compare_exchange(0, val + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Read the value for `key` decoded with the `+1` convention used by
+    /// [`Self::fetch_min`] / [`Self::insert_if_absent`].
+    pub fn get_encoded(&self, key: u64) -> Option<u64> {
+        let mut i = self.slot_of(key);
+        let mut tries = 0;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                let v = self.vals[i].load(Ordering::Acquire);
+                return if v == 0 { None } else { Some(v - 1) };
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+            tries += 1;
+            if tries > self.mask {
+                return None;
+            }
+        }
+    }
+
+    /// Raw value lookup (for [`Self::fetch_add`]-style counters).
+    pub fn get_counter(&self, key: u64) -> Option<u64> {
+        let mut i = self.slot_of(key);
+        let mut tries = 0;
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                return Some(self.vals[i].load(Ordering::Acquire));
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+            tries += 1;
+            if tries > self.mask {
+                return None;
+            }
+        }
+    }
+
+    /// Snapshot all `(key, raw_value)` pairs. Must not race with writers.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let keys = &self.keys;
+        let vals = &self.vals;
+        let idx = crate::ops::pack_index(keys.len(), |i| {
+            keys[i].load(Ordering::Relaxed) != EMPTY
+        });
+        idx.iter()
+            .map(|&i| {
+                let i = i as usize;
+                (keys[i].load(Ordering::Relaxed), vals[i].load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::par_for;
+
+    #[test]
+    fn fetch_add_counts_concurrently() {
+        let map = ConcurrentMap::with_capacity(100);
+        par_for(0, 10_000, |i| {
+            map.fetch_add((i % 50) as u64, 1);
+        });
+        for k in 0..50u64 {
+            assert_eq!(map.get_counter(k), Some(200));
+        }
+        assert_eq!(map.get_counter(50), None);
+    }
+
+    #[test]
+    fn fetch_min_keeps_minimum() {
+        let map = ConcurrentMap::with_capacity(10);
+        par_for(0, 1000, |i| {
+            map.fetch_min(7, (1000 - i) as u64);
+        });
+        assert_eq!(map.get_encoded(7), Some(1));
+    }
+
+    #[test]
+    fn insert_if_absent_single_winner() {
+        let map = ConcurrentMap::with_capacity(4);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        par_for(0, 512, |i| {
+            if map.insert_if_absent(3, i as u64) {
+                winners.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+        assert!(map.get_encoded(3).is_some());
+    }
+
+    #[test]
+    fn entries_returns_all_pairs() {
+        let map = ConcurrentMap::with_capacity(64);
+        for k in 0..64u64 {
+            map.fetch_add(k * 3, k);
+        }
+        let mut e = map.entries();
+        e.sort_unstable();
+        assert_eq!(e.len(), 64);
+        assert_eq!(e[1], (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn overflow_panics() {
+        let map = ConcurrentMap::with_capacity(4);
+        // capacity rounds up to 16 slots; inserting 17 distinct keys must trip.
+        for k in 0..32u64 {
+            map.fetch_add(k, 1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The histogram primitive of GBBS (§4.3.4 of the paper): given a multiset of
+//! keys (vertex ids), return `(key, count)` pairs for keys that occur.
+//!
+//! Two implementations mirror the paper:
+//! * [`histogram_sparse`] — hash-table aggregation, work proportional to the
+//!   number of keys; used when the key multiset is small.
+//! * [`histogram_dense`] — atomic-array accumulation followed by an `O(n)`
+//!   pack; the "dense version of the histogram routine" the paper introduces
+//!   for k-core, used when the number of keys exceeds a threshold `t = m/c`.
+//!
+//! [`Histogram::auto`] selects between them with that threshold rule.
+
+use crate::hash_table::ConcurrentMap;
+use crate::ops::{pack_index, par_for};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Strategy selector for histogram computation.
+pub enum Histogram {
+    /// Always use the hash-based sparse path.
+    Sparse,
+    /// Always use the dense atomic-array path.
+    Dense,
+    /// Use dense when `num_keys >= threshold`, else sparse.
+    Auto {
+        /// Switch-over point; the paper uses `t = m/c` for a small constant c.
+        threshold: usize,
+    },
+}
+
+impl Histogram {
+    /// The paper's default policy with `t = m/16`.
+    pub fn auto(m: usize) -> Self {
+        Histogram::Auto { threshold: (m / 16).max(1) }
+    }
+
+    /// Count occurrences of each key produced by `keys_of(i)` for
+    /// `i in 0..items`, where each item yields zero or more keys via the
+    /// provided iterator closure. `universe` bounds key values.
+    pub fn count<F>(&self, items: usize, total_keys: usize, universe: usize, keys_of: F) -> Vec<(u32, u32)>
+    where
+        F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+    {
+        let dense = match self {
+            Histogram::Sparse => false,
+            Histogram::Dense => true,
+            Histogram::Auto { threshold } => total_keys >= *threshold,
+        };
+        if dense {
+            histogram_dense(items, universe, keys_of)
+        } else {
+            histogram_sparse(items, total_keys, keys_of)
+        }
+    }
+}
+
+/// Dense histogram: atomic counter per key in `0..universe`, then a parallel
+/// pack of nonzero counters. Work `O(total_keys + universe)`.
+pub fn histogram_dense<F>(items: usize, universe: usize, keys_of: F) -> Vec<(u32, u32)>
+where
+    F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+{
+    let counts: Vec<AtomicU32> = (0..universe).map(|_| AtomicU32::new(0)).collect();
+    par_for(0, items, |i| {
+        keys_of(i, &mut |k| {
+            counts[k as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    let nonzero = pack_index(universe, |k| counts[k].load(Ordering::Relaxed) > 0);
+    nonzero
+        .into_iter()
+        .map(|k| (k, counts[k as usize].load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Sparse histogram: concurrent hash-table aggregation.
+/// Work `O(total_keys)` in expectation, independent of the universe size.
+pub fn histogram_sparse<F>(items: usize, total_keys: usize, keys_of: F) -> Vec<(u32, u32)>
+where
+    F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+{
+    let map = ConcurrentMap::with_capacity(total_keys.max(16));
+    par_for(0, items, |i| {
+        keys_of(i, &mut |k| {
+            map.fetch_add(k as u64, 1);
+        });
+    });
+    map.entries().into_iter().map(|(k, c)| (k as u32, c as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn reference(keys: &[u32]) -> HashMap<u32, u32> {
+        let mut m = HashMap::new();
+        for &k in keys {
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn keys_fixture(n: usize) -> Vec<u32> {
+        (0..n).map(|i| (crate::rng::hash64(i as u64) % 97) as u32).collect()
+    }
+
+    #[test]
+    fn dense_matches_reference() {
+        let keys = keys_fixture(10_000);
+        let got = histogram_dense(keys.len(), 100, |i, emit| emit(keys[i]));
+        let want = reference(&keys);
+        assert_eq!(got.len(), want.len());
+        for (k, c) in got {
+            assert_eq!(want[&k], c);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_reference() {
+        let keys = keys_fixture(10_000);
+        let mut got = histogram_sparse(keys.len(), keys.len(), |i, emit| emit(keys[i]));
+        got.sort_unstable();
+        let want = reference(&keys);
+        assert_eq!(got.len(), want.len());
+        for (k, c) in got {
+            assert_eq!(want[&k], c);
+        }
+    }
+
+    #[test]
+    fn auto_switches_paths_consistently() {
+        let keys = keys_fixture(5_000);
+        let lo = Histogram::Auto { threshold: 1 }.count(keys.len(), keys.len(), 100, |i, emit| {
+            emit(keys[i])
+        });
+        let hi = Histogram::Auto { threshold: usize::MAX }.count(
+            keys.len(),
+            keys.len(),
+            100,
+            |i, emit| emit(keys[i]),
+        );
+        let mut lo = lo;
+        let mut hi = hi;
+        lo.sort_unstable();
+        hi.sort_unstable();
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn multi_key_emission() {
+        // Each item emits two keys.
+        let got = histogram_dense(100, 10, |i, emit| {
+            emit((i % 10) as u32);
+            emit(((i + 1) % 10) as u32);
+        });
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|&(_, c)| c == 20));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(histogram_dense(0, 10, |_, _| {}).is_empty());
+        assert!(histogram_sparse(0, 0, |_, _| {}).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Type-erased job representation passed through the work-stealing deques.
+//!
+//! A [`StackJob`] lives on the stack of the thread that called `join`; that
+//! frame is guaranteed to outlive the job because `join` does not return until
+//! the job's latch is set. The deques therefore only carry thin [`JobRef`]
+//! pointers, exactly like Cilk's spawn frames.
+
+use crate::latch::Latch;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A pointer to a job plus its monomorphized execute function.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the referenced StackJob is
+// kept alive by the joining thread until its latch is set.
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl JobRef {
+    /// Execute the job. May be called from any thread, exactly once.
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+
+    /// Identity of the underlying job, used to recognise our own job when
+    /// popping it back off the local deque.
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.data
+    }
+}
+
+/// Result slot of a forked job: panics on the stealing thread are captured and
+/// re-thrown on the joining thread, matching `std::thread::join` semantics.
+pub(crate) enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job allocated in the caller's stack frame.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        Self {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Create the type-erased reference pushed onto a deque.
+    ///
+    /// SAFETY: the caller must guarantee `self` outlives any use of the
+    /// returned `JobRef` and that the job is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute<L: Latch, F, R>(this: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let job = unsafe { &*(this as *const StackJob<L, F, R>) };
+            let func = unsafe { (*job.func.get()).take().expect("job executed twice") };
+            let res = panic::catch_unwind(AssertUnwindSafe(func));
+            unsafe {
+                *job.result.get() = match res {
+                    Ok(v) => JobResult::Ok(v),
+                    Err(p) => JobResult::Panicked(p),
+                };
+            }
+            job.latch.set();
+        }
+        JobRef { data: self as *const Self as *const (), execute_fn: execute::<L, F, R> }
+    }
+
+    /// Run the job inline on the current thread (it was popped back before
+    /// being stolen).
+    pub(crate) unsafe fn run_inline(&self) {
+        unsafe { self.as_job_ref().execute() }
+    }
+
+    /// Take the result after the latch has been observed set.
+    pub(crate) unsafe fn into_result(&self) -> R {
+        match std::mem::replace(unsafe { &mut *self.result.get() }, JobResult::Pending) {
+            JobResult::Ok(v) => v,
+            JobResult::Panicked(p) => panic::resume_unwind(p),
+            JobResult::Pending => unreachable!("job latch set without a result"),
+        }
+    }
+}
+
+// SAFETY: access to the UnsafeCells is serialized by the latch protocol: the
+// executor writes before setting the latch, the joiner reads after probing it.
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::SpinLatch;
+
+    #[test]
+    fn stack_job_roundtrip() {
+        let job = StackJob::<SpinLatch, _, _>::new(SpinLatch::new(), || 7usize);
+        unsafe {
+            job.run_inline();
+            assert!(job.latch().probe());
+            assert_eq!(job.into_result(), 7);
+        }
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job =
+            StackJob::<SpinLatch, _, usize>::new(SpinLatch::new(), || panic!("boom"));
+        unsafe {
+            job.run_inline();
+            assert!(job.latch().probe());
+        }
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            job.into_result();
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Completion latches used to signal that a forked job has finished.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A latch that is set exactly once when the guarded job completes.
+pub(crate) trait Latch {
+    /// Mark the latch as set. Must be called at most once.
+    fn set(&self);
+}
+
+/// A latch probed by a worker thread that keeps stealing while it waits.
+///
+/// The waiting worker never parks on this latch; it stays busy executing other
+/// jobs, which is what makes the Cilk-style `join` efficient.
+#[derive(Default)]
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        Self { set: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A blocking latch for threads outside the pool: the submitting thread parks
+/// on a condvar until a worker completes the injected job.
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        Self { done: Mutex::new(false), cond: Condvar::new() }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cond.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_cross_thread() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || l2.set());
+        l.wait();
+        h.join().unwrap();
+    }
+}

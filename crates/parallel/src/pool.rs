@@ -1,0 +1,445 @@
+//! The work-stealing thread pool and the structured [`join`] primitive.
+//!
+//! One deque per worker (LIFO for the owner, FIFO for thieves) plus a global
+//! injector for jobs submitted from outside the pool — the classic Cilk /
+//! Blumofe-Leiserson design the paper's own scheduler follows. `join(a, b)`
+//! pushes `b`, runs `a`, then either pops `b` back or steals other work until
+//! the thief finishes `b`.
+
+use crate::job::{JobRef, StackJob};
+use crate::latch::{LockLatch, SpinLatch};
+use crossbeam_deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+struct Sleep {
+    lock: Mutex<()>,
+    cond: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Self { lock: Mutex::new(()), cond: Condvar::new(), sleepers: AtomicUsize::new(0) }
+    }
+
+    /// Wake sleeping workers because new work arrived.
+    #[inline]
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Park briefly; a timeout bounds the cost of any lost wakeup. Longer
+    /// idle streaks park longer so that idle pools do not steal cycles from
+    /// busy ones (the harness runs several pools in one process).
+    fn sleep(&self, streak: u32) {
+        self.sleepers.fetch_add(1, Ordering::Relaxed);
+        let ms = (1 + streak / 16).min(20) as u64;
+        let mut g = self.lock.lock();
+        self.cond.wait_for(&mut g, Duration::from_millis(ms));
+        drop(g);
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep: Sleep,
+    terminate: AtomicBool,
+    num_threads: usize,
+}
+
+impl Registry {
+    #[inline]
+    fn notify_work(&self) {
+        self.sleep.notify();
+    }
+
+    /// Attempt to steal one job, scanning the injector and then other workers
+    /// starting from a position derived from `from` to avoid contention.
+    fn steal(&self, from: usize) -> Option<JobRef> {
+        loop {
+            match self.injector.steal() {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Empty => break,
+                crossbeam_deque::Steal::Retry => continue,
+            }
+        }
+        let n = self.stealers.len();
+        for i in 0..n {
+            let victim = (from + i + 1) % n;
+            if victim == from {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    crossbeam_deque::Steal::Success(job) => return Some(job),
+                    crossbeam_deque::Steal::Empty => break,
+                    crossbeam_deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+pub(crate) struct WorkerThread {
+    deque: Deque<JobRef>,
+    index: usize,
+    registry: Arc<Registry>,
+}
+
+impl WorkerThread {
+    #[inline]
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(|w| w.get())
+    }
+
+    #[inline]
+    fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.notify_work();
+    }
+
+    /// Pop the most recently pushed job (ours, unless it was stolen).
+    #[inline]
+    fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    /// Busy-wait for `latch`, executing any available work in the meantime.
+    /// Long waits back off to short sleeps so a starved sibling (e.g. on an
+    /// oversubscribed or throttled host) can finish the stolen job.
+    fn wait_until(&self, latch: &SpinLatch) {
+        let mut spins = 0u32;
+        while !latch.probe() {
+            let job = self.pop().or_else(|| self.registry.steal(self.index));
+            match job {
+                Some(job) => {
+                    unsafe { job.execute() };
+                    spins = 0;
+                }
+                None => {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 512 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+
+    fn main_loop(&self) {
+        let registry = &self.registry;
+        let mut idle_rounds = 0u32;
+        while !registry.terminate.load(Ordering::Acquire) {
+            match self.pop().or_else(|| registry.steal(self.index)) {
+                Some(job) => {
+                    unsafe { job.execute() };
+                    idle_rounds = 0;
+                }
+                None => {
+                    idle_rounds += 1;
+                    if idle_rounds < 32 {
+                        std::thread::yield_now();
+                    } else {
+                        registry.sleep.sleep(idle_rounds - 32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A fork-join thread pool.
+///
+/// Most users interact with the process-wide [`global_pool`]; dedicated pools
+/// exist so that the benchmark harness can measure 1-thread (`T1`) and
+/// all-thread (`Tp`) executions in one process (Figure 6).
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool with `num_threads` workers (minimum 1).
+    pub fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let deques: Vec<Deque<JobRef>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            sleep: Sleep::new(),
+            terminate: AtomicBool::new(false),
+            num_threads,
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for (index, deque) in deques.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("sage-worker-{index}"))
+                .spawn(move || {
+                    let worker = WorkerThread { deque, index, registry };
+                    WORKER.with(|w| w.set(&worker as *const WorkerThread));
+                    worker.main_loop();
+                    WORKER.with(|w| w.set(std::ptr::null()));
+                })
+                .expect("failed to spawn sage worker thread");
+            handles.push(handle);
+        }
+        Pool { registry, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads
+    }
+
+    /// Run `f` inside the pool, blocking until it completes.
+    ///
+    /// If the current thread is already a worker of this pool, `f` runs
+    /// inline; otherwise it is injected and executed by a worker, so nested
+    /// `join` calls inside `f` are scheduled on this pool.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let current = WorkerThread::current();
+        if !current.is_null() {
+            let worker = unsafe { &*current };
+            if Arc::ptr_eq(&worker.registry, &self.registry) {
+                return f();
+            }
+        }
+        let job = StackJob::<LockLatch, F, R>::new(LockLatch::new(), f);
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.injector.push(job_ref);
+        self.registry.notify_work();
+        job.latch().wait();
+        unsafe { job.into_result() }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        // Wake all sleepers repeatedly until every worker observed termination.
+        for handle in self.handles.drain(..) {
+            while !handle.is_finished() {
+                self.registry.sleep.notify();
+                std::thread::yield_now();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SAGE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use with
+/// `SAGE_THREADS`-many workers (default: all hardware threads).
+pub fn global_pool() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// Number of workers in the pool the current thread belongs to (or the global
+/// pool for external threads).
+pub fn num_threads() -> usize {
+    let current = WorkerThread::current();
+    if !current.is_null() {
+        unsafe { (&(*current).registry).num_threads }
+    } else {
+        global_pool().num_threads()
+    }
+}
+
+/// Index of the current worker thread within its pool, or `None` when called
+/// from a thread outside any pool. Used by `edgeMapChunked` for its
+/// thread-local chunk vectors (§4.1.2).
+pub fn worker_index() -> Option<usize> {
+    let current = WorkerThread::current();
+    if current.is_null() {
+        None
+    } else {
+        Some(unsafe { (*current).index })
+    }
+}
+
+/// `true` when the calling thread is a pool worker.
+pub fn in_worker() -> bool {
+    !WorkerThread::current().is_null()
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// This is the binary `fork` of the T-RAM model (§3.1). Panics in either
+/// closure propagate to the caller after both branches have finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let current = WorkerThread::current();
+    if current.is_null() {
+        // External thread: move the whole join into the global pool.
+        return global_pool().install(|| join(a, b));
+    }
+    let worker = unsafe { &*current };
+    join_on_worker(worker, a, b)
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::<SpinLatch, B, RB>::new(SpinLatch::new(), b);
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    let job_b_id = job_b_ref.id();
+    worker.push(job_b_ref);
+
+    let result_a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+
+    // Either pop `b` back and run it inline, or help out until the thief is done.
+    while !job_b.latch().probe() {
+        match worker.pop() {
+            Some(job) => {
+                if job.id() == job_b_id {
+                    unsafe { job_b.run_inline() };
+                    break;
+                }
+                // A leftover job pushed during `a` (only possible if `a`
+                // panicked mid-join); execute it to preserve progress.
+                unsafe { job.execute() };
+            }
+            None => {
+                worker.wait_until(job_b.latch());
+                break;
+            }
+        }
+    }
+    debug_assert!(job_b.latch().probe());
+
+    let result_b = unsafe { job_b.into_result() };
+    match result_a {
+        Ok(ra) => (ra, result_b),
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_nested_fib() {
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| "left", || vec![1, 2, 3]);
+        assert_eq!(a, "left");
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 1, || -> usize { panic!("b panicked") });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_a() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| -> usize { panic!("a panicked") }, || 1);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_thread_pool_executes() {
+        let pool = Pool::new(1);
+        let v = pool.install(|| {
+            let (a, b) = join(|| 2, || 3);
+            a + b
+        });
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn dedicated_pool_counts_workers() {
+        let pool = Pool::new(3);
+        let seen = AtomicU64::new(0);
+        pool.install(|| {
+            let (_, _) = join(
+                || seen.fetch_add(1, Ordering::Relaxed),
+                || seen.fetch_add(1, Ordering::Relaxed),
+            );
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.num_threads(), 3);
+    }
+
+    #[test]
+    fn install_from_external_thread() {
+        let total: u64 = global_pool().install(|| (0..100u64).sum());
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn worker_index_inside_pool() {
+        assert_eq!(worker_index(), None);
+        let idx = global_pool().install(|| worker_index());
+        assert!(idx.is_some());
+        assert!(idx.unwrap() < global_pool().num_threads());
+    }
+
+    #[test]
+    fn pool_drop_terminates() {
+        let pool = Pool::new(2);
+        pool.install(|| ());
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,213 @@
+//! Parallel sorting: a merge sort with parallel recursive merging.
+//!
+//! Used by graph construction (edge-list sorting), histogram collection, and
+//! the compressed-graph builder. `O(n log n)` work, `O(log^3 n)` depth.
+
+use crate::ops::{par_copy, SendPtr};
+use crate::pool::join;
+
+const SEQ_SORT_THRESHOLD: usize = 4096;
+const SEQ_MERGE_THRESHOLD: usize = 4096;
+
+/// Sort `data` in parallel with the natural order.
+pub fn par_sort<T: Copy + Send + Sync + Ord>(data: &mut [T]) {
+    par_sort_by(data, |a, b| a.cmp(b));
+}
+
+/// Sort `data` in parallel by a key extractor.
+pub fn par_sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sort_by(data, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Sort `data` in parallel with a comparator. Not stable.
+pub fn par_sort_by<T, C>(data: &mut [T], cmp: C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let n = data.len();
+    if n <= SEQ_SORT_THRESHOLD {
+        data.sort_unstable_by(&cmp);
+        return;
+    }
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: `buf` is used strictly as scratch; every slot is written before read
+    // by the merge passes below.
+    unsafe { buf.set_len(n) };
+    sort_rec(data, &mut buf, &cmp);
+}
+
+fn sort_rec<T, C>(data: &mut [T], buf: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let n = data.len();
+    if n <= SEQ_SORT_THRESHOLD {
+        data.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (bl, br) = buf.split_at_mut(mid);
+        join(|| sort_rec(dl, bl, cmp), || sort_rec(dr, br, cmp));
+    }
+    // Merge halves of `data` into `buf`, then copy back.
+    {
+        let (left, right) = data.split_at(mid);
+        merge_into(left, right, buf, cmp);
+    }
+    par_copy(data, buf);
+}
+
+/// Merge two sorted runs into `out` (must have length `a.len() + b.len()`),
+/// splitting recursively for parallelism.
+pub fn merge_into<T, C>(a: &[T], b: &[T], out: &mut [T], cmp: &C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    assert_eq!(a.len() + b.len(), out.len(), "merge output size mismatch");
+    let total = out.len();
+    if total <= SEQ_MERGE_THRESHOLD {
+        seq_merge(a, b, out, cmp);
+        return;
+    }
+    // Split at the median position of the larger run; binary-search the
+    // matching split in the other run.
+    if a.len() >= b.len() {
+        let am = a.len() / 2;
+        let bm = partition_point_by(b, |x| cmp(x, &a[am]).is_lt());
+        let (o1, o2) = out.split_at_mut(am + bm);
+        join(
+            || merge_into(&a[..am], &b[..bm], o1, cmp),
+            || merge_into(&a[am..], &b[bm..], o2, cmp),
+        );
+    } else {
+        let bm = b.len() / 2;
+        let am = partition_point_by(a, |x| cmp(x, &b[bm]).is_le());
+        let (o1, o2) = out.split_at_mut(am + bm);
+        join(
+            || merge_into(&a[..am], &b[..bm], o1, cmp),
+            || merge_into(&a[am..], &b[bm..], o2, cmp),
+        );
+    }
+}
+
+fn partition_point_by<T>(s: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut lo = 0;
+    let mut hi = s.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(&s[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn seq_merge<T, C>(a: &[T], b: &[T], out: &mut [T], cmp: &C)
+where
+    T: Copy,
+    C: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&b[j], &a[i]).is_lt() {
+            out[k] = b[j];
+            j += 1;
+        } else {
+            out[k] = a[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < a.len() {
+        out[k] = a[i];
+        i += 1;
+        k += 1;
+    }
+    while j < b.len() {
+        out[k] = b[j];
+        j += 1;
+        k += 1;
+    }
+}
+
+// Suppress unused warning: SendPtr is re-exported for slice scatter use elsewhere.
+#[allow(unused)]
+fn _uses(_: SendPtr<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64() % 1_000_003).collect()
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        for n in [0usize, 1, 2, 100, 5000, 50_000, 123_457] {
+            let mut a = random_vec(n, n as u64);
+            let mut want = a.clone();
+            want.sort_unstable();
+            par_sort(&mut a);
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sort_by_key_descending() {
+        let mut a = random_vec(30_000, 9);
+        par_sort_by_key(&mut a, |&x| std::cmp::Reverse(x));
+        assert!(a.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn par_sort_already_sorted_and_reverse() {
+        let mut a: Vec<u64> = (0..20_000).collect();
+        par_sort(&mut a);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let mut b: Vec<u64> = (0..20_000).rev().collect();
+        par_sort(&mut b);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_sort_with_duplicates() {
+        let mut a: Vec<u64> = (0..50_000).map(|i| i % 10).collect();
+        par_sort(&mut a);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merge_into_basic() {
+        let a: Vec<u64> = (0..10_000).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..10_000).map(|i| i * 2 + 1).collect();
+        let mut out = vec![0u64; 20_000];
+        merge_into(&a, &b, &mut out, &|x, y| x.cmp(y));
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out[0], 0);
+        assert_eq!(out[19_999], 19_999);
+    }
+
+    #[test]
+    fn merge_into_uneven_lengths() {
+        let a: Vec<u64> = (0..50_000).collect();
+        let b: Vec<u64> = vec![25_000];
+        let mut out = vec![0u64; 50_001];
+        merge_into(&a, &b, &mut out, &|x, y| x.cmp(y));
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Stress and interaction tests for the work-stealing runtime: deep
+//! recursion, cross-pool installs, nested primitives, and determinism of the
+//! data-parallel operations under contention.
+
+use sage_parallel as par;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn deep_unbalanced_join_tree() {
+    // A lopsided recursion: one side is always tiny, forcing steal churn.
+    fn go(depth: usize) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = par::join(|| go(depth - 1), || 1u64);
+        a + b
+    }
+    assert_eq!(go(2000), 2001);
+}
+
+#[test]
+fn wide_fanout_of_tiny_tasks() {
+    let hits = AtomicU64::new(0);
+    par::par_for_grain(0, 100_000, 1, |_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100_000);
+}
+
+#[test]
+fn nested_parallel_primitives() {
+    // A scan whose block computation itself runs parallel reductions.
+    let outer: u64 = par::reduce_add(0, 64, |i| {
+        par::reduce_add(0, 1000, |j| (i * j) as u64)
+    });
+    let want: u64 = (0..64u64).map(|i| (0..1000u64).map(|j| i * j).sum::<u64>()).sum();
+    assert_eq!(outer, want);
+}
+
+#[test]
+fn two_pools_do_not_interfere() {
+    let p1 = par::Pool::new(2);
+    let p2 = par::Pool::new(2);
+    let a = p1.install(|| par::reduce_add(0, 100_000, |i| i as u64));
+    let b = p2.install(|| par::reduce_add(0, 100_000, |i| i as u64));
+    assert_eq!(a, b);
+    // Nested install: a pool-1 worker submits to pool 2 and blocks.
+    let c = p1.install(|| p2.install(|| par::reduce_add(0, 1000, |i| i as u64)));
+    assert_eq!(c, 499_500);
+}
+
+#[test]
+fn repeated_pool_creation_and_teardown() {
+    for round in 0..20 {
+        let pool = par::Pool::new(1 + round % 4);
+        let sum = pool.install(|| par::reduce_add(0, 10_000, |i| i as u64));
+        assert_eq!(sum, 49_995_000);
+        drop(pool);
+    }
+}
+
+#[test]
+fn sort_is_deterministic_under_parallelism() {
+    let data: Vec<u64> = (0..200_000).map(|i| par::hash64(i as u64) % 1000).collect();
+    let mut a = data.clone();
+    let mut b = data.clone();
+    par::par_sort(&mut a);
+    par::par_sort(&mut b);
+    assert_eq!(a, b);
+    assert!(a.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn concurrent_map_contention() {
+    // Every thread hammers the same handful of keys.
+    let map = par::ConcurrentMap::with_capacity(64);
+    par::par_for_grain(0, 1 << 16, 1, |i| {
+        map.fetch_add((i % 8) as u64, 1);
+    });
+    for k in 0..8u64 {
+        assert_eq!(map.get_counter(k), Some((1 << 16) / 8));
+    }
+}
+
+#[test]
+fn scan_and_pack_compose() {
+    // pack_index of a predicate computed from a scan result.
+    let n = 131_072;
+    let mut weights: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
+    let total = par::scan_add(&mut weights);
+    assert_eq!(total, (0..n as u64).map(|i| i % 3).sum::<u64>());
+    let idx = par::pack_index(n, |i| weights[i] % 2 == 0);
+    let want: Vec<u32> =
+        (0..n).filter(|&i| weights[i] % 2 == 0).map(|i| i as u32).collect();
+    assert_eq!(idx, want);
+}
+
+#[test]
+fn panic_in_par_for_propagates_cleanly() {
+    let r = std::panic::catch_unwind(|| {
+        par::par_for(0, 1000, |i| {
+            if i == 543 {
+                panic!("expected failure");
+            }
+        });
+    });
+    assert!(r.is_err());
+    // The pool must still be usable afterwards.
+    assert_eq!(par::reduce_add(0, 100, |i| i as u64), 4950);
+}
+
+#[test]
+fn reduce_with_noncommutative_monoid() {
+    // String-length-weighted composition is associative but not commutative;
+    // the reduction must respect order.
+    let words = ["a", "bb", "ccc", "dddd", "ee", "f"];
+    let combined = par::reduce_map(
+        0,
+        words.len(),
+        1,
+        String::new(),
+        |i| words[i].to_string(),
+        |a, b| format!("{a}{b}"),
+    );
+    assert_eq!(combined, "abbcccddddeef");
+}
