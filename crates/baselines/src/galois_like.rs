@@ -184,14 +184,7 @@ pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> (Vec<f64>, usize
         let next: Vec<f64> = par::par_map(n, |v| {
             base + damping * f64::from_bits(acc[v].load(Ordering::Relaxed))
         });
-        let l1: f64 = par::reduce_map(
-            0,
-            n,
-            0,
-            0.0f64,
-            |i| (next[i] - p[i]).abs(),
-            |a, b| a + b,
-        );
+        let l1: f64 = par::reduce_map(0, n, 0, 0.0f64, |i| (next[i] - p[i]).abs(), |a, b| a + b);
         p = next;
         if l1 < eps {
             break;
@@ -211,11 +204,11 @@ pub fn betweenness<G: Graph>(g: &G, src: V) -> Vec<f64> {
 /// §5.5 discusses the 49.2s-vs-259s comparison this causes).
 pub fn kcore_single<G: Graph>(g: &G, k: u32) -> Vec<bool> {
     let n = g.num_vertices();
-    let deg: Vec<AtomicU64> =
-        (0..n).map(|v| AtomicU64::new(g.degree(v as V) as u64)).collect();
+    let deg: Vec<AtomicU64> = (0..n)
+        .map(|v| AtomicU64::new(g.degree(v as V) as u64))
+        .collect();
     let alive: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
-    let mut frontier: Vec<V> =
-        par::pack_index(n, |v| (deg[v].load(Ordering::Relaxed) as u32) < k);
+    let mut frontier: Vec<V> = par::pack_index(n, |v| (deg[v].load(Ordering::Relaxed) as u32) < k);
     while !frontier.is_empty() {
         let fr: &[V] = &frontier;
         let deg_ref = &deg;
@@ -263,8 +256,7 @@ mod tests {
 
     #[test]
     fn sssp_matches_dijkstra() {
-        let list =
-            gen::rmat_edges(8, 8, gen::RmatParams::default(), 13).with_random_weights(13);
+        let list = gen::rmat_edges(8, 8, gen::RmatParams::default(), 13).with_random_weights(13);
         let g = build_csr(list, BuildOptions::default());
         assert_eq!(sssp(&g, 0), seq::dijkstra(&g, 0));
     }

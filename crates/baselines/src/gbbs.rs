@@ -48,7 +48,11 @@ impl MutableGraph {
             list
         });
         meter::graph_write(g.num_edges() as u64);
-        Self { adj, m: g.num_edges(), block_size: g.block_size() }
+        Self {
+            adj,
+            m: g.num_edges(),
+            block_size: g.block_size(),
+        }
     }
 
     /// Remove the edges failing `pred`, physically compacting each adjacency
@@ -120,8 +124,8 @@ impl Graph for MutableGraph {
         let lo = blk * self.block_size;
         let hi = ((blk + 1) * self.block_size).min(list.len());
         meter::graph_read((hi - lo) as u64 + 2);
-        for i in lo..hi {
-            f((i - lo) as u32, list[i], 0);
+        for (k, &u) in list[lo..hi].iter().enumerate() {
+            f(k as u32, u, 0);
         }
     }
 }
@@ -157,8 +161,7 @@ pub fn gbbs_maximal_matching<G: Graph>(g: &G, seed: u64) -> Vec<V> {
         }
         let mate_ref: &[V] = &mate;
         mg.pack_edges(|a, b| {
-            mate_ref[a as usize] == sage_graph::NONE_V
-                && mate_ref[b as usize] == sage_graph::NONE_V
+            mate_ref[a as usize] == sage_graph::NONE_V && mate_ref[b as usize] == sage_graph::NONE_V
         });
     }
     mate
@@ -223,7 +226,10 @@ mod tests {
         let remaining = mg.pack_edges(|u, v| u < v);
         let d = Meter::global().snapshot().since(&before);
         assert_eq!(remaining * 2, g.num_edges());
-        assert!(d.graph_write > 0, "mutation must be charged as graph writes");
+        assert!(
+            d.graph_write > 0,
+            "mutation must be charged as graph writes"
+        );
     }
 
     #[test]

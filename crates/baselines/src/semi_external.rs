@@ -77,7 +77,10 @@ impl GridEngine {
         file.read_exact_at(&mut head, 0)?;
         let word = |i: usize| u64::from_le_bytes(head[i * 8..(i + 1) * 8].try_into().unwrap());
         if word(0) != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a grid file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a grid file",
+            ));
         }
         let (n, m, p) = (word(1) as usize, word(2) as usize, word(3) as usize);
         let mut off_bytes = vec![0u8; (p * p + 1) * 8];
@@ -124,7 +127,8 @@ impl GridEngine {
         }
         let bytes = ((hi - lo) * 8) as usize;
         let mut buf = vec![0u8; bytes];
-        self.file.read_exact_at(&mut buf, self.data_start + lo * 8)?;
+        self.file
+            .read_exact_at(&mut buf, self.data_start + lo * 8)?;
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
         for pair in buf.chunks_exact(8) {
             let u = u32::from_le_bytes(pair[0..4].try_into().unwrap());
@@ -277,10 +281,7 @@ impl GridEngine {
         if errs.load(Ordering::Relaxed) > 0 {
             return Err(io::Error::other("block stream failed"));
         }
-        let dangling: f64 = (0..n)
-            .filter(|&u| degree[u] == 0)
-            .map(|u| p_in[u])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&u| degree[u] == 0).map(|u| p_in[u]).sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
         Ok((0..n)
             .map(|v| base + damping * f64::from_bits(acc[v].load(Ordering::Relaxed)))

@@ -74,8 +74,9 @@ fn bench_bucket_packing(c: &mut Criterion) {
 fn bench_histogram_threshold(c: &mut Criterion) {
     // Dense vs sparse histogram at k-core-like neighborhood sizes.
     let n = 1usize << 16;
-    let keys: Vec<u32> =
-        (0..(1usize << 18)).map(|i| (sage_parallel::hash64(i as u64) % n as u64) as u32).collect();
+    let keys: Vec<u32> = (0..(1usize << 18))
+        .map(|i| (sage_parallel::hash64(i as u64) % n as u64) as u32)
+        .collect();
     let mut group = c.benchmark_group("histogram_threshold");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
@@ -83,10 +84,18 @@ fn bench_histogram_threshold(c: &mut Criterion) {
     for (label, h) in [
         ("force_dense", Histogram::Dense),
         ("force_sparse", Histogram::Sparse),
-        ("auto_m_over_16", Histogram::Auto { threshold: keys.len() / 16 }),
+        (
+            "auto_m_over_16",
+            Histogram::Auto {
+                threshold: keys.len() / 16,
+            },
+        ),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| h.count(keys.len(), keys.len(), n, |i, emit| emit(keys[i])).len())
+            b.iter(|| {
+                h.count(keys.len(), keys.len(), n, |i, emit| emit(keys[i]))
+                    .len()
+            })
         });
     }
     group.finish();

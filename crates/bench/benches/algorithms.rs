@@ -22,9 +22,15 @@ fn bench_traversals(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("bfs", |b| b.iter(|| bfs::bfs(&g, 0)));
     group.bench_function("wbfs", |b| b.iter(|| wbfs::wbfs(&w, 0)));
-    group.bench_function("bellman_ford", |b| b.iter(|| bellman_ford::bellman_ford(&w, 0)));
-    group.bench_function("widest_path", |b| b.iter(|| widest_path::widest_path_bucketed(&w, 0)));
-    group.bench_function("betweenness", |b| b.iter(|| betweenness::betweenness(&g, 0)));
+    group.bench_function("bellman_ford", |b| {
+        b.iter(|| bellman_ford::bellman_ford(&w, 0))
+    });
+    group.bench_function("widest_path", |b| {
+        b.iter(|| widest_path::widest_path_bucketed(&w, 0))
+    });
+    group.bench_function("betweenness", |b| {
+        b.iter(|| betweenness::betweenness(&g, 0))
+    });
     group.finish();
 }
 
@@ -35,7 +41,9 @@ fn bench_connectivity_family(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("ldd", |b| b.iter(|| ldd::ldd(&g, 0.2, 1)));
-    group.bench_function("connectivity", |b| b.iter(|| connectivity::connectivity(&g, 0.2, 1)));
+    group.bench_function("connectivity", |b| {
+        b.iter(|| connectivity::connectivity(&g, 0.2, 1))
+    });
     group.bench_function("spanning_forest", |b| {
         b.iter(|| spanning_forest::spanning_forest(&g, 0.2, 1))
     });
@@ -66,7 +74,9 @@ fn bench_substructure(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("kcore", |b| b.iter(|| kcore::kcore(&g)));
-    group.bench_function("densest", |b| b.iter(|| densest_subgraph::densest_subgraph(&g, 0.1)));
+    group.bench_function("densest", |b| {
+        b.iter(|| densest_subgraph::densest_subgraph(&g, 0.1))
+    });
     group.bench_function("triangles", |b| b.iter(|| triangle::triangle_count(&g)));
     group.finish();
 }
@@ -78,7 +88,9 @@ fn bench_eigenvector(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     let p0 = vec![1.0 / g.num_vertices() as f64; g.num_vertices()];
-    group.bench_function("pagerank_iter", |b| b.iter(|| pagerank::pagerank_iteration(&g, &p0)));
+    group.bench_function("pagerank_iter", |b| {
+        b.iter(|| pagerank::pagerank_iteration(&g, &p0))
+    });
     group.finish();
 }
 

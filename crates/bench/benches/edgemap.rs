@@ -53,9 +53,10 @@ fn bench_dense_vs_sparse_rounds(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (label, strat) in
-        [("auto", Strategy::Auto), ("force_sparse", Strategy::ForceSparse)]
-    {
+    for (label, strat) in [
+        ("auto", Strategy::Auto),
+        ("force_sparse", Strategy::ForceSparse),
+    ] {
         group.bench_function(label, |b| {
             let opts = EdgeMapOpts {
                 strategy: strat,
@@ -68,5 +69,10 @@ fn bench_dense_vs_sparse_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edgemap_variants, bench_filter_ops, bench_dense_vs_sparse_rounds);
+criterion_group!(
+    benches,
+    bench_edgemap_variants,
+    bench_filter_ops,
+    bench_dense_vs_sparse_rounds
+);
 criterion_main!(benches);

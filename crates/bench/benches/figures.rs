@@ -17,7 +17,9 @@ fn bench_fig1_headline(c: &mut Criterion) {
     group.bench_function("cc/sage", |b| {
         b.iter(|| sage_core::algo::connectivity::connectivity(&g, 0.2, 1))
     });
-    group.bench_function("cc/galois_like", |b| b.iter(|| galois_like::connectivity(&g)));
+    group.bench_function("cc/galois_like", |b| {
+        b.iter(|| galois_like::connectivity(&g))
+    });
     group.finish();
 }
 
@@ -38,7 +40,9 @@ fn bench_fig7_pair(c: &mut Criterion) {
     group.bench_function("triangles/sage_filter", |b| {
         b.iter(|| sage_core::algo::triangle::triangle_count(&g).count)
     });
-    group.bench_function("triangles/gbbs_mutate", |b| b.iter(|| gbbs::gbbs_triangle_count(&g)));
+    group.bench_function("triangles/gbbs_mutate", |b| {
+        b.iter(|| gbbs::gbbs_triangle_count(&g))
+    });
     group.finish();
 }
 
@@ -58,5 +62,10 @@ fn bench_tc_block_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1_headline, bench_fig7_pair, bench_tc_block_size);
+criterion_group!(
+    benches,
+    bench_fig1_headline,
+    bench_fig7_pair,
+    bench_tc_block_size
+);
 criterion_main!(benches);

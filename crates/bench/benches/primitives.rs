@@ -27,12 +27,11 @@ fn bench_reduce(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for &n in &[1usize << 20] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| par::reduce_add(0, n, |i| i as u64));
-        });
-    }
+    let n = 1usize << 20;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        b.iter(|| par::reduce_add(0, n, |i| i as u64));
+    });
     group.finish();
 }
 
@@ -73,7 +72,9 @@ fn bench_histogram(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     let n = 1usize << 18;
-    let keys: Vec<u32> = (0..n).map(|i| (par::hash64(i as u64) % 4096) as u32).collect();
+    let keys: Vec<u32> = (0..n)
+        .map(|i| (par::hash64(i as u64) % 4096) as u32)
+        .collect();
     group.bench_function("dense", |b| {
         b.iter(|| par::histogram_dense(keys.len(), 4096, |i, emit| emit(keys[i])));
     });
@@ -83,5 +84,12 @@ fn bench_histogram(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_reduce, bench_pack, bench_sort, bench_histogram);
+criterion_group!(
+    benches,
+    bench_scan,
+    bench_reduce,
+    bench_pack,
+    bench_sort,
+    bench_histogram
+);
 criterion_main!(benches);

@@ -44,12 +44,27 @@ pub const CATALOG: &[CatalogEntry] = &[
     e("com-Orkut", 3_072_627, 234_370_166, GraphType::Social),
     e("Twitter", 41_652_231, 2_405_026_092, GraphType::Social),
     e("ClueWeb", 978_408_098, 74_744_358_622, GraphType::Web),
-    e("Hyperlink2014", 1_724_573_718, 124_141_874_032, GraphType::Web),
-    e("Hyperlink2012", 3_563_602_789, 225_840_663_232, GraphType::Web),
+    e(
+        "Hyperlink2014",
+        1_724_573_718,
+        124_141_874_032,
+        GraphType::Web,
+    ),
+    e(
+        "Hyperlink2012",
+        3_563_602_789,
+        225_840_663_232,
+        GraphType::Web,
+    ),
     // --- SNAP social / collaboration ---
     e("com-LiveJournal", 3_997_962, 34_681_189, GraphType::Social),
     e("com-Youtube", 1_134_890, 2_987_624, GraphType::Social),
-    e("com-Friendster", 65_608_366, 1_806_067_135, GraphType::Social),
+    e(
+        "com-Friendster",
+        65_608_366,
+        1_806_067_135,
+        GraphType::Social,
+    ),
     e("soc-Pokec", 1_632_803, 30_622_564, GraphType::Social),
     e("wiki-Talk", 2_394_385, 5_021_410, GraphType::Social),
     e("wiki-topcats", 1_791_489, 28_511_807, GraphType::Web),
@@ -82,11 +97,31 @@ pub const CATALOG: &[CatalogEntry] = &[
     e("twitter-2010", 41_652_230, 1_468_365_182, GraphType::Social),
     // --- additional large SNAP-style networks ---
     e("soc-sinaweibo", 58_655_849, 261_321_071, GraphType::Social),
-    e("stackoverflow-temporal", 2_601_977, 63_497_050, GraphType::Social),
-    e("wiki-talk-temporal", 1_140_149, 3_309_592, GraphType::Social),
-    e("higgs-twitter-full", 1_000_001, 14_855_842, GraphType::Social),
+    e(
+        "stackoverflow-temporal",
+        2_601_977,
+        63_497_050,
+        GraphType::Social,
+    ),
+    e(
+        "wiki-talk-temporal",
+        1_140_149,
+        3_309_592,
+        GraphType::Social,
+    ),
+    e(
+        "higgs-twitter-full",
+        1_000_001,
+        14_855_842,
+        GraphType::Social,
+    ),
     e("dimacs-USA-road", 23_947_347, 28_854_312, GraphType::Road),
-    e("friendster-konect", 68_349_466, 2_586_147_869, GraphType::Social),
+    e(
+        "friendster-konect",
+        68_349_466,
+        2_586_147_869,
+        GraphType::Social,
+    ),
 ];
 
 /// Fraction of catalog graphs with average degree at least `threshold`.

@@ -19,7 +19,13 @@ pub fn double_cover<G: Graph>(g: &G) -> sage_graph::Csr {
     for v in 0..n as V {
         g.for_each_edge(v, |u, _| edges.push((v, n as V + u)));
     }
-    build_csr(EdgeList::new(2 * n, edges), BuildOptions { symmetrize: true, block_size: 64 })
+    build_csr(
+        EdgeList::new(2 * n, edges),
+        BuildOptions {
+            symmetrize: true,
+            block_size: 64,
+        },
+    )
     // NOTE: deliberately NOT marked DRAM-resident — the cover instance *is*
     // the input graph for this problem, so its reads are NVRAM traffic.
 }
@@ -56,7 +62,7 @@ fn run_gbbs_problem<G: Graph, GW: Graph>(
             // mutable copy pass, then run the Sage logic for the answer.
             let (_, copy_cost) = timed(name, || {
                 let mut mg = gbbs::MutableGraph::from_graph(g);
-                mg.pack_edges(|u, v| u <= v || u > v); // identity pack = one rewrite
+                mg.pack_edges(|_u, _v| true); // identity pack = one rewrite
             });
             let mut r = run_sage_problem(name, g, gw, src, seed);
             r.seconds += copy_cost.seconds;
@@ -117,12 +123,13 @@ pub fn fig1() {
         let gbbs = run_gbbs_problem(name, &g.csr, &g.weighted, 0, 42);
         let galois = run_galois_problem(name, &g.csr, &g.weighted, 0);
         let sage_cost = MemConfig::SageAppDirect.project(&sage.traffic, &model);
-        let gbbs_cost =
-            MemConfig::MemoryMode { hit_rate: hit }.project(&gbbs.traffic, &model);
+        let gbbs_cost = MemConfig::MemoryMode { hit_rate: hit }.project(&gbbs.traffic, &model);
         let galois_cost = galois
             .as_ref()
             .map(|r| MemConfig::MemoryMode { hit_rate: hit }.project(&r.traffic, &model));
-        let best = sage_cost.min(gbbs_cost).min(galois_cost.unwrap_or(f64::MAX));
+        let best = sage_cost
+            .min(gbbs_cost)
+            .min(galois_cost.unwrap_or(f64::MAX));
         rows.push((
             name.to_string(),
             vec![
@@ -142,7 +149,10 @@ pub fn fig1() {
 
 /// Figure 2: n vs average degree over the published-statistics catalog.
 pub fn fig2() {
-    println!("\nFigure 2 — n vs m/n over {} catalog graphs", catalog::CATALOG.len());
+    println!(
+        "\nFigure 2 — n vs m/n over {} catalog graphs",
+        catalog::CATALOG.len()
+    );
     let mut rows = Vec::new();
     for e in catalog::CATALOG {
         let kind = match e.kind {
@@ -171,14 +181,19 @@ pub fn fig2() {
 /// Figure 6: self-relative speedup (T1 / Tp) per problem per graph.
 pub fn fig6() {
     let suite = Suite::load();
-    let p = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
+    let p = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(2);
     println!("\nFigure 6 — speedup T1/T{p} (App-Direct equivalent: mmap-loaded graphs)");
     // Measure all T1 runs, drop the 1-worker pool, then measure all Tp runs:
     // a live pool's idle workers would otherwise steal cycles from the pool
     // under measurement.
     let best_of = |pool: &par::Pool, name: &'static str, g: &crate::BenchGraph| -> f64 {
         (0..3)
-            .map(|_| pool.install(|| run_sage_problem(name, &g.csr, &g.weighted, 0, 42)).seconds)
+            .map(|_| {
+                pool.install(|| run_sage_problem(name, &g.csr, &g.weighted, 0, 42))
+                    .seconds
+            })
             .fold(f64::MAX, f64::min)
     };
     let mut t1s = Vec::new();
@@ -245,7 +260,13 @@ pub fn fig7() {
     }
     print_table(
         "Fig 7: slowdown vs fastest (model-projected)",
-        &["GBBS-DRAM", "GBBS-NVRAM", "Sage-DRAM", "Sage-NVRAM", "Sage wall"],
+        &[
+            "GBBS-DRAM",
+            "GBBS-NVRAM",
+            "Sage-DRAM",
+            "Sage-NVRAM",
+            "Sage wall",
+        ],
         &rows,
     );
 }
@@ -255,12 +276,21 @@ pub fn table1() {
     let base = Suite::base_scale().min(13);
     let graphs: Vec<(sage_graph::Csr, sage_graph::Csr)> = (0..3)
         .map(|i| {
-            let list =
-                sage_graph::gen::rmat_edges(base + i, 16, sage_graph::gen::RmatParams::default(), 7);
+            let list = sage_graph::gen::rmat_edges(
+                base + i,
+                16,
+                sage_graph::gen::RmatParams::default(),
+                7,
+            );
             let csr = build_csr(list, BuildOptions::default());
             let w = build_csr(
-                sage_graph::gen::rmat_edges(base + i, 16, sage_graph::gen::RmatParams::default(), 7)
-                    .with_random_weights(7),
+                sage_graph::gen::rmat_edges(
+                    base + i,
+                    16,
+                    sage_graph::gen::RmatParams::default(),
+                    7,
+                )
+                .with_random_weights(7),
                 BuildOptions::default(),
             );
             (csr, w)
@@ -321,7 +351,11 @@ pub fn table2() {
             ],
         ));
     }
-    print_table("Table 2: inputs", &["n", "m", "davg", "dmax", "compression"], &rows);
+    print_table(
+        "Table 2: inputs",
+        &["n", "m", "davg", "dmax", "compression"],
+        &rows,
+    );
 }
 
 /// Table 3: semi-external streaming vs Sage.
@@ -332,7 +366,10 @@ pub fn table3() {
     let path = dir.join("grid.bin");
     semi_external::GridFile::build(&g.csr, 8, &path).expect("grid build");
     let engine = semi_external::GridEngine::open(&path).expect("grid open");
-    println!("\nTable 3 — semi-external (GridGraph-style, on-disk) vs Sage on {}", g.name);
+    println!(
+        "\nTable 3 — semi-external (GridGraph-style, on-disk) vs Sage on {}",
+        g.name
+    );
     let mut rows = Vec::new();
     let (_, se_bfs) = timed("BFS", || engine.bfs(0).unwrap());
     let (_, sage_bfs) = timed("BFS", || sage_core::algo::bfs::bfs(&g.csr, 0));
@@ -345,7 +382,9 @@ pub fn table3() {
         ],
     ));
     let (_, se_cc) = timed("CC", || engine.connectivity().unwrap());
-    let (_, sage_cc) = timed("CC", || sage_core::algo::connectivity::connectivity(&g.csr, 0.2, 1));
+    let (_, sage_cc) = timed("CC", || {
+        sage_core::algo::connectivity::connectivity(&g.csr, 0.2, 1)
+    });
     rows.push((
         "Connectivity".into(),
         vec![
@@ -358,8 +397,9 @@ pub fn table3() {
     let degree: Vec<u32> = (0..n as V).map(|v| g.csr.degree(v) as u32).collect();
     let p0 = vec![1.0 / n as f64; n];
     let (_, se_pr) = timed("PR", || engine.pagerank_iteration(&p0, &degree).unwrap());
-    let (_, sage_pr) =
-        timed("PR", || sage_core::algo::pagerank::pagerank_iteration(&g.csr, &p0));
+    let (_, sage_pr) = timed("PR", || {
+        sage_core::algo::pagerank::pagerank_iteration(&g.csr, &p0)
+    });
     rows.push((
         "PageRank-Iter".into(),
         vec![
@@ -368,7 +408,11 @@ pub fn table3() {
             format!("{:.1}x", se_pr.seconds / sage_pr.seconds.max(1e-9)),
         ],
     ));
-    print_table("Table 3: measured", &["semi-external", "Sage", "ratio"], &rows);
+    print_table(
+        "Table 3: measured",
+        &["semi-external", "Sage", "ratio"],
+        &rows,
+    );
     println!("bytes streamed from disk: {}", engine.bytes_read());
     println!("published reference rows (paper Table 3, Hyperlink2012):");
     println!("  FlashGraph BFS 208s | BC 595s | CC 461s | PR 2041s | TC 7818s");
@@ -382,11 +426,16 @@ pub fn table3() {
 pub fn table4() {
     let suite = Suite::load();
     let g = &suite.graphs[0];
-    println!("\nTable 4 — FB vs intersection/total work for Triangle Counting on {}", g.name);
+    println!(
+        "\nTable 4 — FB vs intersection/total work for Triangle Counting on {}",
+        g.name
+    );
     let mut rows = Vec::new();
     for fb in [64usize, 128, 256] {
         let compressed = sage_graph::CompressedCsr::from_csr(&g.csr, fb);
-        let (res, run) = timed("TC", || sage_core::algo::triangle::triangle_count(&compressed));
+        let (res, run) = timed("TC", || {
+            sage_core::algo::triangle::triangle_count(&compressed)
+        });
         rows.push((
             format!("FB={fb}"),
             vec![
@@ -414,24 +463,55 @@ pub fn table5() {
         // dense direction needs no per-edge buffers, App D.2); the final row
         // is the production configuration.
         for (label, si, strat) in [
-            ("edgeMapSparse (sparse-only)", SparseImpl::Sparse, Strategy::ForceSparse),
-            ("edgeMapBlocked (sparse-only)", SparseImpl::Blocked, Strategy::ForceSparse),
-            ("edgeMapChunked (sparse-only)", SparseImpl::Chunked, Strategy::ForceSparse),
-            ("edgeMapChunked (direction-opt)", SparseImpl::Chunked, Strategy::Auto),
+            (
+                "edgeMapSparse (sparse-only)",
+                SparseImpl::Sparse,
+                Strategy::ForceSparse,
+            ),
+            (
+                "edgeMapBlocked (sparse-only)",
+                SparseImpl::Blocked,
+                Strategy::ForceSparse,
+            ),
+            (
+                "edgeMapChunked (sparse-only)",
+                SparseImpl::Chunked,
+                Strategy::ForceSparse,
+            ),
+            (
+                "edgeMapChunked (direction-opt)",
+                SparseImpl::Chunked,
+                Strategy::Auto,
+            ),
         ] {
-            let opts = EdgeMapOpts { strategy: strat, sparse_impl: si, dense_threshold_den: 20 };
+            let opts = EdgeMapOpts {
+                strategy: strat,
+                sparse_impl: si,
+                dense_threshold_den: 20,
+            };
             alloc_track::reset_peak();
             let before = alloc_track::current_bytes();
-            let (_, run) = timed("BFS", || sage_core::algo::bfs::bfs_with_opts(&g.csr, 0, opts));
+            let (_, run) = timed("BFS", || {
+                sage_core::algo::bfs::bfs_with_opts(&g.csr, 0, opts)
+            });
             let peak = alloc_track::peak_bytes().saturating_sub(before);
             rows.push((
                 format!("{}/{}", g.name, label),
-                vec![format!("{:.2} MB", peak as f64 / 1e6), format!("{:.4}s", run.seconds)],
+                vec![
+                    format!("{:.2} MB", peak as f64 / 1e6),
+                    format!("{:.4}s", run.seconds),
+                ],
             ));
         }
     }
-    print_table("Table 5: peak DRAM during BFS", &["DRAM peak", "time"], &rows);
-    println!("(DRAM peaks require the harness binary's tracking allocator; zeros mean it is absent)");
+    print_table(
+        "Table 5: peak DRAM during BFS",
+        &["DRAM peak", "time"],
+        &rows,
+    );
+    println!(
+        "(DRAM peaks require the harness binary's tracking allocator; zeros mean it is absent)"
+    );
 }
 
 /// §5.2: the NUMA graph-layout microbenchmark.
@@ -456,15 +536,24 @@ pub fn numa() {
     // on-DIMM cache, 256 B lines); the thrash factor is calibrated so that
     // cross-socket/one-socket reproduces the paper's measured 3.76x.
     let replicated = 1.0;
-    let one_socket = 2.0; // half the workers available
+    // one_socket = 2.0: only half the workers are available.
+    let one_socket = 2.0;
     // Effective per-remote-read cost `x` solves 0.5 + 0.5x = one_socket·3.76,
     // decomposing into the 3.7x remote-read latency times a ~3.8x
     // device-thrash factor.
     let cross_socket = one_socket * (26.7 / 7.1);
     let remote_read_cost = (cross_socket - 0.5) / 0.5;
     let device_thrash = remote_read_cost / model.cross_socket;
-    println!("\n§5.2 — NUMA layout microbenchmark on {} (m = {})", g.name, g.m());
-    let paper = [("one-socket", 7.1), ("interleaved threads", 26.7), ("replicated (Sage)", 4.3)];
+    println!(
+        "\n§5.2 — NUMA layout microbenchmark on {} (m = {})",
+        g.name,
+        g.m()
+    );
+    let paper = [
+        ("one-socket", 7.1),
+        ("interleaved threads", 26.7),
+        ("replicated (Sage)", 4.3),
+    ];
     let modeled = [one_socket, cross_socket, replicated];
     let rows: Vec<(String, Vec<String>)> = paper
         .iter()

@@ -30,7 +30,14 @@ pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, RunResult) {
     let out = f();
     let seconds = start.elapsed().as_secs_f64();
     let traffic = Meter::global().snapshot().since(&before);
-    (out, RunResult { name, seconds, traffic })
+    (
+        out,
+        RunResult {
+            name,
+            seconds,
+            traffic,
+        },
+    )
 }
 
 /// The 18 problems of the evaluation in Figure 1 order, plus full PageRank

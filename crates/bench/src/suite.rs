@@ -37,7 +37,12 @@ impl BenchGraph {
             BuildOptions::default(),
         );
         let compressed = compress.then(|| CompressedCsr::from_csr(&csr, 64));
-        Self { name, csr, weighted, compressed }
+        Self {
+            name,
+            csr,
+            weighted,
+            compressed,
+        }
     }
 
     /// Directed edge count.
@@ -57,7 +62,10 @@ impl Suite {
     /// Base scale: `SAGE_SCALE` env var (default 14 → n = 16384 for quick
     /// runs; the committed experiment logs use 17).
     pub fn base_scale() -> u32 {
-        std::env::var("SAGE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(14)
+        std::env::var("SAGE_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(14)
     }
 
     /// Build the suite at the configured scale.
@@ -68,9 +76,23 @@ impl Suite {
                 // ClueWeb-like: web crawl, davg ≈ 76 in the paper; compressed.
                 BenchGraph::new("clueweb-sim", s, 24, gen::RmatParams::web(), true, 0xC1),
                 // Hyperlink2014-like: davg ≈ 72; compressed.
-                BenchGraph::new("hyperlink14-sim", s + 1, 20, gen::RmatParams::web(), true, 0x14),
+                BenchGraph::new(
+                    "hyperlink14-sim",
+                    s + 1,
+                    20,
+                    gen::RmatParams::web(),
+                    true,
+                    0x14,
+                ),
                 // Hyperlink2012-like: the largest; davg ≈ 63; compressed.
-                BenchGraph::new("hyperlink12-sim", s + 2, 16, gen::RmatParams::web(), true, 0x12),
+                BenchGraph::new(
+                    "hyperlink12-sim",
+                    s + 2,
+                    16,
+                    gen::RmatParams::web(),
+                    true,
+                    0x12,
+                ),
             ],
         }
     }
@@ -78,7 +100,14 @@ impl Suite {
     /// A small social-network-like graph (Twitter-sim) for quick baselines.
     pub fn social() -> BenchGraph {
         let s = Self::base_scale();
-        BenchGraph::new("twitter-sim", s, 16, gen::RmatParams::default(), false, 0x77)
+        BenchGraph::new(
+            "twitter-sim",
+            s,
+            16,
+            gen::RmatParams::default(),
+            false,
+            0x77,
+        )
     }
 }
 
@@ -90,7 +119,10 @@ mod tests {
     fn suite_builds_consistent_views() {
         // Tiny scale for the test.
         let g = BenchGraph::new("t", 8, 8, gen::RmatParams::default(), true, 1);
-        assert_eq!(g.csr.num_edges(), g.compressed.as_ref().unwrap().num_edges());
+        assert_eq!(
+            g.csr.num_edges(),
+            g.compressed.as_ref().unwrap().num_edges()
+        );
         assert_eq!(g.csr.num_vertices(), g.weighted.num_vertices());
         assert!(g.weighted.is_weighted());
         assert!(!g.csr.is_weighted());

@@ -60,7 +60,10 @@ pub fn bellman_ford<G: Graph>(g: &G, src: V) -> Option<Vec<u64>> {
         if rounds > n + 1 {
             return None; // negative cycle (not reachable with our weights)
         }
-        let f = BfFn { dist: &dist, claimed: &claimed };
+        let f = BfFn {
+            dist: &dist,
+            claimed: &claimed,
+        };
         let next = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
         // Reset the claim flags of the next frontier for the following round.
         next.for_each(|v| claimed[v as usize].store(false, Ordering::Relaxed));
@@ -90,7 +93,10 @@ mod tests {
     #[test]
     fn agrees_with_wbfs() {
         let g = weighted(8, 6);
-        assert_eq!(bellman_ford(&g, 2).unwrap(), super::super::wbfs::wbfs(&g, 2));
+        assert_eq!(
+            bellman_ford(&g, 2).unwrap(),
+            super::super::wbfs::wbfs(&g, 2)
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@ use sage_parallel as par;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct SigmaFn<'a> {
-    sigma: &'a [AtomicU64],  // f64 bits
-    level: &'a [AtomicU64],  // u64::MAX = unvisited
+    sigma: &'a [AtomicU64], // f64 bits
+    level: &'a [AtomicU64], // u64::MAX = unvisited
     round: u64,
 }
 
@@ -68,7 +68,11 @@ pub fn betweenness<G: Graph>(g: &G, src: V) -> Vec<f64> {
     let mut round = 0u64;
     loop {
         round += 1;
-        let f = SigmaFn { sigma: &sigma, level: &level, round };
+        let f = SigmaFn {
+            sigma: &sigma,
+            level: &level,
+            round,
+        };
         let mut next = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
         if next.is_empty() {
             break;
@@ -79,8 +83,10 @@ pub fn betweenness<G: Graph>(g: &G, src: V) -> Vec<f64> {
 
     // Backward phase: pull dependencies level by level.
     let levels: Vec<u64> = level.iter().map(|l| l.load(Ordering::Relaxed)).collect();
-    let sigmas: Vec<f64> =
-        sigma.iter().map(|s| f64::from_bits(s.load(Ordering::Relaxed))).collect();
+    let sigmas: Vec<f64> = sigma
+        .iter()
+        .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+        .collect();
     let mut delta = vec![0f64; n];
     for l in (0..frontiers.len().saturating_sub(1)).rev() {
         let frontier = &frontiers[l];

@@ -186,7 +186,10 @@ mod tests {
         let g = CompressedCsr::from_csr(&csr, 64);
         let parents = bfs(&g, 5);
         validate_bfs_tree(&g, 5, &parents).unwrap();
-        assert_eq!(levels_from_parents(&g, 5, &parents), seq::bfs_levels(&csr, 5));
+        assert_eq!(
+            levels_from_parents(&g, 5, &parents),
+            seq::bfs_levels(&csr, 5)
+        );
     }
 
     #[test]
@@ -201,11 +204,15 @@ mod tests {
     fn all_sparse_impls_give_valid_trees() {
         let g = gen::rmat(9, 8, gen::RmatParams::default(), 9);
         for si in [SparseImpl::Chunked, SparseImpl::Blocked, SparseImpl::Sparse] {
-            let parents = bfs_with_opts(&g, 0, EdgeMapOpts {
-                strategy: Strategy::ForceSparse,
-                sparse_impl: si,
-                ..Default::default()
-            });
+            let parents = bfs_with_opts(
+                &g,
+                0,
+                EdgeMapOpts {
+                    strategy: Strategy::ForceSparse,
+                    sparse_impl: si,
+                    ..Default::default()
+                },
+            );
             validate_bfs_tree(&g, 0, &parents).unwrap();
         }
     }

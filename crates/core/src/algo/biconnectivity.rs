@@ -57,8 +57,8 @@ pub fn biconnectivity<G: Graph>(g: &G, seed: u64) -> Biconnectivity {
     // 1. Components and one root (minimum vertex) per component.
     let cc = connectivity(g, 0.2, seed);
     let mut min_of = vec![u32::MAX; n];
-    for v in 0..n {
-        let l = cc[v] as usize;
+    for (v, &l) in cc.iter().enumerate() {
+        let l = l as usize;
         min_of[l] = min_of[l].min(v as u32);
     }
     let roots: Vec<V> = par::pack_index(n, |v| min_of[cc[v] as usize] as usize == v);
@@ -85,7 +85,10 @@ pub fn biconnectivity<G: Graph>(g: &G, seed: u64) -> Biconnectivity {
         level_lists.push(next.as_sparse().to_vec());
         frontier = next;
     }
-    let parent: Vec<V> = parents.iter().map(|p| p.load(Ordering::Relaxed) as V).collect();
+    let parent: Vec<V> = parents
+        .iter()
+        .map(|p| p.load(Ordering::Relaxed) as V)
+        .collect();
     let level: Vec<u64> = levels.iter().map(|l| l.load(Ordering::Relaxed)).collect();
 
     // 2. Children arrays (CSR over the forest).
@@ -101,8 +104,8 @@ pub fn biconnectivity<G: Graph>(g: &G, seed: u64) -> Biconnectivity {
     let mut children = vec![0u32; total_children];
     {
         let mut cursor = child_off.clone();
-        for v in 0..n {
-            let p = parent[v] as usize;
+        for (v, &p) in parent.iter().enumerate().take(n) {
+            let p = p as usize;
             if p != v {
                 children[cursor[p] as usize] = v as u32;
                 cursor[p] += 1;
@@ -238,7 +241,10 @@ mod tests {
         for u in 0..g.num_vertices() as V {
             for &v in g.neighbors(u) {
                 if u < v {
-                    our_groups.entry(ours.edge_label(u, v)).or_default().insert((u, v));
+                    our_groups
+                        .entry(ours.edge_label(u, v))
+                        .or_default()
+                        .insert((u, v));
                 }
             }
         }

@@ -36,8 +36,7 @@ pub fn coloring<G: Graph>(g: &G, seed: u64) -> Vec<u32> {
         });
         tmp.into_iter().map(AtomicU32::new).collect()
     };
-    let mut frontier: Vec<V> =
-        par::pack_index(n, |v| counts[v].load(Ordering::Relaxed) == 0);
+    let mut frontier: Vec<V> = par::pack_index(n, |v| counts[v].load(Ordering::Relaxed) == 0);
     let mut colored = 0usize;
     while !frontier.is_empty() {
         colored += frontier.len();
@@ -54,7 +53,10 @@ pub fn coloring<G: Graph>(g: &G, seed: u64) -> Vec<u32> {
                     used[c as usize] = true;
                 }
             });
-            let c = used.iter().position(|&b| !b).expect("a free color always exists") as u32;
+            let c = used
+                .iter()
+                .position(|&b| !b)
+                .expect("a free color always exists") as u32;
             colors_ref[v as usize].store(c, Ordering::Relaxed);
         });
         // Release dependencies of lower-ranked neighbors.

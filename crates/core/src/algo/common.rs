@@ -34,8 +34,7 @@ pub fn atomic_add_f64(a: &AtomicU64, delta: f64) {
     let mut cur = a.load(Ordering::Relaxed);
     loop {
         let next = f64::from_bits(cur) + delta;
-        match a.compare_exchange_weak(cur, next.to_bits(), Ordering::AcqRel, Ordering::Acquire)
-        {
+        match a.compare_exchange_weak(cur, next.to_bits(), Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => return,
             Err(now) => cur = now,
         }

@@ -75,14 +75,24 @@ fn connectivity_rec<G: Graph>(g: &G, beta: f64, seed: u64, depth: usize) -> Vec<
         .collect();
     let mut cg = build_csr(
         EdgeList::new(centers.len(), edges),
-        BuildOptions { symmetrize: true, block_size: 64 },
+        BuildOptions {
+            symmetrize: true,
+            block_size: 64,
+        },
     );
     // The contracted graph is algorithm state: it lives in the PSAM's small
     // memory (Theorem C.2), so its reads are DRAM traffic.
     cg.mark_dram_resident();
-    let sub = connectivity_rec(&cg, beta, par::hash64(seed.wrapping_add(depth as u64 + 1)), depth + 1);
+    let sub = connectivity_rec(
+        &cg,
+        beta,
+        par::hash64(seed.wrapping_add(depth as u64 + 1)),
+        depth + 1,
+    );
     // Compose: label of v = center label of its cluster's component.
-    par::par_map(n, |v| centers[sub[dense_of[cluster[v] as usize] as usize] as usize])
+    par::par_map(n, |v| {
+        centers[sub[dense_of[cluster[v] as usize] as usize] as usize]
+    })
 }
 
 /// Number of connected components implied by a labeling.

@@ -27,8 +27,9 @@ pub struct DensestResult {
 pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
     assert!(eps > 0.0);
     let n = g.num_vertices();
-    let degrees: Vec<AtomicU64> =
-        (0..n).map(|v| AtomicU64::new(g.degree(v as V) as u64)).collect();
+    let degrees: Vec<AtomicU64> = (0..n)
+        .map(|v| AtomicU64::new(g.degree(v as V) as u64))
+        .collect();
     // Round in which each vertex was removed (u32::MAX = still alive).
     let mut removed_round = vec![u32::MAX; n];
     let mut alive: Vec<V> = (0..n as V).collect();
@@ -71,8 +72,9 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
         // Decrement surviving neighbors via histogram; track removed edges.
         let rm: &[V] = &to_remove;
         let rr: &[u32] = &removed_round;
-        let out_deg_removed =
-            par::reduce_add(0, rm.len(), |i| deg_ref[rm[i] as usize].load(Ordering::Relaxed));
+        let out_deg_removed = par::reduce_add(0, rm.len(), |i| {
+            deg_ref[rm[i] as usize].load(Ordering::Relaxed)
+        });
         let total_keys = par::reduce_add(0, rm.len(), |i| g.degree(rm[i]) as u64) as usize;
         let counts = histogram.count(rm.len(), total_keys, n, |i, emit| {
             g.for_each_edge(rm[i], |u, _| {
@@ -97,7 +99,11 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
         round += 1;
     }
     let subset: Vec<V> = par::pack_index(n, |v| removed_round[v] >= best_round);
-    DensestResult { density: best_density, subset, rounds: round as usize }
+    DensestResult {
+        density: best_density,
+        subset,
+        rounds: round as usize,
+    }
 }
 
 /// Exact density of an induced subgraph (test / verification helper).
@@ -173,14 +179,21 @@ mod tests {
         assert!(r.density >= 9.5 / (2.0 * 1.05), "density {}", r.density);
         // The found subset should be mostly clique vertices.
         let clique_members = r.subset.iter().filter(|&&v| v >= 500).count();
-        assert!(clique_members >= 18, "only {clique_members} clique vertices found");
+        assert!(
+            clique_members >= 18,
+            "only {clique_members} clique vertices found"
+        );
     }
 
     #[test]
     fn whole_graph_when_regular() {
         let g = gen::cycle(100);
         let r = densest_subgraph(&g, 0.1);
-        assert!((r.density - 1.0).abs() < 0.01, "cycle density {}", r.density);
+        assert!(
+            (r.density - 1.0).abs() < 0.01,
+            "cycle density {}",
+            r.density
+        );
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub struct KcoreResult {
 pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let degrees: Vec<AtomicU64> =
-        (0..n).map(|v| AtomicU64::new(g.degree(v as V) as u64)).collect();
+    let degrees: Vec<AtomicU64> = (0..n)
+        .map(|v| AtomicU64::new(g.degree(v as V) as u64))
+        .collect();
     let peeled: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let mut buckets = Buckets::new(n, Order::Increasing, Packing::SemiEager, |v| {
         Some(g.degree(v) as u64)
@@ -67,7 +68,11 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
             .collect();
         buckets.update_batch(&updates);
     }
-    KcoreResult { coreness, rounds, kmax: k as u32 }
+    KcoreResult {
+        coreness,
+        rounds,
+        kmax: k as u32,
+    }
 }
 
 #[cfg(test)]

@@ -89,12 +89,7 @@ pub fn ldd<G: Graph>(g: &G, beta: f64, seed: u64) -> LddResult {
                 .copied()
                 .filter(|&v| {
                     cluster[v as usize]
-                        .compare_exchange(
-                            UNCLAIMED,
-                            v as u64,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
+                        .compare_exchange(UNCLAIMED, v as u64, Ordering::AcqRel, Ordering::Acquire)
                         .map(|_| {
                             parent[v as usize].store(v as u64, Ordering::Relaxed);
                         })
@@ -110,7 +105,10 @@ pub fn ldd<G: Graph>(g: &G, beta: f64, seed: u64) -> LddResult {
         if frontier.is_empty() && round > max_start {
             break;
         }
-        let f = LddFn { cluster: &cluster, parent: &parent };
+        let f = LddFn {
+            cluster: &cluster,
+            parent: &parent,
+        };
         frontier = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
         rounds += 1;
         round += 1;
@@ -183,7 +181,9 @@ mod tests {
         let fine = ldd(&g, 0.9, 7);
         let coarse = ldd(&g, 0.05, 7);
         let count = |r: &LddResult| {
-            (0..g.num_vertices()).filter(|&v| r.cluster[v] as usize == v).count()
+            (0..g.num_vertices())
+                .filter(|&v| r.cluster[v] as usize == v)
+                .count()
         };
         assert!(
             count(&fine) > count(&coarse),
@@ -221,9 +221,7 @@ mod tests {
         let g = gen::path(100);
         let a = ldd(&g, 0.5, 11);
         let b = ldd(&g, 0.5, 11);
-        let centers = |r: &LddResult| {
-            (0..100).filter(|&v| r.cluster[v] as usize == v).count()
-        };
+        let centers = |r: &LddResult| (0..100).filter(|&v| r.cluster[v] as usize == v).count();
         // Both runs must produce valid decompositions with similar granularity.
         check_clusters_valid(&g, &a);
         check_clusters_valid(&g, &b);

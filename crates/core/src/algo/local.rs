@@ -124,9 +124,12 @@ mod tests {
         // On a long path, mass from one end cannot reach the other.
         let g = gen::path(10_000);
         let (p, r) = ppr_push(&g, 0, 0.15, 1e-4);
-        let touched: std::collections::HashSet<u32> =
-            p.keys().chain(r.keys()).copied().collect();
-        assert!(touched.len() < 200, "support {} is not local", touched.len());
+        let touched: std::collections::HashSet<u32> = p.keys().chain(r.keys()).copied().collect();
+        assert!(
+            touched.len() < 200,
+            "support {} is not local",
+            touched.len()
+        );
         assert!(touched.iter().all(|&v| v < 200));
     }
 

@@ -46,7 +46,10 @@ pub fn mis<G: Graph>(g: &G, seed: u64) -> Vec<bool> {
         .into_iter()
         .map(|i| und[i as usize])
         .collect();
-        debug_assert!(!roots.is_empty(), "rootset cannot be empty while vertices remain");
+        debug_assert!(
+            !roots.is_empty(),
+            "rootset cannot be empty while vertices remain"
+        );
         // Roots join the MIS; their neighbors are knocked out.
         let roots_ref: &[V] = &roots;
         par::par_for(0, roots.len(), |i| {

@@ -27,13 +27,13 @@ pub mod bellman_ford;
 pub mod betweenness;
 pub mod bfs;
 pub mod biconnectivity;
-pub mod kclique;
-pub mod local;
 pub mod coloring;
 pub mod connectivity;
 pub mod densest_subgraph;
+pub mod kclique;
 pub mod kcore;
 pub mod ldd;
+pub mod local;
 pub mod maximal_matching;
 pub mod mis;
 pub mod pagerank;

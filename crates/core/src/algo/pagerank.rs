@@ -26,7 +26,10 @@ pub struct PageRankResult {
 pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> PageRankResult {
     let n = g.num_vertices();
     if n == 0 {
-        return PageRankResult { ranks: Vec::new(), iterations: 0 };
+        return PageRankResult {
+            ranks: Vec::new(),
+            iterations: 0,
+        };
     }
     let mut p = vec![1.0 / n as f64; n];
     let mut iterations = 0;
@@ -38,7 +41,10 @@ pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> PageRankResult {
             break;
         }
     }
-    PageRankResult { ranks: p, iterations }
+    PageRankResult {
+        ranks: p,
+        iterations,
+    }
 }
 
 /// One PageRank iteration (the paper's standalone `PageRank-Iter` benchmark);
@@ -88,14 +94,7 @@ pub fn pagerank_iteration<G: Graph>(g: &G, p: &[f64]) -> (Vec<f64>, f64) {
         };
         base + DAMPING * sum
     });
-    let l1 = par::reduce_map(
-        0,
-        n,
-        0,
-        0.0f64,
-        |i| (next[i] - p[i]).abs(),
-        |a, b| a + b,
-    );
+    let l1 = par::reduce_map(0, n, 0, 0.0f64, |i| (next[i] - p[i]).abs(), |a, b| a + b);
     (next, l1)
 }
 

@@ -77,8 +77,7 @@ pub fn set_cover<G: Graph>(g: &G, num_sets: usize, eps: f64, seed: u64) -> SetCo
         let comp: &[V] = &competing;
         let claims_ref = &claims;
         let filter_ref = &filter;
-        let prio =
-            |s: V| (par::hash64(seed ^ (rounds as u64) << 32 ^ s as u64) << 24) | s as u64;
+        let prio = |s: V| (par::hash64(seed ^ (rounds as u64) << 32 ^ s as u64) << 24) | s as u64;
         par::par_for(0, comp.len(), |i| {
             let s = comp[i];
             let p = prio(s);
@@ -123,7 +122,10 @@ pub fn set_cover<G: Graph>(g: &G, num_sets: usize, eps: f64, seed: u64) -> SetCo
         });
         buckets.update_batch(&rebucket);
     }
-    SetCoverResult { sets: chosen, rounds }
+    SetCoverResult {
+        sets: chosen,
+        rounds,
+    }
 }
 
 /// Verify that `sets` covers every coverable element (test helper).
@@ -136,8 +138,8 @@ pub fn check_cover<G: Graph>(g: &G, num_sets: usize, sets: &[V]) -> Result<(), S
         }
         g.for_each_edge(s, |e, _| covered[e as usize] = true);
     }
-    for e in num_sets..n {
-        if g.degree(e as V) > 0 && !covered[e] {
+    for (e, &cov) in covered.iter().enumerate().skip(num_sets) {
+        if g.degree(e as V) > 0 && !cov {
             return Err(format!("element {e} left uncovered"));
         }
     }

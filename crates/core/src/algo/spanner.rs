@@ -42,14 +42,10 @@ pub fn spanner<G: Graph>(g: &G, k: usize, seed: u64) -> Vec<(V, V)> {
                 }
             });
         });
-        edges.extend(
-            map.entries()
-                .into_iter()
-                .map(|(_, enc)| {
-                    let enc = enc - 1; // undo the +1 storage convention
-                    ((enc >> 32) as V, (enc & 0xFFFF_FFFF) as V)
-                }),
-        );
+        edges.extend(map.entries().into_iter().map(|(_, enc)| {
+            let enc = enc - 1; // undo the +1 storage convention
+            ((enc >> 32) as V, (enc & 0xFFFF_FFFF) as V)
+        }));
     }
     edges
 }
@@ -118,7 +114,10 @@ mod tests {
                     assert_eq!(span[v], u64::MAX);
                     continue;
                 }
-                assert!(span[v] != u64::MAX, "pair ({src},{v}) disconnected in spanner");
+                assert!(
+                    span[v] != u64::MAX,
+                    "pair ({src},{v}) disconnected in spanner"
+                );
                 // O(k) stretch: use a generous 8k + 4 bound for small n.
                 assert!(
                     span[v] <= (8 * k as u64) * orig[v].max(1) + 4,

@@ -54,19 +54,26 @@ fn spanning_forest_rec<G: Graph>(
         });
     });
     let entries = map.entries();
-    let contracted: Vec<(V, V)> =
-        entries.iter().map(|&(k, _)| ((k >> 32) as V, (k & 0xFFFF_FFFF) as V)).collect();
+    let contracted: Vec<(V, V)> = entries
+        .iter()
+        .map(|&(k, _)| ((k >> 32) as V, (k & 0xFFFF_FFFF) as V))
+        .collect();
 
     let centers: Vec<V> = par::pack_index(n, |v| cluster[v] as usize == v);
     let mut dense_of = vec![0u32; n];
     for (i, &c) in centers.iter().enumerate() {
         dense_of[c as usize] = i as u32;
     }
-    let edges: Vec<(V, V)> =
-        contracted.iter().map(|&(a, b)| (dense_of[a as usize], dense_of[b as usize])).collect();
+    let edges: Vec<(V, V)> = contracted
+        .iter()
+        .map(|&(a, b)| (dense_of[a as usize], dense_of[b as usize]))
+        .collect();
     let mut cg = build_csr(
         EdgeList::new(centers.len(), edges),
-        BuildOptions { symmetrize: true, block_size: 64 },
+        BuildOptions {
+            symmetrize: true,
+            block_size: 64,
+        },
     );
     // Contracted graphs are small-memory state (Theorem C.2).
     cg.mark_dram_resident();
@@ -74,7 +81,9 @@ fn spanning_forest_rec<G: Graph>(
     // level's original mapping.
     let witness = |a: V, b: V| -> (V, V) {
         let key = pair_key(centers[a as usize], centers[b as usize]);
-        let enc = map.get_encoded(key).expect("forest edge must exist in witness map");
+        let enc = map
+            .get_encoded(key)
+            .expect("forest edge must exist in witness map");
         to_original((enc >> 32) as V, (enc & 0xFFFF_FFFF) as V)
     };
     let sub = spanning_forest_rec(
@@ -105,8 +114,7 @@ mod tests {
         for &(u, v) in forest {
             assert!(uf.union(u, v), "cycle through ({u},{v})");
         }
-        let want_components =
-            crate::algo::connectivity::num_components(&seq::components(g));
+        let want_components = crate::algo::connectivity::num_components(&seq::components(g));
         assert_eq!(forest.len(), n - want_components, "forest size");
         // Spanning: same component structure as the graph.
         let mut uf2 = UnionFind::new(n);
@@ -117,8 +125,8 @@ mod tests {
         for v in 0..n as u32 {
             let in_graph_same = labels[v as usize];
             assert_eq!(
-                uf2.find(v) == uf2.find(in_graph_same),
-                true,
+                uf2.find(v),
+                uf2.find(in_graph_same),
                 "vertex {v} disconnected from its component root in the forest"
             );
         }

@@ -114,7 +114,7 @@ mod tests {
     }
 
     #[test]
-    fn block_size_changes_total_work_not_count(){
+    fn block_size_changes_total_work_not_count() {
         let base = gen::rmat(8, 16, gen::RmatParams::default(), 137);
         let mut counts = Vec::new();
         for bs in [64usize, 128, 256] {

@@ -108,7 +108,11 @@ mod tests {
     fn unreachable_stay_max() {
         let mut edges = vec![(0u32, 1u32)];
         edges.push((2, 3));
-        let list = sage_graph::EdgeList { n: 4, edges, weights: Some(vec![2, 3]) };
+        let list = sage_graph::EdgeList {
+            n: 4,
+            edges,
+            weights: Some(vec![2, 3]),
+        };
         let g = build_csr(list, BuildOptions::default());
         let d = wbfs(&g, 0);
         assert_eq!(d, vec![0, 2, u64::MAX, u64::MAX]);

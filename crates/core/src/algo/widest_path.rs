@@ -67,7 +67,10 @@ pub fn widest_path_bf<G: Graph>(g: &G, src: V) -> Vec<u64> {
     let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let mut frontier = VertexSubset::single(n, src);
     while !frontier.is_empty() {
-        let f = WidestFn { width: &width, claimed: Some(&claimed) };
+        let f = WidestFn {
+            width: &width,
+            claimed: Some(&claimed),
+        };
         let next = edge_map(g, &mut frontier, &f, EdgeMapOpts::default());
         next.for_each(|v| claimed[v as usize].store(false, Ordering::Relaxed));
         frontier = next;
@@ -80,11 +83,18 @@ pub fn widest_path_bucketed<G: Graph>(g: &G, src: V) -> Vec<u64> {
     assert!(g.is_weighted(), "widest path requires a weighted graph");
     let n = g.num_vertices();
     // Upper bound on edge weights, for the decreasing bucket key space.
-    let wmax = par::reduce_map(0, n, 0, 0u64, |vi| {
-        let mut mx = 0u64;
-        g.for_each_edge(vi as V, |_, w| mx = mx.max(w as u64));
-        mx
-    }, |a, b| a.max(b));
+    let wmax = par::reduce_map(
+        0,
+        n,
+        0,
+        0u64,
+        |vi| {
+            let mut mx = 0u64;
+            g.for_each_edge(vi as V, |_, w| mx = mx.max(w as u64));
+            mx
+        },
+        |a, b| a.max(b),
+    );
     let width = atomic_vec(n, 0);
     width[src as usize].store(u64::MAX, Ordering::Relaxed);
     let key_of = move |w: u64| w.min(wmax + 1); // source clamps to wmax+1
@@ -99,7 +109,10 @@ pub fn widest_path_bucketed<G: Graph>(g: &G, src: V) -> Vec<u64> {
         // Extracting the widest bucket settles its vertices: any path through
         // narrower vertices can only be narrower.
         let mut frontier = VertexSubset::from_sparse(n, ids);
-        let relax = WidestFn { width: &width, claimed: None };
+        let relax = WidestFn {
+            width: &width,
+            claimed: None,
+        };
         let mut moved = edge_map(g, &mut frontier, &relax, EdgeMapOpts::default());
         let mut ids: Vec<V> = moved.as_sparse().to_vec();
         par::par_sort(&mut ids);

@@ -139,7 +139,11 @@ impl Buckets {
                 }
             }
         }
-        let clamped = if k == CLOSED { CLOSED } else { k.max(self.base) };
+        let clamped = if k == CLOSED {
+            CLOSED
+        } else {
+            k.max(self.base)
+        };
         self.ids[v as usize] = clamped;
         meter::aux_write(1);
         if clamped != CLOSED {
@@ -188,7 +192,10 @@ impl Buckets {
                         .map(|i| raw[i as usize])
                         .collect()
                 } else {
-                    raw.iter().copied().filter(|&v| ids[v as usize] == key).collect()
+                    raw.iter()
+                        .copied()
+                        .filter(|&v| ids[v as usize] == key)
+                        .collect()
                 };
                 // A vertex moved away from this bucket and back again leaves
                 // multiple *live* copies; deduplicate before extraction.
@@ -216,13 +223,18 @@ impl Buckets {
             }
             let over = std::mem::take(&mut self.overflow);
             let ids = &self.ids;
-            let live: Vec<V> =
-                over.into_iter().filter(|&v| ids[v as usize] != CLOSED).collect();
+            let live: Vec<V> = over
+                .into_iter()
+                .filter(|&v| ids[v as usize] != CLOSED)
+                .collect();
             if live.is_empty() {
                 return None;
             }
-            let new_base =
-                live.iter().map(|&v| self.ids[v as usize]).min().expect("nonempty");
+            let new_base = live
+                .iter()
+                .map(|&v| self.ids[v as usize])
+                .min()
+                .expect("nonempty");
             self.base = new_base;
             self.dead.iter_mut().for_each(|d| *d = 0);
             for v in live {
@@ -262,7 +274,10 @@ mod tests {
             Some(keys[v as usize])
         });
         let got = drain(&mut b);
-        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![9, 5, 3, 1]);
+        assert_eq!(
+            got.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![9, 5, 3, 1]
+        );
     }
 
     #[test]
@@ -281,8 +296,7 @@ mod tests {
 
     #[test]
     fn update_moves_vertices() {
-        let mut b =
-            Buckets::new(3, Order::Increasing, Packing::SemiEager, |_| Some(10));
+        let mut b = Buckets::new(3, Order::Increasing, Packing::SemiEager, |_| Some(10));
         b.update(1, 2);
         let (k, vs) = b.next_bucket().unwrap();
         assert_eq!((k, vs), (2, vec![1]));
@@ -313,7 +327,11 @@ mod tests {
             let mut order = Vec::new();
             let mut round = 0u64;
             while let Some((k, vs)) = b.next_bucket() {
-                order.push((k, { let mut s = vs.clone(); s.sort_unstable(); s }));
+                order.push((k, {
+                    let mut s = vs.clone();
+                    s.sort_unstable();
+                    s
+                }));
                 round += 1;
                 // Push a fraction of the extracted vertices to later buckets.
                 for &v in vs.iter().filter(|&&v| (v as u64 + round) % 3 == 0) {

@@ -76,7 +76,11 @@ pub struct EdgeMapOpts {
 
 impl Default for EdgeMapOpts {
     fn default() -> Self {
-        Self { strategy: Strategy::Auto, sparse_impl: SparseImpl::Chunked, dense_threshold_den: 20 }
+        Self {
+            strategy: Strategy::Auto,
+            sparse_impl: SparseImpl::Chunked,
+            dense_threshold_den: 20,
+        }
     }
 }
 
@@ -257,7 +261,9 @@ struct ChunkPool {
     free: Mutex<Vec<Vec<V>>>,
 }
 
-static CHUNK_POOL: ChunkPool = ChunkPool { free: Mutex::new(Vec::new()) };
+static CHUNK_POOL: ChunkPool = ChunkPool {
+    free: Mutex::new(Vec::new()),
+};
 
 impl ChunkPool {
     fn fetch(&self, capacity: usize) -> Vec<V> {
@@ -338,16 +344,22 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
         let blocks_ref: &[(u32, u32)] = &blocks;
         par::par_map_grain(num_groups, 1, |gi| {
             let jlo = group_start(gi);
-            let jhi = if gi + 1 == num_groups { total_blocks } else { group_start(gi + 1) };
+            let jhi = if gi + 1 == num_groups {
+                total_blocks
+            } else {
+                group_start(gi + 1)
+            };
             let mut chunks: Vec<Vec<V>> = Vec::new();
             let mut processed = 0u64;
             let mut hits = 0u64;
-            for j in jlo..jhi {
-                let (i, b) = blocks_ref[j];
+            for &(i, b) in &blocks_ref[jlo..jhi] {
                 let u = ids[i as usize];
                 // FetchChunk: ensure space for a full block.
                 let need = bs;
-                if chunks.last().map_or(true, |c| c.len() + need > c.capacity()) {
+                if chunks
+                    .last()
+                    .map_or(true, |c| c.len() + need > c.capacity())
+                {
                     chunks.push(CHUNK_POOL.fetch(chunk_size.max(need)));
                 }
                 let chunk = chunks.last_mut().unwrap();
@@ -449,23 +461,39 @@ mod tests {
     }
 
     fn check_all_variants_agree<G: Graph>(g: &G, src: V) {
-        let base = bfs_levels(g, src, EdgeMapOpts {
-            strategy: Strategy::ForceSparse,
-            sparse_impl: SparseImpl::Sparse,
-            ..Default::default()
-        });
+        let base = bfs_levels(
+            g,
+            src,
+            EdgeMapOpts {
+                strategy: Strategy::ForceSparse,
+                sparse_impl: SparseImpl::Sparse,
+                ..Default::default()
+            },
+        );
         for (name, opts) in [
-            ("chunked", EdgeMapOpts {
-                strategy: Strategy::ForceSparse,
-                sparse_impl: SparseImpl::Chunked,
-                ..Default::default()
-            }),
-            ("blocked", EdgeMapOpts {
-                strategy: Strategy::ForceSparse,
-                sparse_impl: SparseImpl::Blocked,
-                ..Default::default()
-            }),
-            ("dense", EdgeMapOpts { strategy: Strategy::ForceDense, ..Default::default() }),
+            (
+                "chunked",
+                EdgeMapOpts {
+                    strategy: Strategy::ForceSparse,
+                    sparse_impl: SparseImpl::Chunked,
+                    ..Default::default()
+                },
+            ),
+            (
+                "blocked",
+                EdgeMapOpts {
+                    strategy: Strategy::ForceSparse,
+                    sparse_impl: SparseImpl::Blocked,
+                    ..Default::default()
+                },
+            ),
+            (
+                "dense",
+                EdgeMapOpts {
+                    strategy: Strategy::ForceDense,
+                    ..Default::default()
+                },
+            ),
             ("auto", EdgeMapOpts::default()),
         ] {
             let got = bfs_levels(g, src, opts);
@@ -503,7 +531,12 @@ mod tests {
         let g = gen::path(10);
         let mut f = VertexSubset::empty(10);
         let parents: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(UNVISITED)).collect();
-        let out = edge_map(&g, &mut f, &ClaimFn { parents: &parents }, EdgeMapOpts::default());
+        let out = edge_map(
+            &g,
+            &mut f,
+            &ClaimFn { parents: &parents },
+            EdgeMapOpts::default(),
+        );
         assert!(out.is_empty());
     }
 

@@ -60,7 +60,10 @@ impl<'g, G: Graph> GraphFilter<'g, G> {
     pub fn new(g: &'g G, symmetric: bool) -> Self {
         let n = g.num_vertices();
         let fb = g.block_size();
-        assert!(fb <= 512, "filter block size {fb} exceeds the supported 512");
+        assert!(
+            fb <= 512,
+            "filter block size {fb} exceeds the supported 512"
+        );
         let wpb = fb / 64;
         let mut vstart = vec![0u64; n + 1];
         {
@@ -292,8 +295,8 @@ impl<'g, G: Graph> GraphFilter<'g, G> {
         let new_nb = if live_blocks < nb.div_ceil(2) {
             let mut at = 0usize;
             let mut offset = 0u32;
-            for bi in 0..nb {
-                if counts[bi] == 0 {
+            for (bi, &cnt) in counts.iter().enumerate() {
+                if cnt == 0 {
                     continue;
                 }
                 let src = base + bi;
@@ -306,7 +309,7 @@ impl<'g, G: Graph> GraphFilter<'g, G> {
                         *bits_ptr.add(dst * wpb + wi) = self.bits[src * wpb + wi];
                     }
                 }
-                offset += counts[bi];
+                offset += cnt;
                 at += 1;
             }
             meter::aux_write((at * (wpb + 2)) as u64);
@@ -349,7 +352,11 @@ impl<'g, G: Graph> GraphFilter<'g, G> {
             self.vblocks[v] = nb;
         }
         self.m_active = (self.m_active as i64 + delta) as u64;
-        subset.iter().zip(results).map(|(&v, (deg, _))| (v, deg)).collect()
+        subset
+            .iter()
+            .zip(results)
+            .map(|(&v, (deg, _))| (v, deg))
+            .collect()
     }
 
     /// `filterEdges` (§4.2): pack all vertices, returning the number of

@@ -98,8 +98,8 @@ pub fn brandes(g: &Csr, src: V) -> Vec<f64> {
     for &u in order.iter().rev() {
         for &v in g.neighbors(u) {
             if dist[v as usize] == dist[u as usize] + 1 {
-                delta[u as usize] += sigma[u as usize] / sigma[v as usize]
-                    * (1.0 + delta[v as usize]);
+                delta[u as usize] +=
+                    sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
             }
         }
     }
@@ -115,7 +115,9 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect() }
+        Self {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     /// Representative of `x`'s set (path halving).
@@ -239,8 +241,10 @@ pub fn pagerank(g: &Csr, eps: f64, max_iters: usize) -> (Vec<f64>, usize) {
     for _ in 0..max_iters {
         iters += 1;
         // Dangling mass is redistributed uniformly, keeping Σp = 1.
-        let dangling: f64 =
-            (0..n as V).filter(|&u| g.degree(u) == 0).map(|u| p[u as usize]).sum();
+        let dangling: f64 = (0..n as V)
+            .filter(|&u| g.degree(u) == 0)
+            .map(|u| p[u as usize])
+            .sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
         let mut next = vec![base; n];
         for u in 0..n as V {
@@ -270,8 +274,7 @@ pub fn greedy_set_cover(g: &Csr, num_sets: usize) -> Vec<V> {
     let mut chosen = Vec::new();
     let mut uncovered = n - num_sets;
     // Only elements with at least one covering set can be covered.
-    let coverable =
-        (num_sets..n).filter(|&e| g.degree(e as V) > 0).count();
+    let coverable = (num_sets..n).filter(|&e| g.degree(e as V) > 0).count();
     let mut remaining = coverable;
     uncovered = uncovered.min(coverable);
     let _ = uncovered;
@@ -325,12 +328,20 @@ pub fn biconnected_components(g: &Csr) -> std::collections::HashMap<(V, V), u32>
         if disc[root as usize] != u32::MAX {
             continue;
         }
-        let mut stack = vec![Frame { v: root, parent: V::MAX, edge_idx: 0 }];
+        let mut stack = vec![Frame {
+            v: root,
+            parent: V::MAX,
+            edge_idx: 0,
+        }];
         disc[root as usize] = timer;
         low[root as usize] = timer;
         timer += 1;
         while let Some(frame) = stack.last().cloned() {
-            let Frame { v, parent, edge_idx } = frame;
+            let Frame {
+                v,
+                parent,
+                edge_idx,
+            } = frame;
             if edge_idx < g.degree(v) {
                 stack.last_mut().unwrap().edge_idx += 1;
                 let to = g.neighbor_at(v, edge_idx);
@@ -339,7 +350,11 @@ pub fn biconnected_components(g: &Csr) -> std::collections::HashMap<(V, V), u32>
                     disc[to as usize] = timer;
                     low[to as usize] = timer;
                     timer += 1;
-                    stack.push(Frame { v: to, parent: v, edge_idx: 0 });
+                    stack.push(Frame {
+                        v: to,
+                        parent: v,
+                        edge_idx: 0,
+                    });
                 } else if to != parent && disc[to as usize] < disc[v as usize] {
                     estack.push((v.min(to), v.max(to)));
                     low[v as usize] = low[v as usize].min(disc[to as usize]);
@@ -393,7 +408,10 @@ pub fn check_maximal_matching(g: &Csr, mate: &[V]) -> Result<(), String> {
         let m = mate[u as usize];
         if m != none {
             if mate[m as usize] != u {
-                return Err(format!("mate not mutual: {u} -> {m} -> {}", mate[m as usize]));
+                return Err(format!(
+                    "mate not mutual: {u} -> {m} -> {}",
+                    mate[m as usize]
+                ));
             }
             if !g.neighbors(u).contains(&m) {
                 return Err(format!("matched pair ({u},{m}) is not an edge"));
@@ -412,7 +430,10 @@ pub fn check_maximal_matching(g: &Csr, mate: &[V]) -> Result<(), String> {
 
 /// Is `color` a proper coloring with at most `Δ+1` colors?
 pub fn check_coloring(g: &Csr, color: &[u32]) -> Result<(), String> {
-    let dmax = (0..g.num_vertices() as V).map(|v| g.degree(v)).max().unwrap_or(0);
+    let dmax = (0..g.num_vertices() as V)
+        .map(|v| g.degree(v))
+        .max()
+        .unwrap_or(0);
     for u in 0..g.num_vertices() as V {
         if color[u as usize] as usize > dmax {
             return Err(format!("vertex {u} uses color {} > Δ", color[u as usize]));
@@ -535,15 +556,15 @@ mod tests {
     fn greedy_cover_covers() {
         let g = gen::set_cover_instance(10, 60, 3, 1);
         let chosen = greedy_set_cover(&g, 10);
-        let mut covered = vec![false; 60];
+        let mut covered = [false; 60];
         for &s in &chosen {
             for &e in g.neighbors(s) {
                 covered[e as usize - 10] = true;
             }
         }
-        for e in 0..60 {
+        for (e, &cov) in covered.iter().enumerate() {
             if g.degree((10 + e) as V) > 0 {
-                assert!(covered[e], "element {e} uncovered");
+                assert!(cov, "element {e} uncovered");
             }
         }
     }

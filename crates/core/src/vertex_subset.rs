@@ -23,26 +23,41 @@ pub struct VertexSubset {
 impl VertexSubset {
     /// The empty subset over `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, repr: Repr::Sparse(Vec::new()) }
+        Self {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
     }
 
     /// The singleton `{v}`.
     pub fn single(n: usize, v: V) -> Self {
         assert!((v as usize) < n);
-        Self { n, repr: Repr::Sparse(vec![v]) }
+        Self {
+            n,
+            repr: Repr::Sparse(vec![v]),
+        }
     }
 
     /// The full vertex set.
     pub fn full(n: usize) -> Self {
         meter::aux_write(n as u64 / 64 + 1);
-        Self { n, repr: Repr::Dense { flags: vec![true; n], count: n } }
+        Self {
+            n,
+            repr: Repr::Dense {
+                flags: vec![true; n],
+                count: n,
+            },
+        }
     }
 
     /// Build from an id list (ids must be unique and `< n`).
     pub fn from_sparse(n: usize, ids: Vec<V>) -> Self {
         debug_assert!(ids.iter().all(|&v| (v as usize) < n));
         meter::aux_write(ids.len() as u64);
-        Self { n, repr: Repr::Sparse(ids) }
+        Self {
+            n,
+            repr: Repr::Sparse(ids),
+        }
     }
 
     /// Build from a boolean membership vector.
@@ -50,7 +65,10 @@ impl VertexSubset {
         assert_eq!(flags.len(), n);
         let count = par::reduce_add(0, n, |i| flags[i] as u64) as usize;
         meter::aux_write(n as u64 / 64 + 1);
-        Self { n, repr: Repr::Dense { flags, count } }
+        Self {
+            n,
+            repr: Repr::Dense { flags, count },
+        }
     }
 
     /// Universe size.

@@ -14,7 +14,10 @@ struct Model {
 
 impl Model {
     fn new(keys: &[u64], order: Order) -> Self {
-        Self { key_of: keys.to_vec(), order }
+        Self {
+            key_of: keys.to_vec(),
+            order,
+        }
     }
 
     fn update(&mut self, v: u32, key: u64) {
@@ -79,7 +82,9 @@ fn run_scenario(
                 }
                 let key = match order {
                     Order::Increasing => raw_key.clamp(cur, cur + 3 * OPEN_BUCKETS as u64),
-                    Order::Decreasing => raw_key.clamp(cur.saturating_sub(3 * OPEN_BUCKETS as u64), cur),
+                    Order::Decreasing => {
+                        raw_key.clamp(cur.saturating_sub(3 * OPEN_BUCKETS as u64), cur)
+                    }
                 };
                 model.update(v, key);
                 buckets.update(v, key);

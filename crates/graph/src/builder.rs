@@ -20,7 +20,11 @@ pub struct EdgeList {
 impl EdgeList {
     /// Unweighted edge list.
     pub fn new(n: usize, edges: Vec<(V, V)>) -> Self {
-        Self { n, edges, weights: None }
+        Self {
+            n,
+            edges,
+            weights: None,
+        }
     }
 
     /// Attach uniform random weights in `[1, max(2, log2 n))`, the paper's
@@ -52,7 +56,10 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        Self { symmetrize: true, block_size: 64 }
+        Self {
+            symmetrize: true,
+            block_size: 64,
+        }
     }
 }
 
@@ -62,12 +69,14 @@ pub fn build_csr(list: EdgeList, opts: BuildOptions) -> Csr {
     let n = list.n;
     let weighted = list.weights.is_some();
     // Pack (u, v, w) into sortable tuples.
-    let mut triples: Vec<(u64, u32)> = Vec::with_capacity(
-        list.edges.len() * if opts.symmetrize { 2 } else { 1 },
-    );
+    let mut triples: Vec<(u64, u32)> =
+        Vec::with_capacity(list.edges.len() * if opts.symmetrize { 2 } else { 1 });
     let key = |u: V, v: V| ((u as u64) << 32) | v as u64;
     for (i, &(u, v)) in list.edges.iter().enumerate() {
-        assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range n={n}");
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u},{v}) out of range n={n}"
+        );
         if u == v {
             continue; // the paper assumes no self-edges (§2)
         }
@@ -101,8 +110,11 @@ pub fn build_csr(list: EdgeList, opts: BuildOptions) -> Csr {
     debug_assert_eq!(total as usize, m);
 
     let edges: Vec<V> = par::par_map(m, |i| (triples[i].0 & 0xFFFF_FFFF) as V);
-    let weights: Option<Vec<u32>> =
-        if weighted { Some(par::par_map(m, |i| triples[i].1)) } else { None };
+    let weights: Option<Vec<u32>> = if weighted {
+        Some(par::par_map(m, |i| triples[i].1))
+    } else {
+        None
+    };
 
     Csr::from_parts(
         offsets.into(),
@@ -145,7 +157,13 @@ mod tests {
     #[test]
     fn directed_build() {
         let list = EdgeList::new(3, vec![(0, 1), (1, 2)]);
-        let g = build_csr(list, BuildOptions { symmetrize: false, ..Default::default() });
+        let g = build_csr(
+            list,
+            BuildOptions {
+                symmetrize: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.degree(2), 0);
     }
@@ -164,7 +182,7 @@ mod tests {
         let list = EdgeList::new(n, edges).with_random_weights(42);
         let g = build_csr(list, BuildOptions::default());
         assert!(g.is_weighted());
-        let log_n = (usize::BITS - n.leading_zeros()) as u32;
+        let log_n = usize::BITS - n.leading_zeros();
         for v in 0..n as V {
             let deg = g.degree(v);
             for i in 0..deg {

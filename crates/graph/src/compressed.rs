@@ -114,8 +114,8 @@ impl CompressedCsr {
             }
             let header_bytes = (nblocks - 1) * 4;
             let mut out = Vec::with_capacity(header_bytes + body.len());
-            for b in 1..nblocks {
-                let abs = header_bytes as u32 + block_starts[b];
+            for &start in &block_starts[1..nblocks] {
+                let abs = header_bytes as u32 + start;
                 out.extend_from_slice(&abs.to_le_bytes());
             }
             out.extend_from_slice(&body);
@@ -124,8 +124,10 @@ impl CompressedCsr {
         // Lay regions out 4-byte aligned.
         let mut voffsets = vec![0u64; n + 1];
         {
-            let sizes: Vec<u64> =
-                encoded.iter().map(|e| (e.len().div_ceil(4) * 4) as u64).collect();
+            let sizes: Vec<u64> = encoded
+                .iter()
+                .map(|e| (e.len().div_ceil(4) * 4) as u64)
+                .collect();
             voffsets[..n].copy_from_slice(&sizes);
         }
         let total = par::scan_add(&mut voffsets[..n]) as usize;
@@ -166,7 +168,14 @@ impl CompressedCsr {
     ) -> Self {
         assert_eq!(voffsets.len(), degrees.len() + 1);
         assert!(block_size >= 64 && block_size % 64 == 0);
-        Self { voffsets, degrees, data, m, weighted, block_size }
+        Self {
+            voffsets,
+            degrees,
+            data,
+            m,
+            weighted,
+            block_size,
+        }
     }
 
     /// Size of all arrays in bytes (compression-ratio reporting, §4.2.3).
@@ -217,7 +226,11 @@ impl CompressedCsr {
                 (prev + 1 + get_varint(region, &mut pos) as i64) as V
             };
             prev = ngh as i64;
-            let w = if self.weighted { get_varint(region, &mut pos) as u32 } else { 0 };
+            let w = if self.weighted {
+                get_varint(region, &mut pos) as u32
+            } else {
+                0
+            };
             f((i - lo) as u32, ngh, w);
         }
         pos - start

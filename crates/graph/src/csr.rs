@@ -72,8 +72,17 @@ impl Csr {
         if let Some(w) = &weights {
             assert_eq!(w.len(), edges.len(), "one weight per edge");
         }
-        assert!(block_size >= 64 && block_size % 64 == 0, "block size must be a multiple of 64");
-        Self { offsets, edges, weights, block_size, dram_resident: false }
+        assert!(
+            block_size >= 64 && block_size % 64 == 0,
+            "block size must be a multiple of 64"
+        );
+        Self {
+            offsets,
+            edges,
+            weights,
+            block_size,
+            dram_resident: false,
+        }
     }
 
     /// Mark this graph as living in the PSAM's small memory (DRAM): its
@@ -134,7 +143,10 @@ impl Csr {
 
     /// Override the logical block size (must be a positive multiple of 64).
     pub fn set_block_size(&mut self, block_size: usize) {
-        assert!(block_size >= 64 && block_size % 64 == 0, "block size must be a multiple of 64");
+        assert!(
+            block_size >= 64 && block_size % 64 == 0,
+            "block size must be a multiple of 64"
+        );
         self.block_size = block_size;
     }
 

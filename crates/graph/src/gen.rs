@@ -26,14 +26,22 @@ pub struct RmatParams {
 impl Default for RmatParams {
     /// The classic Graph500 social-network parameters.
     fn default() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
 impl RmatParams {
     /// More skewed parameters resembling web crawls (heavier head).
     pub fn web() -> Self {
-        Self { a: 0.65, b: 0.15, c: 0.15 }
+        Self {
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+        }
     }
 }
 
@@ -67,7 +75,10 @@ pub fn rmat_edges(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> E
 
 /// Symmetrized R-MAT graph (the paper symmetrizes all inputs, §5.1.3).
 pub fn rmat(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> Csr {
-    build_csr(rmat_edges(scale, edge_factor, p, seed), BuildOptions::default())
+    build_csr(
+        rmat_edges(scale, edge_factor, p, seed),
+        BuildOptions::default(),
+    )
 }
 
 /// Erdős–Rényi G(n, m): `m` uniformly random directed pairs, symmetrized.
@@ -146,13 +157,18 @@ pub fn set_cover_instance(
         (rng.next_below(num_sets as u64) as V, elt)
     })
     .into_iter()
-    .chain((0..num_elements * covers_per_element.saturating_sub(1)).map(|i| {
-        let e = i % num_elements;
-        let mut rng = SplitMix64::new(par::hash64(seed ^ 0xC0FE ^ i as u64));
-        ((rng.next_below(num_sets as u64)) as V, (num_sets + e) as V)
-    }))
+    .chain(
+        (0..num_elements * covers_per_element.saturating_sub(1)).map(|i| {
+            let e = i % num_elements;
+            let mut rng = SplitMix64::new(par::hash64(seed ^ 0xC0FE ^ i as u64));
+            ((rng.next_below(num_sets as u64)) as V, (num_sets + e) as V)
+        }),
+    )
     .collect();
-    build_csr(EdgeList::new(num_sets + num_elements, edges), BuildOptions::default())
+    build_csr(
+        EdgeList::new(num_sets + num_elements, edges),
+        BuildOptions::default(),
+    )
 }
 
 /// Two disconnected cliques bridged by nothing — a multi-component fixture.
@@ -183,16 +199,27 @@ mod tests {
         }
         let c = rmat(8, 8, RmatParams::default(), 2);
         assert_ne!(
-            (0..a.num_vertices() as V).map(|v| a.degree(v)).collect::<Vec<_>>(),
-            (0..c.num_vertices() as V).map(|v| c.degree(v)).collect::<Vec<_>>()
+            (0..a.num_vertices() as V)
+                .map(|v| a.degree(v))
+                .collect::<Vec<_>>(),
+            (0..c.num_vertices() as V)
+                .map(|v| c.degree(v))
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn rmat_is_skewed() {
         let g = rmat(10, 16, RmatParams::default(), 3);
-        let dmax = (0..g.num_vertices() as V).map(|v| g.degree(v)).max().unwrap();
-        assert!(dmax > 8 * g.avg_degree(), "dmax {dmax} vs davg {}", g.avg_degree());
+        let dmax = (0..g.num_vertices() as V)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            dmax > 8 * g.avg_degree(),
+            "dmax {dmax} vs davg {}",
+            g.avg_degree()
+        );
     }
 
     #[test]

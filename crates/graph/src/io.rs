@@ -101,9 +101,15 @@ pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let (voffsets, degrees, data) = g.parts();
     let n = g.num_vertices() as u64;
-    let flags =
-        FLAG_COMPRESSED | if g.is_weighted() { FLAG_WEIGHTED } else { 0 };
-    write_header(&mut out, flags, n, g.num_edges() as u64, g.block_size() as u64, data.len() as u64)?;
+    let flags = FLAG_COMPRESSED | if g.is_weighted() { FLAG_WEIGHTED } else { 0 };
+    write_header(
+        &mut out,
+        flags,
+        n,
+        g.num_edges() as u64,
+        g.block_size() as u64,
+        data.len() as u64,
+    )?;
     write_u64s(&mut out, voffsets)?;
     write_u32s(&mut out, degrees)?;
     let written = degrees.len() * 4;
@@ -122,11 +128,17 @@ struct Header {
 
 fn read_header(bytes: &[u8]) -> io::Result<Header> {
     if bytes.len() < HEADER_BYTES {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated header"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated header",
+        ));
     }
     let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
     if word(0) != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic; not a sage graph file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic; not a sage graph file",
+        ));
     }
     let h = Header {
         flags: word(1),
@@ -137,10 +149,16 @@ fn read_header(bytes: &[u8]) -> io::Result<Header> {
     };
     // Cheap sanity limits so corrupt sizes fail before any arithmetic.
     if h.n as u64 > bytes.len() as u64 || h.m as u64 > bytes.len() as u64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "header sizes exceed file size"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "header sizes exceed file size",
+        ));
     }
     if h.block_size != 0 && (h.block_size % 64 != 0 || h.block_size > 4096) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "invalid block size"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "invalid block size",
+        ));
     }
     Ok(h)
 }
@@ -150,31 +168,53 @@ pub fn load_csr(path: &Path, placement: Placement) -> io::Result<Csr> {
     let region = NvRegion::open(path)?;
     let h = read_header(region.bytes())?;
     if h.flags & FLAG_COMPRESSED != 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "file holds a compressed graph"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file holds a compressed graph",
+        ));
     }
     let weighted = h.flags & FLAG_WEIGHTED != 0;
     let off_at = HEADER_BYTES;
     let edges_at = off_at + (h.n + 1) * 8;
     let weights_at = (edges_at + h.m * 4).div_ceil(8) * 8;
-    let end = if weighted { weights_at + h.m * 4 } else { edges_at + h.m * 4 };
+    let end = if weighted {
+        weights_at + h.m * 4
+    } else {
+        edges_at + h.m * 4
+    };
     if region.len() < end {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "file shorter than header claims"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "file shorter than header claims",
+        ));
     }
     let offsets = region.slice::<u64>(off_at, h.n + 1)?;
     let edges = region.slice::<V>(edges_at, h.m)?;
-    let weights =
-        if weighted { Some(region.slice::<u32>(weights_at, h.m)?) } else { None };
+    let weights = if weighted {
+        Some(region.slice::<u32>(weights_at, h.m)?)
+    } else {
+        None
+    };
     // Validate untrusted structure before constructing the graph: a corrupt
     // header or offset table must surface as an error, not a panic or an
     // out-of-bounds adjacency.
     if offsets[0] != 0 || *offsets.last().unwrap() != h.m as u64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "offset table endpoints corrupt"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "offset table endpoints corrupt",
+        ));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "offset table not monotone"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "offset table not monotone",
+        ));
     }
     if edges.iter().any(|&v| v as usize >= h.n) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "edge target out of range"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "edge target out of range",
+        ));
     }
     let (o, e, w) = match placement {
         Placement::Nvram => (
@@ -196,7 +236,10 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
     let region = NvRegion::open(path)?;
     let h = read_header(region.bytes())?;
     if h.flags & FLAG_COMPRESSED == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "file holds an uncompressed graph"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file holds an uncompressed graph",
+        ));
     }
     let weighted = h.flags & FLAG_WEIGHTED != 0;
     let voff_at = HEADER_BYTES;
@@ -204,7 +247,10 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
     let data_at = (deg_at + h.n * 4).div_ceil(8) * 8;
     let data_len = h.aux as usize;
     if region.len() < data_at + data_len {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "file shorter than header claims"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "file shorter than header claims",
+        ));
     }
     let voffsets = region.slice::<u64>(voff_at, h.n + 1)?;
     let degrees = region.slice::<u32>(deg_at, h.n)?;
@@ -213,7 +259,10 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
         || *voffsets.last().unwrap() != data_len as u64
         || voffsets.windows(2).any(|w| w[0] > w[1])
     {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "vertex offset table corrupt"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "vertex offset table corrupt",
+        ));
     }
     let deg_sum: u64 = degrees.iter().map(|&d| d as u64).sum();
     if deg_sum != h.m as u64 {
@@ -223,14 +272,25 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
         ));
     }
     let (vo, de, da) = match placement {
-        Placement::Nvram => (Storage::Nv(voffsets), Storage::Nv(degrees), Storage::Nv(data)),
+        Placement::Nvram => (
+            Storage::Nv(voffsets),
+            Storage::Nv(degrees),
+            Storage::Nv(data),
+        ),
         Placement::Dram => (
             Storage::from(voffsets.to_vec()),
             Storage::from(degrees.to_vec()),
             Storage::from(data.to_vec()),
         ),
     };
-    Ok(CompressedCsr::from_parts(vo, de, da, h.m, weighted, h.block_size.max(64)))
+    Ok(CompressedCsr::from_parts(
+        vo,
+        de,
+        da,
+        h.m,
+        weighted,
+        h.block_size.max(64),
+    ))
 }
 
 /// Write the Ligra `AdjacencyGraph` text format.
@@ -238,7 +298,15 @@ pub fn write_adjacency_text(g: &Csr, path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let n = g.num_vertices();
     let m = g.num_edges();
-    writeln!(out, "{}", if g.is_weighted() { "WeightedAdjacencyGraph" } else { "AdjacencyGraph" })?;
+    writeln!(
+        out,
+        "{}",
+        if g.is_weighted() {
+            "WeightedAdjacencyGraph"
+        } else {
+            "AdjacencyGraph"
+        }
+    )?;
     writeln!(out, "{n}")?;
     writeln!(out, "{m}")?;
     for v in 0..n {
@@ -306,7 +374,12 @@ pub fn read_adjacency_text(path: &Path) -> io::Result<Csr> {
     } else {
         None
     };
-    Ok(Csr::from_parts(offsets.into(), edges.into(), weights.map(Into::into), 64))
+    Ok(Csr::from_parts(
+        offsets.into(),
+        edges.into(),
+        weights.map(Into::into),
+        64,
+    ))
 }
 
 // `BufRead` is pulled in for line-oriented extension points.

@@ -33,12 +33,16 @@ impl Relabeling {
 
     /// Seeded random order.
     pub fn random(n: usize, seed: u64) -> Self {
-        Self { perm: par::rng::random_permutation(n, seed) }
+        Self {
+            perm: par::rng::random_permutation(n, seed),
+        }
     }
 
     /// Identity order (useful as an ablation control).
     pub fn identity(n: usize) -> Self {
-        Self { perm: (0..n as V).collect() }
+        Self {
+            perm: (0..n as V).collect(),
+        }
     }
 }
 
@@ -48,7 +52,11 @@ pub fn relabel(g: &Csr, r: &Relabeling) -> Csr {
     assert_eq!(r.perm.len(), n, "permutation size mismatch");
     let weighted = g.is_weighted();
     let mut edges = Vec::with_capacity(g.num_edges());
-    let mut weights = if weighted { Some(Vec::with_capacity(g.num_edges())) } else { None };
+    let mut weights = if weighted {
+        Some(Vec::with_capacity(g.num_edges()))
+    } else {
+        None
+    };
     for u in 0..n as V {
         for i in 0..g.degree(u) {
             let v = g.neighbor_at(u, i);
@@ -62,7 +70,10 @@ pub fn relabel(g: &Csr, r: &Relabeling) -> Csr {
     }
     build_csr(
         EdgeList { n, edges, weights },
-        BuildOptions { symmetrize: true, block_size: g.block_size() },
+        BuildOptions {
+            symmetrize: true,
+            block_size: g.block_size(),
+        },
     )
 }
 
@@ -100,7 +111,10 @@ mod tests {
         let h = relabel(&g, &r);
         // New vertex 0 must have the maximum degree; degrees non-increasing
         // overall (up to ties broken by id).
-        let dmax = (0..h.num_vertices() as V).map(|v| h.degree(v)).max().unwrap();
+        let dmax = (0..h.num_vertices() as V)
+            .map(|v| h.degree(v))
+            .max()
+            .unwrap();
         assert_eq!(h.degree(0), dmax);
         let degs: Vec<usize> = (0..h.num_vertices() as V).map(|v| h.degree(v)).collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
@@ -140,12 +154,20 @@ mod tests {
             let mut count = 0u64;
             let mut work = 0u64;
             for u in 0..g.num_vertices() as V {
-                let nu: Vec<V> =
-                    g.neighbors(u).iter().copied().filter(|&v| rank(u) < rank(v)).collect();
+                let nu: Vec<V> = g
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| rank(u) < rank(v))
+                    .collect();
                 work += g.degree(u) as u64;
                 for &v in &nu {
-                    let nv: Vec<V> =
-                        g.neighbors(v).iter().copied().filter(|&w| rank(v) < rank(w)).collect();
+                    let nv: Vec<V> = g
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&w| rank(v) < rank(w))
+                        .collect();
                     work += g.degree(v) as u64;
                     let (mut i, mut j) = (0, 0);
                     while i < nu.len() && j < nv.len() {

@@ -25,7 +25,13 @@ impl GraphStats {
         let m = g.num_edges();
         let dmax = par::reduce_max(0, n, 0usize, |v| g.degree(v as V));
         let isolated = par::reduce_add(0, n, |v| (g.degree(v as V) == 0) as u64) as usize;
-        Self { n, m, davg: if n == 0 { 0.0 } else { m as f64 / n as f64 }, dmax, isolated }
+        Self {
+            n,
+            m,
+            davg: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            dmax,
+            isolated,
+        }
     }
 }
 

@@ -30,9 +30,18 @@ impl DirectMappedCache {
     /// A cache of `capacity_bytes` with `line_bytes`-sized lines (both must be
     /// powers of two, capacity ≥ one line).
     pub fn new(capacity_bytes: usize, line_bytes: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(capacity_bytes.is_power_of_two(), "capacity must be a power of two");
-        assert!(capacity_bytes >= line_bytes, "capacity smaller than one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            capacity_bytes.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert!(
+            capacity_bytes >= line_bytes,
+            "capacity smaller than one line"
+        );
         let lines = capacity_bytes / line_bytes;
         Self {
             line_bytes,

@@ -63,7 +63,9 @@ pub struct Meter {
 
 impl Default for Meter {
     fn default() -> Self {
-        Self { shards: [const { Shard::new() }; SHARDS] }
+        Self {
+            shards: [const { Shard::new() }; SHARDS],
+        }
     }
 }
 
@@ -94,12 +96,13 @@ impl MeterSnapshot {
     /// Total PSAM work: unit-cost for every access except graph writes,
     /// which cost ω (the paper's work measure with reads charged 1).
     pub fn psam_work(&self, omega: f64) -> f64 {
-        (self.graph_read + self.aux_read + self.aux_write) as f64
-            + self.graph_write as f64 * omega
+        (self.graph_read + self.aux_read + self.aux_write) as f64 + self.graph_write as f64 * omega
     }
 }
 
-static GLOBAL: Meter = Meter { shards: [const { Shard::new() }; SHARDS] };
+static GLOBAL: Meter = Meter {
+    shards: [const { Shard::new() }; SHARDS],
+};
 
 impl Meter {
     /// The process-wide meter.
@@ -133,25 +136,33 @@ impl Meter {
 /// Record `words` read from the graph (bulk-reported by engine primitives).
 #[inline]
 pub fn graph_read(words: u64) {
-    GLOBAL.shards[shard()].graph_read.fetch_add(words, Ordering::Relaxed);
+    GLOBAL.shards[shard()]
+        .graph_read
+        .fetch_add(words, Ordering::Relaxed);
 }
 
 /// Record `words` written to the graph (only baseline systems do this).
 #[inline]
 pub fn graph_write(words: u64) {
-    GLOBAL.shards[shard()].graph_write.fetch_add(words, Ordering::Relaxed);
+    GLOBAL.shards[shard()]
+        .graph_write
+        .fetch_add(words, Ordering::Relaxed);
 }
 
 /// Record `words` read from algorithm state.
 #[inline]
 pub fn aux_read(words: u64) {
-    GLOBAL.shards[shard()].aux_read.fetch_add(words, Ordering::Relaxed);
+    GLOBAL.shards[shard()]
+        .aux_read
+        .fetch_add(words, Ordering::Relaxed);
 }
 
 /// Record `words` written to algorithm state.
 #[inline]
 pub fn aux_write(words: u64) {
-    GLOBAL.shards[shard()].aux_write.fetch_add(words, Ordering::Relaxed);
+    GLOBAL.shards[shard()]
+        .aux_write
+        .fetch_add(words, Ordering::Relaxed);
 }
 
 /// Relative per-word access costs (DRAM read ≡ 1).
@@ -167,7 +178,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { nvram_read: 3.0, omega: 4.0, cross_socket: 3.7 }
+        Self {
+            nvram_read: 3.0,
+            omega: 4.0,
+            cross_socket: 3.7,
+        }
     }
 }
 
@@ -260,14 +275,24 @@ mod tests {
 
     #[test]
     fn psam_work_charges_omega_for_graph_writes() {
-        let s = MeterSnapshot { graph_read: 10, graph_write: 5, aux_read: 3, aux_write: 2 };
+        let s = MeterSnapshot {
+            graph_read: 10,
+            graph_write: 5,
+            aux_read: 3,
+            aux_write: 2,
+        };
         assert_eq!(s.psam_work(4.0), 10.0 + 3.0 + 2.0 + 20.0);
     }
 
     #[test]
     fn sage_config_prices_graph_reads_at_nvram_rate() {
         let model = CostModel::default();
-        let s = MeterSnapshot { graph_read: 100, graph_write: 0, aux_read: 10, aux_write: 10 };
+        let s = MeterSnapshot {
+            graph_read: 100,
+            graph_write: 0,
+            aux_read: 10,
+            aux_write: 10,
+        };
         let sage = MemConfig::SageAppDirect.project(&s, &model);
         let dram = MemConfig::AllDram.project(&s, &model);
         assert_eq!(sage, 100.0 * 3.0 + 20.0);
@@ -278,7 +303,12 @@ mod tests {
     #[test]
     fn libvmmalloc_is_most_expensive_for_write_heavy_runs() {
         let model = CostModel::default();
-        let s = MeterSnapshot { graph_read: 50, graph_write: 0, aux_read: 50, aux_write: 100 };
+        let s = MeterSnapshot {
+            graph_read: 50,
+            graph_write: 0,
+            aux_read: 50,
+            aux_write: 100,
+        };
         let sage = MemConfig::SageAppDirect.project(&s, &model);
         let vm = MemConfig::NvramHeap.project(&s, &model);
         assert!(vm > sage, "libvmmalloc {vm} must exceed Sage {sage}");
@@ -287,7 +317,12 @@ mod tests {
     #[test]
     fn memory_mode_interpolates_between_dram_and_nvram() {
         let model = CostModel::default();
-        let s = MeterSnapshot { graph_read: 1000, graph_write: 0, aux_read: 0, aux_write: 0 };
+        let s = MeterSnapshot {
+            graph_read: 1000,
+            graph_write: 0,
+            aux_read: 0,
+            aux_write: 0,
+        };
         let hot = MemConfig::MemoryMode { hit_rate: 1.0 }.project(&s, &model);
         let cold = MemConfig::MemoryMode { hit_rate: 0.0 }.project(&s, &model);
         let dram = MemConfig::AllDram.project(&s, &model);

@@ -55,7 +55,14 @@ impl MmapFile {
         // SAFETY: standard read-only shared mapping of a regular file; the fd
         // may be closed after mmap returns (the mapping keeps it alive).
         let ptr = unsafe {
-            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_SHARED, file.as_raw_fd(), 0)
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
         };
         if ptr as isize == -1 {
             return Err(io::Error::last_os_error());
@@ -109,7 +116,10 @@ mod tests {
     fn map_roundtrip() {
         let path = tmp("roundtrip");
         let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-        std::fs::File::create(&path).unwrap().write_all(&data).unwrap();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
         let map = MmapFile::open(&path).unwrap();
         assert_eq!(map.len(), data.len());
         assert_eq!(map.as_bytes(), &data[..]);
@@ -134,7 +144,10 @@ mod tests {
     fn mapping_is_shareable_across_threads() {
         let path = tmp("threads");
         let data = vec![7u8; 1 << 16];
-        std::fs::File::create(&path).unwrap().write_all(&data).unwrap();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
         let map = std::sync::Arc::new(MmapFile::open(&path).unwrap());
         let handles: Vec<_> = (0..4)
             .map(|_| {

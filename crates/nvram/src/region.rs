@@ -36,7 +36,9 @@ pub struct NvRegion {
 impl NvRegion {
     /// Map a file as NVRAM.
     pub fn open(path: &Path) -> io::Result<Self> {
-        Ok(Self { map: Arc::new(MmapFile::open(path)?) })
+        Ok(Self {
+            map: Arc::new(MmapFile::open(path)?),
+        })
     }
 
     /// Size of the region in bytes.
@@ -67,17 +69,27 @@ impl NvRegion {
         if end > self.len() {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                format!("slice [{byte_offset}, {end}) beyond region of {} bytes", self.len()),
+                format!(
+                    "slice [{byte_offset}, {end}) beyond region of {} bytes",
+                    self.len()
+                ),
             ));
         }
         let ptr = unsafe { self.map.as_bytes().as_ptr().add(byte_offset) };
         if (ptr as usize) % std::mem::align_of::<T>() != 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("offset {byte_offset} misaligned for {}", std::any::type_name::<T>()),
+                format!(
+                    "offset {byte_offset} misaligned for {}",
+                    std::any::type_name::<T>()
+                ),
             ));
         }
-        Ok(NvSlice { _region: self.clone(), ptr: ptr as *const T, len: count })
+        Ok(NvSlice {
+            _region: self.clone(),
+            ptr: ptr as *const T,
+            len: count,
+        })
     }
 }
 

@@ -12,7 +12,10 @@ fn peak_reflects_large_allocation() {
     let before = alloc_track::peak_bytes();
     let v: Vec<u8> = vec![1; 8 << 20]; // 8 MiB
     let after = alloc_track::peak_bytes();
-    assert!(after >= before + (8 << 20) as u64, "peak {before} -> {after}");
+    assert!(
+        after >= before + (8 << 20) as u64,
+        "peak {before} -> {after}"
+    );
     drop(v);
     // Current usage returns to (roughly) what it was; peak stays.
     assert!(alloc_track::peak_bytes() >= before + (8 << 20) as u64);

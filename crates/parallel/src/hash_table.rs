@@ -28,7 +28,11 @@ impl ConcurrentMap {
         let slots = (capacity.max(8) * 2).next_power_of_two();
         let keys = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
         let vals = (0..slots).map(|_| AtomicU64::new(0)).collect();
-        Self { keys, vals, mask: slots - 1 }
+        Self {
+            keys,
+            vals,
+            mask: slots - 1,
+        }
     }
 
     /// Total slot count (2x requested capacity, rounded up).
@@ -53,12 +57,8 @@ impl ConcurrentMap {
                 return i;
             }
             if cur == EMPTY {
-                match self.keys[i].compare_exchange(
-                    EMPTY,
-                    key,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
+                {
                     Ok(_) => return i,
                     Err(found) if found == key => return i,
                     Err(_) => {} // someone else claimed it; keep probing
@@ -155,13 +155,14 @@ impl ConcurrentMap {
     pub fn entries(&self) -> Vec<(u64, u64)> {
         let keys = &self.keys;
         let vals = &self.vals;
-        let idx = crate::ops::pack_index(keys.len(), |i| {
-            keys[i].load(Ordering::Relaxed) != EMPTY
-        });
+        let idx = crate::ops::pack_index(keys.len(), |i| keys[i].load(Ordering::Relaxed) != EMPTY);
         idx.iter()
             .map(|&i| {
                 let i = i as usize;
-                (keys[i].load(Ordering::Relaxed), vals[i].load(Ordering::Relaxed))
+                (
+                    keys[i].load(Ordering::Relaxed),
+                    vals[i].load(Ordering::Relaxed),
+                )
             })
             .collect()
     }

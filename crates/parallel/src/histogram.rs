@@ -30,13 +30,21 @@ pub enum Histogram {
 impl Histogram {
     /// The paper's default policy with `t = m/16`.
     pub fn auto(m: usize) -> Self {
-        Histogram::Auto { threshold: (m / 16).max(1) }
+        Histogram::Auto {
+            threshold: (m / 16).max(1),
+        }
     }
 
     /// Count occurrences of each key produced by `keys_of(i)` for
     /// `i in 0..items`, where each item yields zero or more keys via the
     /// provided iterator closure. `universe` bounds key values.
-    pub fn count<F>(&self, items: usize, total_keys: usize, universe: usize, keys_of: F) -> Vec<(u32, u32)>
+    pub fn count<F>(
+        &self,
+        items: usize,
+        total_keys: usize,
+        universe: usize,
+        keys_of: F,
+    ) -> Vec<(u32, u32)>
     where
         F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
     {
@@ -84,7 +92,10 @@ where
             map.fetch_add(k as u64, 1);
         });
     });
-    map.entries().into_iter().map(|(k, c)| (k as u32, c as u32)).collect()
+    map.entries()
+        .into_iter()
+        .map(|(k, c)| (k as u32, c as u32))
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,7 +112,9 @@ mod tests {
     }
 
     fn keys_fixture(n: usize) -> Vec<u32> {
-        (0..n).map(|i| (crate::rng::hash64(i as u64) % 97) as u32).collect()
+        (0..n)
+            .map(|i| (crate::rng::hash64(i as u64) % 97) as u32)
+            .collect()
     }
 
     #[test]
@@ -130,15 +143,12 @@ mod tests {
     #[test]
     fn auto_switches_paths_consistently() {
         let keys = keys_fixture(5_000);
-        let lo = Histogram::Auto { threshold: 1 }.count(keys.len(), keys.len(), 100, |i, emit| {
-            emit(keys[i])
-        });
-        let hi = Histogram::Auto { threshold: usize::MAX }.count(
-            keys.len(),
-            keys.len(),
-            100,
-            |i, emit| emit(keys[i]),
-        );
+        let lo = Histogram::Auto { threshold: 1 }
+            .count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
+        let hi = Histogram::Auto {
+            threshold: usize::MAX,
+        }
+        .count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
         let mut lo = lo;
         let mut hi = hi;
         lo.sort_unstable();

@@ -90,7 +90,10 @@ where
             }
             job.latch.set();
         }
-        JobRef { data: self as *const Self as *const (), execute_fn: execute::<L, F, R> }
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: execute::<L, F, R>,
+        }
     }
 
     /// Run the job inline on the current thread (it was popped back before
@@ -100,7 +103,7 @@ where
     }
 
     /// Take the result after the latch has been observed set.
-    pub(crate) unsafe fn into_result(&self) -> R {
+    pub(crate) unsafe fn take_result(&self) -> R {
         match std::mem::replace(unsafe { &mut *self.result.get() }, JobResult::Pending) {
             JobResult::Ok(v) => v,
             JobResult::Panicked(p) => panic::resume_unwind(p),
@@ -124,20 +127,19 @@ mod tests {
         unsafe {
             job.run_inline();
             assert!(job.latch().probe());
-            assert_eq!(job.into_result(), 7);
+            assert_eq!(job.take_result(), 7);
         }
     }
 
     #[test]
     fn stack_job_captures_panic() {
-        let job =
-            StackJob::<SpinLatch, _, usize>::new(SpinLatch::new(), || panic!("boom"));
+        let job = StackJob::<SpinLatch, _, usize>::new(SpinLatch::new(), || panic!("boom"));
         unsafe {
             job.run_inline();
             assert!(job.latch().probe());
         }
         let caught = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-            job.into_result();
+            job.take_result();
         }));
         assert!(caught.is_err());
     }

@@ -20,7 +20,9 @@ pub(crate) struct SpinLatch {
 
 impl SpinLatch {
     pub(crate) fn new() -> Self {
-        Self { set: AtomicBool::new(false) }
+        Self {
+            set: AtomicBool::new(false),
+        }
     }
 
     #[inline]
@@ -45,7 +47,10 @@ pub(crate) struct LockLatch {
 
 impl LockLatch {
     pub(crate) fn new() -> Self {
-        Self { done: Mutex::new(false), cond: Condvar::new() }
+        Self {
+            done: Mutex::new(false),
+            cond: Condvar::new(),
+        }
     }
 
     pub(crate) fn wait(&self) {

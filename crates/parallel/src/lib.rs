@@ -44,9 +44,8 @@ pub mod sort;
 pub use hash_table::ConcurrentMap;
 pub use histogram::{histogram_dense, histogram_sparse, Histogram};
 pub use ops::{
-    filter_slice, pack_index, par_copy, par_fill, par_for, par_for_grain, par_for_slices,
-    par_map, par_map_grain, reduce_add, reduce_map, reduce_max, reduce_min, scan_add,
-    scan_with, SendPtr,
+    filter_slice, pack_index, par_copy, par_fill, par_for, par_for_grain, par_for_slices, par_map,
+    par_map_grain, reduce_add, reduce_map, reduce_max, reduce_min, scan_add, scan_with, SendPtr,
 };
 pub use pool::{global_pool, in_worker, join, num_threads, worker_index, Pool};
 pub use rng::{hash64, hash64_pair, SplitMix64};

@@ -52,7 +52,11 @@ where
     if lo >= hi {
         return;
     }
-    let grain = if grain == 0 { auto_grain(hi - lo) } else { grain };
+    let grain = if grain == 0 {
+        auto_grain(hi - lo)
+    } else {
+        grain
+    };
     fn go<F: Fn(usize) + Sync>(lo: usize, hi: usize, grain: usize, f: &F) {
         if hi - lo <= grain {
             for i in lo..hi {
@@ -137,7 +141,11 @@ where
     if lo >= hi {
         return id;
     }
-    let grain = if grain == 0 { auto_grain(hi - lo) } else { grain };
+    let grain = if grain == 0 {
+        auto_grain(hi - lo)
+    } else {
+        grain
+    };
     fn go<T, M, C>(lo: usize, hi: usize, grain: usize, id: &T, map: &M, comb: &C) -> T
     where
         T: Send + Sync + Clone,
@@ -152,8 +160,10 @@ where
             acc
         } else {
             let mid = lo + (hi - lo) / 2;
-            let (a, b) =
-                join(|| go(lo, mid, grain, id, map, comb), || go(mid, hi, grain, id, map, comb));
+            let (a, b) = join(
+                || go(lo, mid, grain, id, map, comb),
+                || go(mid, hi, grain, id, map, comb),
+            );
             comb(a, b)
         }
     }
@@ -380,12 +390,17 @@ mod tests {
     #[test]
     fn reduce_add_matches() {
         let n = 100_000;
-        assert_eq!(reduce_add(0, n, |i| i as u64), (n as u64 - 1) * n as u64 / 2);
+        assert_eq!(
+            reduce_add(0, n, |i| i as u64),
+            (n as u64 - 1) * n as u64 / 2
+        );
     }
 
     #[test]
     fn reduce_min_max() {
-        let data: Vec<i64> = (0..5000).map(|i| ((i * 2654435761u64 as usize) % 999) as i64).collect();
+        let data: Vec<i64> = (0..5000)
+            .map(|i| ((i * 2654435761u64 as usize) % 999) as i64)
+            .collect();
         let mx = reduce_max(0, data.len(), i64::MIN, |i| data[i]);
         let mn = reduce_min(0, data.len(), i64::MAX, |i| data[i]);
         assert_eq!(mx, *data.iter().max().unwrap());
@@ -437,7 +452,9 @@ mod tests {
 
     #[test]
     fn filter_slice_preserves_order() {
-        let data: Vec<u32> = (0..30_000).map(|i| (i as u32).wrapping_mul(2654435761)).collect();
+        let data: Vec<u32> = (0..30_000)
+            .map(|i| (i as u32).wrapping_mul(2654435761))
+            .collect();
         let got = filter_slice(&data, |&x| x % 3 == 0);
         let want: Vec<u32> = data.iter().copied().filter(|x| x % 3 == 0).collect();
         assert_eq!(got, want);

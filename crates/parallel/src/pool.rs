@@ -27,7 +27,11 @@ struct Sleep {
 
 impl Sleep {
     fn new() -> Self {
-        Self { lock: Mutex::new(()), cond: Condvar::new(), sleepers: AtomicUsize::new(0) }
+        Self {
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
     }
 
     /// Wake sleeping workers because new work arrived.
@@ -195,7 +199,11 @@ impl Pool {
             let handle = std::thread::Builder::new()
                 .name(format!("sage-worker-{index}"))
                 .spawn(move || {
-                    let worker = WorkerThread { deque, index, registry };
+                    let worker = WorkerThread {
+                        deque,
+                        index,
+                        registry,
+                    };
                     WORKER.with(|w| w.set(&worker as *const WorkerThread));
                     worker.main_loop();
                     WORKER.with(|w| w.set(std::ptr::null()));
@@ -233,7 +241,7 @@ impl Pool {
         self.registry.injector.push(job_ref);
         self.registry.notify_work();
         job.latch().wait();
-        unsafe { job.into_result() }
+        unsafe { job.take_result() }
     }
 }
 
@@ -259,7 +267,9 @@ fn default_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The process-wide pool, created on first use with
@@ -273,7 +283,7 @@ pub fn global_pool() -> &'static Pool {
 pub fn num_threads() -> usize {
     let current = WorkerThread::current();
     if !current.is_null() {
-        unsafe { (&(*current).registry).num_threads }
+        unsafe { &*current }.registry.num_threads
     } else {
         global_pool().num_threads()
     }
@@ -350,7 +360,7 @@ where
     }
     debug_assert!(job_b.latch().probe());
 
-    let result_b = unsafe { job_b.into_result() };
+    let result_b = unsafe { job_b.take_result() };
     match result_a {
         Ok(ra) => (ra, result_b),
         Err(p) => std::panic::resume_unwind(p),
@@ -431,7 +441,7 @@ mod tests {
     #[test]
     fn worker_index_inside_pool() {
         assert_eq!(worker_index(), None);
-        let idx = global_pool().install(|| worker_index());
+        let idx = global_pool().install(worker_index);
         assert!(idx.is_some());
         assert!(idx.unwrap() < global_pool().num_threads());
     }

@@ -35,10 +35,10 @@ where
         data.sort_unstable_by(&cmp);
         return;
     }
-    let mut buf: Vec<T> = Vec::with_capacity(n);
-    // SAFETY: `buf` is used strictly as scratch; every slot is written before read
-    // by the merge passes below.
-    unsafe { buf.set_len(n) };
+    // Scratch for the merge passes; seeding it with a copy of `data` keeps it
+    // fully initialized (`T: Copy`, so this is one memcpy) without an
+    // `unsafe` `set_len` on uninitialized capacity.
+    let mut buf: Vec<T> = data.to_vec();
     sort_rec(data, &mut buf, &cmp);
 }
 

@@ -30,10 +30,10 @@ fn wide_fanout_of_tiny_tasks() {
 #[test]
 fn nested_parallel_primitives() {
     // A scan whose block computation itself runs parallel reductions.
-    let outer: u64 = par::reduce_add(0, 64, |i| {
-        par::reduce_add(0, 1000, |j| (i * j) as u64)
-    });
-    let want: u64 = (0..64u64).map(|i| (0..1000u64).map(|j| i * j).sum::<u64>()).sum();
+    let outer: u64 = par::reduce_add(0, 64, |i| par::reduce_add(0, 1000, |j| (i * j) as u64));
+    let want: u64 = (0..64u64)
+        .map(|i| (0..1000u64).map(|j| i * j).sum::<u64>())
+        .sum();
     assert_eq!(outer, want);
 }
 
@@ -90,8 +90,10 @@ fn scan_and_pack_compose() {
     let total = par::scan_add(&mut weights);
     assert_eq!(total, (0..n as u64).map(|i| i % 3).sum::<u64>());
     let idx = par::pack_index(n, |i| weights[i] % 2 == 0);
-    let want: Vec<u32> =
-        (0..n).filter(|&i| weights[i] % 2 == 0).map(|i| i as u32).collect();
+    let want: Vec<u32> = (0..n)
+        .filter(|&i| weights[i] % 2 == 0)
+        .map(|i| i as u32)
+        .collect();
     assert_eq!(idx, want);
 }
 

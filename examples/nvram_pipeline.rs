@@ -17,8 +17,7 @@ fn main() -> std::io::Result<()> {
     let path = dir.join("graph.sage");
 
     // Phase 1 (offline, DRAM): build and persist the weighted input.
-    let list =
-        gen::rmat_edges(15, 16, gen::RmatParams::default(), 3).with_random_weights(3);
+    let list = gen::rmat_edges(15, 16, gen::RmatParams::default(), 3).with_random_weights(3);
     let built = build_csr(list, BuildOptions::default());
     write_csr(&built, &path)?;
     println!(
@@ -39,13 +38,21 @@ fn main() -> std::io::Result<()> {
     let parents = bfs::bfs(&g, 0);
     let reached = parents.iter().filter(|&&p| p != sage_graph::NONE_V).count();
     let dist = wbfs::wbfs(&g, 0);
-    let hops: u64 = dist.iter().filter(|&&d| d != u64::MAX).copied().max().unwrap_or(0);
+    let hops: u64 = dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0);
     let comps = connectivity::num_components(&connectivity::connectivity(&g, 0.2, 9));
     let cores = kcore::kcore(&g);
     let traffic = Meter::global().snapshot().since(&before);
 
     println!("BFS reached {reached} vertices; max weighted distance {hops}");
-    println!("{comps} components; kmax = {} ({} peel rounds)", cores.kmax, cores.rounds);
+    println!(
+        "{comps} components; kmax = {} ({} peel rounds)",
+        cores.kmax, cores.rounds
+    );
     println!(
         "NVRAM reads: {} words | NVRAM writes: {} | DRAM words: {}",
         traffic.graph_read,

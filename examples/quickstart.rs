@@ -37,7 +37,10 @@ fn main() {
     // PageRank to the paper's 1e-6 threshold.
     let pr = pagerank::pagerank(&g, 1e-6, 100);
     let max = pr.ranks.iter().cloned().fold(0.0f64, f64::max);
-    println!("PageRank converged in {} iterations (max rank {max:.2e})", pr.iterations);
+    println!(
+        "PageRank converged in {} iterations (max rank {max:.2e})",
+        pr.iterations
+    );
 
     // The semi-asymmetric contract, verified by the meter.
     let traffic = Meter::global().snapshot().since(&before);

@@ -12,7 +12,11 @@ use sage_graph::{gen, Graph, NONE_V};
 fn main() {
     // A skewed social graph: heavy-tailed degrees, many triangles.
     let g = gen::rmat(14, 24, gen::RmatParams::default(), 7);
-    println!("social graph: n = {}, m = {}", g.num_vertices(), g.num_edges());
+    println!(
+        "social graph: n = {}, m = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // k-core decomposition (community-strength measure, §4.3.4).
     let cores = kcore::kcore(&g);

@@ -27,13 +27,20 @@ fn main() {
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("PageRank: {} iterations; top pages:", pr.iterations);
     for (v, score) in top.iter().take(5) {
-        println!("  vertex {v:>8}  rank {score:.3e}  degree {}", g.degree(*v as u32));
+        println!(
+            "  vertex {v:>8}  rank {score:.3e}  degree {}",
+            g.degree(*v as u32)
+        );
     }
 
     // Single-source betweenness from the top-ranked page.
     let src = top[0].0 as u32;
     let bc = betweenness::betweenness(&g, src);
-    let influential = bc.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+    let influential = bc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
     println!(
         "betweenness from {src}: most central intermediate = vertex {} ({:.1})",
         influential.0, influential.1

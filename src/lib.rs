@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! `sage` — facade over the Sage semi-asymmetric graph engine (VLDB'20).
+//!
+//! Sage processes graphs under the Parallel Semi-Asymmetric Model (PSAM): the
+//! graph is a read-only structure in large memory (NVRAM) and all mutable
+//! state lives in `O(n)` words of small memory (DRAM). This crate is the
+//! single public entry point over the six workspace crates:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | scheduler | [`parallel`] | work-stealing pool, `join`, scan/reduce/filter/sort |
+//! | memory | [`nvram`] | read-only mappings, the PSAM [`Meter`], Memory-Mode cache |
+//! | graph | [`graph`] | [`Csr`], [`CompressedCsr`], generators, binary I/O |
+//! | engine | [`core`] | [`edge_map`], graphFilter, bucketing, the 18 [`algo`]s |
+//! | comparison | [`baselines`] | GBBS-, Galois-, GridGraph-style comparators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sage::{algo::bfs, gen, Graph};
+//!
+//! // A small scale-free graph (substitute for the paper's real inputs).
+//! let g = gen::rmat(10, 8, gen::RmatParams::default(), 1);
+//! let parents = bfs::bfs(&g, 0);
+//! assert_eq!(parents[0], 0); // the source is its own parent
+//! assert!(g.num_edges() > 0);
+//! ```
+
+/// The fork-join runtime and parallel primitives (`sage-parallel`).
+pub use sage_parallel as parallel;
+
+/// NVRAM emulation: regions, meter, Memory-Mode cache (`sage-nvram`).
+pub use sage_nvram as nvram;
+
+/// Graph representations, generators, and I/O (`sage-graph`).
+pub use sage_graph as graph;
+
+/// The Sage engine: traversal, filtering, bucketing, algorithms (`sage-core`).
+pub use sage_core as core;
+
+/// Comparator systems used by the evaluation harness (`sage-baselines`).
+pub use sage_baselines as baselines;
+
+/// The 18 graph algorithms of the paper's Table 1.
+pub use sage_core::algo;
+
+/// Synthetic graph generators substituting for the paper's inputs (Table 2).
+pub use sage_graph::gen;
+
+pub use sage_core::{
+    edge_map, EdgeMapFn, EdgeMapOpts, GraphFilter, SparseImpl, Strategy, VertexSubset,
+};
+pub use sage_graph::{
+    build_csr, BuildOptions, CompressedCsr, Csr, EdgeList, Graph, Storage, NONE_V, V,
+};
+pub use sage_nvram::{CostModel, MemConfig, Meter, MeterSnapshot, NvRegion, NvSlice};

@@ -32,7 +32,10 @@ fn all_problems_on_mmapped_graph_without_graph_writes() {
     let d_wbfs = wbfs::wbfs(&g, 0);
     assert_eq!(d_wbfs, seq::dijkstra(&built, 0));
     assert_eq!(bellman_ford::bellman_ford(&g, 0).unwrap(), d_wbfs);
-    assert_eq!(widest_path::widest_path_bf(&g, 0), seq::widest_path(&built, 0));
+    assert_eq!(
+        widest_path::widest_path_bf(&g, 0),
+        seq::widest_path(&built, 0)
+    );
     let bc = betweenness::betweenness(&g, 0);
     let bc_want = seq::brandes(&built, 0);
     for i in 0..n {
@@ -76,7 +79,10 @@ fn all_problems_on_mmapped_graph_without_graph_writes() {
 
     // The PSAM contract held across the entire suite.
     let traffic = Meter::global().snapshot().since(&before);
-    assert_eq!(traffic.graph_write, 0, "no Sage algorithm may write the graph");
+    assert_eq!(
+        traffic.graph_write, 0,
+        "no Sage algorithm may write the graph"
+    );
     assert!(traffic.graph_read > 0);
 
     std::fs::remove_file(&path).unwrap();

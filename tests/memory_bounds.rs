@@ -88,5 +88,8 @@ fn compressed_graph_allocates_less() {
     let csr = gen::rmat(13, 16, gen::RmatParams::web(), 4);
     let raw = csr.size_bytes();
     let compressed = sage_graph::CompressedCsr::from_csr(&csr, 64);
-    assert!(compressed.size_bytes() * 3 < raw * 2, "compression ratio too weak");
+    assert!(
+        compressed.size_bytes() * 3 < raw * 2,
+        "compression ratio too weak"
+    );
 }

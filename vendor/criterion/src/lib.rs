@@ -1,0 +1,271 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same authoring API (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`)
+//! backed by a simple wall-clock timer: each benchmark runs a warm-up pass,
+//! then `sample_size` timed samples, and prints min/mean per iteration. No
+//! statistical analysis, plots, or baselines — swap the real crate back in
+//! when a registry mirror is available.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches to defeat constant folding.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (recorded, reported per-iter).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring criterion's API.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the warm-up pass.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Wall-clock budget for the measurement pass.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Record the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&self.name, &id.id, self.throughput);
+        self
+    }
+
+    /// Run one benchmark closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&self.name, &id.id, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures; `iter` runs and measures the routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Self {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Time `routine`: warm up, then collect `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Choose an iteration count per sample that fits the budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (iter was never called)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_secs_f64() / self.iters_per_sample as f64;
+        let min = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let tput = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: min {:.3} ms, mean {:.3} ms over {} samples x {} iters{tput}",
+            min * 1e3,
+            mean * 1e3,
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the named groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

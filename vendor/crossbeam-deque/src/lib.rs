@@ -1,0 +1,175 @@
+//! Offline shim for the subset of `crossbeam-deque` this workspace uses.
+//!
+//! Implements the `Worker`/`Stealer`/`Injector` API over a mutex-protected
+//! `VecDeque`. The owner pushes and pops at the back (LIFO), thieves steal
+//! from the front (FIFO) — the same ordering contract as the Chase-Lev deque
+//! the real crate provides. Performance is adequate at this reproduction's
+//! scale; the lock-free implementation can be swapped back in when a registry
+//! mirror is available.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+#[derive(Debug)]
+struct Shared<T>(Mutex<VecDeque<T>>);
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The owner side of a work-stealing deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Self {
+            shared: Arc::new(Shared(Mutex::new(VecDeque::new()))),
+        }
+    }
+
+    /// Create a deque whose owner pops in FIFO order.
+    ///
+    /// The shim's owner always pops at the back; FIFO construction is kept
+    /// for API compatibility and behaves identically under a single owner.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.shared.lock().push_back(task);
+    }
+
+    /// Pop the most recently pushed task.
+    pub fn pop(&self) -> Option<T> {
+        self.shared.lock().pop_back()
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    /// Create a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A thief-side handle stealing from the opposite end of a [`Worker`].
+#[derive(Debug)]
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A FIFO queue for tasks injected from outside the worker pool.
+#[derive(Debug)]
+pub struct Injector<T> {
+    shared: Shared<T>,
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Self {
+            shared: Shared(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Enqueue a task.
+    pub fn push(&self, task: T) {
+        self.shared.lock().push_back(task);
+    }
+
+    /// Steal the oldest injected task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.lock().pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+}
