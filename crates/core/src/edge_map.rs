@@ -261,6 +261,13 @@ struct ChunkPool {
     free: Mutex<Vec<Vec<V>>>,
 }
 
+/// Largest per-chunk capacity (in entries) the pool will retain. Chunks are
+/// normally `max(4096, davg)` entries, but a high-average-degree graph can
+/// demand arbitrarily large ones; retaining those would park up to
+/// `4 × num_threads` chunks of unbounded size in DRAM forever — the paper's
+/// small-memory discipline (§4.1.2) caps the pool at `O(P)` *bounded* chunks.
+const CHUNK_RETAIN_CAP: usize = 1 << 15;
+
 static CHUNK_POOL: ChunkPool = ChunkPool {
     free: Mutex::new(Vec::new()),
 };
@@ -272,16 +279,40 @@ impl ChunkPool {
         drop(guard);
         chunk.clear();
         if chunk.capacity() < capacity {
-            chunk.reserve_exact(capacity - chunk.capacity());
+            // `reserve_exact` guarantees `len + additional` capacity; with the
+            // chunk cleared that is exactly `capacity`. (Subtracting the old
+            // capacity here would under-reserve a recycled chunk.)
+            chunk.reserve_exact(capacity);
         }
         chunk
     }
 
-    fn release(&self, chunk: Vec<V>) {
+    fn release(&self, mut chunk: Vec<V>) {
+        let cap = 4 * par::num_threads();
+        if self.free.lock().len() >= cap {
+            return; // full freelist: drop without paying the shrink below
+        }
+        if chunk.capacity() > CHUNK_RETAIN_CAP {
+            // Shrink outsized chunks before retaining them so a single
+            // huge-degree frontier cannot pin unbounded DRAM. (`shrink_to`
+            // reallocates: the empty chunk keeps `CHUNK_RETAIN_CAP`.)
+            chunk.clear();
+            chunk.shrink_to(CHUNK_RETAIN_CAP);
+        }
         let mut guard = self.free.lock();
-        if guard.len() < 4 * par::num_threads() {
+        if guard.len() < cap {
             guard.push(chunk);
         }
+    }
+
+    /// Total bytes currently parked in the freelist (test observability).
+    #[cfg(test)]
+    fn retained_bytes(&self) -> usize {
+        self.free
+            .lock()
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<V>())
+            .sum()
     }
 }
 
@@ -547,6 +578,55 @@ mod tests {
         parents[0].store(0, Ordering::Relaxed);
         let out = edge_map_chunked(&g, &[0], &ClaimFn { parents: &parents });
         assert_eq!(out.len(), 19_999);
+    }
+
+    /// The freelist bound every release must respect: at most
+    /// `4 × num_threads` chunks of at most `CHUNK_RETAIN_CAP` entries.
+    fn chunk_pool_bound_bytes() -> usize {
+        4 * par::num_threads() * CHUNK_RETAIN_CAP * std::mem::size_of::<V>()
+    }
+
+    /// Regression test for unbounded DRAM retention: the pool used to retain
+    /// released chunks of *any* capacity, so one traversal of a
+    /// high-average-degree graph parked `4 × num_threads` arbitrarily large
+    /// buffers in DRAM forever. Outsized chunks must be shrunk on release.
+    #[test]
+    fn chunk_pool_does_not_retain_outsized_chunks() {
+        let huge: Vec<Vec<V>> = (0..4 * par::num_threads())
+            .map(|_| CHUNK_POOL.fetch(4 * CHUNK_RETAIN_CAP))
+            .collect();
+        for chunk in huge {
+            assert!(chunk.capacity() >= 4 * CHUNK_RETAIN_CAP);
+            CHUNK_POOL.release(chunk);
+        }
+        let retained = CHUNK_POOL.retained_bytes();
+        assert!(
+            retained <= chunk_pool_bound_bytes(),
+            "pool retains {retained} bytes, bound {}",
+            chunk_pool_bound_bytes()
+        );
+    }
+
+    /// The huge-degree frontier scenario, driven through `edge_map_chunked`
+    /// itself: a block size far above `CHUNK_RETAIN_CAP` makes the traversal
+    /// fetch a multi-megabyte chunk (`FetchChunk` sizes chunks as
+    /// `max(chunk_size, block_size)`), which the unfixed pool then retained
+    /// whole. After the traversal the pool must be within its bytes bound —
+    /// the paper's §4.1.2 pool holds `O(P)` *bounded* chunks, not `O(P)`
+    /// frontiers.
+    #[test]
+    fn chunk_pool_bounded_after_huge_degree_scenario() {
+        let g = sage_graph::CompressedCsr::from_csr(&gen::star(20_000), 1 << 20);
+        let parents: Vec<AtomicU64> = (0..20_000).map(|_| AtomicU64::new(UNVISITED)).collect();
+        parents[0].store(0, Ordering::Relaxed);
+        let out = edge_map_chunked(&g, &[0], &ClaimFn { parents: &parents });
+        assert_eq!(out.len(), 19_999);
+        let retained = CHUNK_POOL.retained_bytes();
+        assert!(
+            retained <= chunk_pool_bound_bytes(),
+            "pool retains {retained} bytes after huge-degree traversal, bound {}",
+            chunk_pool_bound_bytes()
+        );
     }
 
     #[test]

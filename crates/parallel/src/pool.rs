@@ -11,7 +11,7 @@ use crate::latch::{LockLatch, SpinLatch};
 use crossbeam_deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -35,21 +35,40 @@ impl Sleep {
     }
 
     /// Wake sleeping workers because new work arrived.
+    ///
+    /// The caller publishes the work *before* calling this. The seq-cst
+    /// fence pairs with the one in [`Sleep::sleep`]: either this load sees
+    /// the sleeper's count increment (and the notify goes through the lock
+    /// the sleeper holds until it parks), or the sleeper's `has_work`
+    /// re-check sees the published work and it never parks. A wakeup can
+    /// therefore not fall into the window between a worker's last queue scan
+    /// and its park.
     #[inline]
     fn notify(&self) {
+        fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::Relaxed) > 0 {
             let _g = self.lock.lock();
             self.cond.notify_all();
         }
     }
 
-    /// Park briefly; a timeout bounds the cost of any lost wakeup. Longer
-    /// idle streaks park longer so that idle pools do not steal cycles from
-    /// busy ones (the harness runs several pools in one process).
-    fn sleep(&self, streak: u32) {
-        self.sleepers.fetch_add(1, Ordering::Relaxed);
-        let ms = (1 + streak / 16).min(20) as u64;
+    /// Park briefly, unless `has_work` turns up work between the caller's
+    /// last queue scan and the park (the lost-wakeup window). The sleeper
+    /// count is incremented while holding the lock, so a notifier that
+    /// observes it cannot fire `notify_all` before this thread is parked.
+    /// A timeout still bounds the stall of any undiscovered interleaving;
+    /// longer idle streaks park longer so that idle pools do not steal
+    /// cycles from busy ones (the harness runs several pools in one
+    /// process).
+    fn sleep(&self, streak: u32, has_work: impl FnOnce() -> bool) {
         let mut g = self.lock.lock();
+        self.sleepers.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if has_work() {
+            self.sleepers.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let ms = (1 + streak / 16).min(20) as u64;
         self.cond.wait_for(&mut g, Duration::from_millis(ms));
         drop(g);
         self.sleepers.fetch_sub(1, Ordering::Relaxed);
@@ -70,9 +89,12 @@ impl Registry {
         self.sleep.notify();
     }
 
-    /// Attempt to steal one job, scanning the injector and then other workers
-    /// starting from a position derived from `from` to avoid contention.
-    fn steal(&self, from: usize) -> Option<JobRef> {
+    /// Attempt to steal one job, scanning the injector and then other
+    /// workers' deques starting from `start`. The caller picks a fresh
+    /// pseudo-random `start` per attempt: a fixed rotational order would
+    /// send every thief to the same victim first and convoy on its `top`
+    /// index.
+    fn steal(&self, from: usize, start: usize) -> Option<JobRef> {
         loop {
             match self.injector.steal() {
                 crossbeam_deque::Steal::Success(job) => return Some(job),
@@ -81,8 +103,9 @@ impl Registry {
             }
         }
         let n = self.stealers.len();
+        let start = start % n.max(1); // reduce the raw hash so `start + i` cannot overflow
         for i in 0..n {
-            let victim = (from + i + 1) % n;
+            let victim = (start + i) % n;
             if victim == from {
                 continue;
             }
@@ -96,12 +119,21 @@ impl Registry {
         }
         None
     }
+
+    /// Whether any queue in the pool currently holds work. Used by parking
+    /// workers for the final pre-park re-check; O(threads) but only run on
+    /// the idle path.
+    fn has_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
 }
 
 pub(crate) struct WorkerThread {
     deque: Deque<JobRef>,
     index: usize,
     registry: Arc<Registry>,
+    /// Private SplitMix64 state for picking steal-victim starting points.
+    steal_rng: Cell<u64>,
 }
 
 impl WorkerThread {
@@ -122,13 +154,23 @@ impl WorkerThread {
         self.deque.pop()
     }
 
+    /// Steal from the injector or a sibling, starting the victim scan at a
+    /// per-attempt pseudo-random index so thieves spread across victims.
+    #[inline]
+    fn steal(&self) -> Option<JobRef> {
+        let s = self.steal_rng.get();
+        self.steal_rng.set(s.wrapping_add(1));
+        self.registry
+            .steal(self.index, crate::rng::hash64(s) as usize)
+    }
+
     /// Busy-wait for `latch`, executing any available work in the meantime.
     /// Long waits back off to short sleeps so a starved sibling (e.g. on an
     /// oversubscribed or throttled host) can finish the stolen job.
     fn wait_until(&self, latch: &SpinLatch) {
         let mut spins = 0u32;
         while !latch.probe() {
-            let job = self.pop().or_else(|| self.registry.steal(self.index));
+            let job = self.pop().or_else(|| self.steal());
             match job {
                 Some(job) => {
                     unsafe { job.execute() };
@@ -152,7 +194,7 @@ impl WorkerThread {
         let registry = &self.registry;
         let mut idle_rounds = 0u32;
         while !registry.terminate.load(Ordering::Acquire) {
-            match self.pop().or_else(|| registry.steal(self.index)) {
+            match self.pop().or_else(|| self.steal()) {
                 Some(job) => {
                     unsafe { job.execute() };
                     idle_rounds = 0;
@@ -162,7 +204,9 @@ impl WorkerThread {
                     if idle_rounds < 32 {
                         std::thread::yield_now();
                     } else {
-                        registry.sleep.sleep(idle_rounds - 32);
+                        registry.sleep.sleep(idle_rounds - 32, || {
+                            registry.terminate.load(Ordering::Acquire) || registry.has_work()
+                        });
                     }
                 }
             }
@@ -203,6 +247,7 @@ impl Pool {
                         deque,
                         index,
                         registry,
+                        steal_rng: Cell::new(crate::rng::hash64(index as u64)),
                     };
                     WORKER.with(|w| w.set(&worker as *const WorkerThread));
                     worker.main_loop();
@@ -263,8 +308,19 @@ static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 fn default_threads() -> usize {
     if let Ok(v) = std::env::var("SAGE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
+        match v.parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                // A typo'd env var must not silently fall back to all cores:
+                // that would corrupt T1-vs-Tp bench comparisons. Warn once.
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sage-parallel: ignoring unparsable SAGE_THREADS={v:?}; \
+                         defaulting to all hardware threads"
+                    );
+                }
+            }
         }
     }
     std::thread::available_parallelism()
@@ -451,5 +507,84 @@ mod tests {
         let pool = Pool::new(2);
         pool.install(|| ());
         drop(pool); // must not hang
+    }
+
+    /// Regression test for the lost-wakeup race: `notify()` used to check
+    /// `sleepers` with a relaxed load outside the lock, so work published
+    /// while a worker was committing to park could miss the notify and stall
+    /// for the full park timeout (up to 20 ms). The producer below fires
+    /// exactly when the consumer is between its work check and its park —
+    /// the racy window — and bounds the average wakeup latency.
+    #[test]
+    fn sleep_no_lost_wakeup() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        use std::time::Instant;
+
+        const ROUNDS: u32 = 100;
+        let sleep = Arc::new(Sleep::new());
+        let work = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        // Bumped by the consumer right before it commits to park.
+        let parking = Arc::new(AtomicU64::new(0));
+
+        let consumer = {
+            let (sleep, work, done, parking) = (
+                Arc::clone(&sleep),
+                Arc::clone(&work),
+                Arc::clone(&done),
+                Arc::clone(&parking),
+            );
+            std::thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    if work.swap(false, Ordering::SeqCst) {
+                        continue;
+                    }
+                    parking.fetch_add(1, Ordering::SeqCst);
+                    // Hand the producer the CPU *inside* the racy window
+                    // (after the work check, before the park) so the race is
+                    // exercised every round even on a single-core host.
+                    std::thread::yield_now();
+                    // streak 640 => the maximum 20 ms park timeout, so a
+                    // lost wakeup costs the full stall.
+                    sleep.sleep(640, || work.load(Ordering::SeqCst));
+                }
+            })
+        };
+
+        let mut latencies = Vec::with_capacity(ROUNDS as usize);
+        for _ in 0..ROUNDS {
+            // Wait until the consumer is about to park, then race it.
+            let seen = parking.load(Ordering::SeqCst);
+            while parking.load(Ordering::SeqCst) == seen {
+                std::thread::yield_now();
+            }
+            let t0 = Instant::now();
+            work.store(true, Ordering::SeqCst);
+            sleep.notify();
+            while work.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            latencies.push(t0.elapsed());
+        }
+        done.store(true, Ordering::SeqCst);
+        while !consumer.is_finished() {
+            sleep.notify();
+            std::thread::yield_now();
+        }
+        consumer.join().unwrap();
+
+        // Lost wakeups cost the full 20 ms timeout and this producer targets
+        // the racy window every round, so the old protocol pushes the
+        // *median* to ~20 ms. A correct protocol wakes in microseconds; the
+        // median (unlike the mean) shrugs off the occasional multi-ms
+        // scheduling outlier from concurrently running tests.
+        latencies.sort_unstable();
+        let median = latencies[latencies.len() / 2];
+        assert!(
+            median < Duration::from_millis(5),
+            "median wakeup latency {median:?} (max {:?})",
+            latencies.last().unwrap()
+        );
     }
 }

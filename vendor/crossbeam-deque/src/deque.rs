@@ -1,0 +1,379 @@
+//! The Chase-Lev work-stealing deque (owner side and thief side).
+//!
+//! Memory ordering follows Lê, Pop, Cohen, Nardelli (PPoPP '13): `push`
+//! publishes with a release store of `bottom`; `pop` and `steal` separate
+//! their index loads with seq-cst fences so that the race for the last
+//! element is arbitrated by a single seq-cst compare-exchange on `top`.
+
+use crate::Steal;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Initial buffer capacity; must be a power of two.
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity circular buffer of possibly-uninitialized slots.
+///
+/// Logical indices are mapped into the buffer with a power-of-two mask, so
+/// monotonically increasing `top`/`bottom` indices never need normalizing.
+struct Buffer<T> {
+    ptr: *mut MaybeUninit<T>,
+    cap: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Buffer<T>> {
+        debug_assert!(cap.is_power_of_two());
+        let mut slots = Vec::<MaybeUninit<T>>::with_capacity(cap);
+        // SAFETY: `MaybeUninit` slots need no initialization.
+        unsafe { slots.set_len(cap) };
+        let ptr = Box::into_raw(slots.into_boxed_slice()) as *mut MaybeUninit<T>;
+        Box::new(Buffer { ptr, cap })
+    }
+
+    #[inline]
+    unsafe fn at(&self, index: isize) -> *mut MaybeUninit<T> {
+        self.ptr.offset(index & (self.cap as isize - 1))
+    }
+
+    /// Write a slot. Volatile because a doomed stealer may concurrently read
+    /// the slot; its CAS on `top` then fails and the torn copy is discarded.
+    #[inline]
+    unsafe fn write(&self, index: isize, value: T) {
+        ptr::write_volatile(self.at(index), MaybeUninit::new(value))
+    }
+
+    /// Read a slot as a bitwise copy. Ownership of the value is only assumed
+    /// after the caller wins the CAS on `top` (or, for the owner's LIFO pop,
+    /// after the fence protocol proves the slot cannot be stolen).
+    #[inline]
+    unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+        ptr::read_volatile(self.at(index))
+    }
+}
+
+impl<T> Drop for Buffer<T> {
+    fn drop(&mut self) {
+        // Free the slot storage only; live `T` values are dropped by
+        // `Inner::drop` before any buffer is freed.
+        let slice = ptr::slice_from_raw_parts_mut(self.ptr, self.cap);
+        // SAFETY: `ptr` came from `Box::into_raw` of a boxed slice of `cap`.
+        drop(unsafe { Box::from_raw(slice) });
+    }
+}
+
+/// A node in the list of buffers retired by `grow`.
+struct Retired<T> {
+    buf: *mut Buffer<T>,
+    next: *mut Retired<T>,
+}
+
+/// State shared between one [`Worker`] and its [`Stealer`]s.
+///
+/// Retired buffers are kept until the last handle drops: a stalled stealer
+/// may still read a slot of an old buffer (the value there stays valid — the
+/// CAS on `top` decides ownership). Because buffers only ever double and are
+/// never shrunk, the retired total is bounded by the live buffer's size.
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    retired: AtomicPtr<Retired<T>>,
+}
+
+// SAFETY: the raw pointers are owned by the protocol: `buffer`/`retired` are
+// only replaced by the single owner, and slot ownership is arbitrated by the
+// atomic indices. Values of `T` move across threads, hence `T: Send`.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn new() -> Self {
+        Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(MIN_CAP))),
+            retired: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Park an old buffer until drop. Only the owner calls this (from
+    /// `grow`), so a plain store would do; the CAS costs nothing on this
+    /// cold path and keeps the list safe under any future caller.
+    fn retire(&self, buf: *mut Buffer<T>) {
+        let node = Box::into_raw(Box::new(Retired {
+            buf,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.retired.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is not yet published.
+            unsafe { (*node).next = head };
+            match self.retired.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the remaining elements, then every buffer.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            let mut i = t;
+            while i != b {
+                ptr::drop_in_place((*buf).at(i).cast::<T>());
+                i = i.wrapping_add(1);
+            }
+            drop(Box::from_raw(buf));
+            let mut node = *self.retired.get_mut();
+            while !node.is_null() {
+                let boxed = Box::from_raw(node);
+                drop(Box::from_raw(boxed.buf));
+                node = boxed.next;
+            }
+        }
+    }
+}
+
+/// Pop order of the owner's end.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pops the most recently pushed task (fork-join default).
+    Lifo,
+    /// Owner pops the oldest task, competing with stealers at the top.
+    Fifo,
+}
+
+/// The owner side of a work-stealing deque.
+///
+/// A `Worker` is `Send` but not `Sync`: exactly one thread may push and pop
+/// at a time, which is what makes the owner's fast path fence-light.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    flavor: Flavor,
+    /// Opts out of `Sync` (single-owner contract) without losing `Send`.
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Self::with_flavor(Flavor::Lifo)
+    }
+
+    /// Create a deque whose owner pops in FIFO order (oldest task first).
+    pub fn new_fifo() -> Self {
+        Self::with_flavor(Flavor::Fifo)
+    }
+
+    fn with_flavor(flavor: Flavor) -> Self {
+        Worker {
+            inner: Arc::new(Inner::new()),
+            flavor,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Push a task onto the bottom of the deque.
+    pub fn push(&self, task: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: the buffer pointer is always valid; only the owner (us)
+        // replaces it.
+        unsafe {
+            if b.wrapping_sub(t) >= (*buf).cap as isize {
+                self.grow(b, t);
+                buf = self.inner.buffer.load(Ordering::Relaxed);
+            }
+            (*buf).write(b, task);
+        }
+        self.inner
+            .bottom
+            .store(b.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Double the buffer, copying the live range `t..b`. The old buffer is
+    /// retired, not freed: a concurrent stealer may still be reading its
+    /// front slot, whose bytes remain intact there.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let old = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: `old` is the live buffer; the new one is private until the
+        // release store below publishes it.
+        unsafe {
+            let new = Box::into_raw(Buffer::alloc((*old).cap * 2));
+            let mut i = t;
+            while i != b {
+                ptr::copy_nonoverlapping((*old).at(i), (*new).at(i), 1);
+                i = i.wrapping_add(1);
+            }
+            self.inner.buffer.store(new, Ordering::Release);
+            self.inner.retire(old);
+        }
+    }
+
+    /// Pop a task from the owner's end (`new_lifo`: newest; `new_fifo`:
+    /// oldest).
+    pub fn pop(&self) -> Option<T> {
+        match self.flavor {
+            Flavor::Lifo => self.pop_lifo(),
+            Flavor::Fifo => self.pop_fifo(),
+        }
+    }
+
+    fn pop_lifo(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        // Order the `bottom` store before the `top` load: a stealer that
+        // takes index `b` must have loaded `bottom > b` before this fence.
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        if t.wrapping_sub(b) <= 0 {
+            // Non-empty. The copy only becomes ours if the slot cannot be
+            // (or was not) stolen.
+            let value = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last element: race the stealers for it.
+                if self
+                    .inner
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost: a stealer owns the value; discard the copy
+                    // (`MaybeUninit` never drops).
+                    self.inner
+                        .bottom
+                        .store(b.wrapping_add(1), Ordering::Relaxed);
+                    return None;
+                }
+                self.inner
+                    .bottom
+                    .store(b.wrapping_add(1), Ordering::Relaxed);
+            }
+            // SAFETY: slot `b` was initialized by `push` and is now ours.
+            Some(unsafe { value.assume_init() })
+        } else {
+            // Empty: restore `bottom`.
+            self.inner
+                .bottom
+                .store(b.wrapping_add(1), Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn pop_fifo(&self) -> Option<T> {
+        loop {
+            let t = self.inner.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            // `bottom` is only written by us, so a relaxed load is exact.
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            if t.wrapping_sub(b) >= 0 {
+                return None;
+            }
+            let buf = self.inner.buffer.load(Ordering::Relaxed);
+            let value = unsafe { (*buf).read(t) };
+            if self
+                .inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: winning the CAS transfers ownership of slot `t`.
+                return Some(unsafe { value.assume_init() });
+            }
+            // Lost to a stealer; the copy is discarded and we retry.
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b.wrapping_sub(t) <= 0
+    }
+
+    /// Create a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Worker { .. }")
+    }
+}
+
+/// A thief-side handle stealing from the top (oldest end) of a [`Worker`].
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the deque.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        // Order the `top` load before the `bottom` load, pairing with the
+        // fence in `pop_lifo`.
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if t.wrapping_sub(b) >= 0 {
+            return Steal::Empty;
+        }
+        // Non-empty: copy the front slot, then try to claim it.
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        match self.inner.top.compare_exchange(
+            t,
+            t.wrapping_add(1),
+            Ordering::SeqCst,
+            Ordering::Relaxed,
+        ) {
+            // SAFETY: winning the CAS transfers ownership of slot `t`.
+            Ok(_) => Steal::Success(unsafe { value.assume_init() }),
+            // Lost a race with the owner or another stealer; the (possibly
+            // torn) copy is discarded without dropping.
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b.wrapping_sub(t) <= 0
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Stealer { .. }")
+    }
+}

@@ -1,0 +1,360 @@
+//! A sharded, unbounded, lock-free MPMC FIFO for externally submitted tasks.
+//!
+//! Each shard is a segmented queue: fixed-size blocks of slots linked by
+//! `next` pointers, with monotonically increasing head/tail slot indices.
+//! Producers claim a slot by CAS on the tail index, then write the value and
+//! set the slot's WRITE bit; consumers claim by CAS on the head index, wait
+//! for WRITE, and take the value. Block reclamation is cooperative: the
+//! consumer of a block's final slot starts destruction, and any slot still
+//! being read hands the remaining work to its reader via the DESTROY bit —
+//! no epochs or hazard pointers needed.
+//!
+//! Sharding keeps concurrent producers off a single tail cache line.
+//! Producers stick to a per-thread shard (preserving per-thread FIFO order,
+//! which is all a work-stealing injector promises); consumers scan shards
+//! from a per-attempt pseudo-random start so no shard is systematically
+//! drained first.
+
+use crate::Steal;
+use std::cell::{Cell, UnsafeCell};
+use std::mem::{self, MaybeUninit};
+use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+
+/// Slots per block. One extra index per lap (`LAP - BLOCK_CAP`) is reserved
+/// as a sentinel marking "next block being installed".
+const BLOCK_CAP: usize = 31;
+/// Indices advance through `LAP` logical offsets per block.
+const LAP: usize = 32;
+
+/// Slot state bits.
+const WRITE: usize = 1;
+const READ: usize = 2;
+const DESTROY: usize = 4;
+
+/// Number of independent queues per injector.
+const SHARDS: usize = 4;
+
+struct Slot<T> {
+    task: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+struct Block<T> {
+    next: AtomicPtr<Block<T>>,
+    slots: [Slot<T>; BLOCK_CAP],
+}
+
+/// Brief spin that falls back to an OS yield: the thread being waited on
+/// (a producer mid-write, or a block installer) may be descheduled on an
+/// oversubscribed host, and burning a whole quantum on `spin_loop` would
+/// delay the very thread that unblocks us.
+#[inline]
+fn snooze(step: u32) {
+    if step < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+impl<T> Block<T> {
+    fn new() -> Box<Self> {
+        // SAFETY: zeroed bytes are a valid Block: null `next`, state 0, and
+        // `MaybeUninit` slot payloads.
+        unsafe { Box::new(mem::zeroed()) }
+    }
+
+    /// Wait until the next block is installed by the producer that claimed
+    /// the final slot of this one.
+    fn wait_next(&self) -> *mut Block<T> {
+        let mut step = 0;
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            snooze(step);
+            step += 1;
+        }
+    }
+
+    /// Mark slots `start..` as destroyable; the block is freed by whichever
+    /// thread observes the last unread slot released.
+    unsafe fn destroy(this: *mut Block<T>, start: usize) {
+        // The final slot's consumer initiates destruction, so it is skipped.
+        for i in start..BLOCK_CAP - 1 {
+            let slot = &(*this).slots[i];
+            // If a consumer is still in the slot, it finishes the destruction.
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                return;
+            }
+        }
+        drop(Box::from_raw(this));
+    }
+}
+
+/// One end of a shard queue, on its own cache line to keep producers and
+/// consumers from false-sharing.
+#[repr(align(64))]
+struct Position<T> {
+    index: AtomicUsize,
+    block: AtomicPtr<Block<T>>,
+}
+
+struct Shard<T> {
+    head: Position<T>,
+    tail: Position<T>,
+}
+
+// SAFETY: the block pointers are managed by the slot-state protocol above;
+// values of `T` move across threads, hence `T: Send`.
+unsafe impl<T: Send> Send for Shard<T> {}
+unsafe impl<T: Send> Sync for Shard<T> {}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        let first = Box::into_raw(Block::new());
+        Shard {
+            head: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(first),
+            },
+            tail: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(first),
+            },
+        }
+    }
+
+    fn push(&self, task: T) {
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut block = self.tail.block.load(Ordering::Acquire);
+        let mut next_block: Option<Box<Block<T>>> = None;
+        let mut step = 0;
+        loop {
+            let offset = tail % LAP;
+            if offset == BLOCK_CAP {
+                // Another producer is installing the next block.
+                snooze(step);
+                step += 1;
+                tail = self.tail.index.load(Ordering::Acquire);
+                block = self.tail.block.load(Ordering::Acquire);
+                continue;
+            }
+            // About to claim the final slot: pre-allocate the next block so
+            // the sentinel window stays short.
+            if offset + 1 == BLOCK_CAP && next_block.is_none() {
+                next_block = Some(Block::new());
+            }
+            match self.tail.index.compare_exchange_weak(
+                tail,
+                tail + 1,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: the CAS gave us exclusive write access to `offset`.
+                Ok(_) => unsafe {
+                    if offset + 1 == BLOCK_CAP {
+                        // We claimed the final slot: install the next block
+                        // and move the tail past the sentinel offset.
+                        let next = Box::into_raw(next_block.take().unwrap());
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.fetch_add(1, Ordering::Release);
+                        (*block).next.store(next, Ordering::Release);
+                    }
+                    let slot = &(*block).slots[offset];
+                    (*slot.task.get()).write(task);
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+                    return;
+                },
+                Err(t) => {
+                    tail = t;
+                    block = self.tail.block.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    fn steal(&self) -> Steal<T> {
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut block = self.head.block.load(Ordering::Acquire);
+        let mut step = 0;
+        loop {
+            let offset = head % LAP;
+            if offset == BLOCK_CAP {
+                // The consumer of the previous slot is moving the head to
+                // the next block.
+                snooze(step);
+                step += 1;
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+            // Pair with the seq-cst tail CAS in `push`: either we see the
+            // pushed index or the producer saw our head advance.
+            fence(Ordering::SeqCst);
+            if head == self.tail.index.load(Ordering::Relaxed) {
+                return Steal::Empty;
+            }
+            match self.head.index.compare_exchange_weak(
+                head,
+                head + 1,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: the CAS gave us exclusive read access to `offset`.
+                Ok(_) => unsafe {
+                    if offset + 1 == BLOCK_CAP {
+                        // Final slot: advance the head past the sentinel to
+                        // the next block before consuming.
+                        let next = (*block).wait_next();
+                        self.head.block.store(next, Ordering::Release);
+                        self.head.index.store(head + 2, Ordering::Release);
+                    }
+                    let slot = &(*block).slots[offset];
+                    let mut step = 0;
+                    while slot.state.load(Ordering::Acquire) & WRITE == 0 {
+                        snooze(step);
+                        step += 1;
+                    }
+                    let task = (*slot.task.get()).assume_init_read();
+                    // Reclaim: the final slot triggers destruction; earlier
+                    // slots mark READ and finish a pending destruction.
+                    if offset + 1 == BLOCK_CAP {
+                        Block::destroy(block, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        Block::destroy(block, offset + 1);
+                    }
+                    return Steal::Success(task);
+                },
+                Err(_) => return Steal::Retry,
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        let head = self.head.index.load(Ordering::SeqCst);
+        let tail = self.tail.index.load(Ordering::SeqCst);
+        head == tail
+    }
+}
+
+impl<T> Drop for Shard<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the unconsumed range, dropping tasks and
+        // freeing blocks.
+        let mut head = *self.head.index.get_mut();
+        let tail = *self.tail.index.get_mut();
+        let mut block = *self.head.block.get_mut();
+        unsafe {
+            while head != tail {
+                let offset = head % LAP;
+                if offset == BLOCK_CAP {
+                    let next = (*block).next.load(Ordering::Relaxed);
+                    drop(Box::from_raw(block));
+                    block = next;
+                } else {
+                    let slot = &(*block).slots[offset];
+                    (*slot.task.get()).assume_init_drop();
+                }
+                head += 1;
+            }
+            drop(Box::from_raw(block));
+        }
+    }
+}
+
+/// Per-attempt pseudo-random shard starting point (SplitMix64 step). Each
+/// thread's stream is seeded from a global counter so concurrently woken
+/// consumers do not generate identical scan sequences and pile onto one
+/// shard.
+fn random_shard() -> usize {
+    static SEED: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(
+            (SEED.fetch_add(1, Ordering::Relaxed) as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+    }
+    STATE.with(|s| {
+        let mut x = s.get().wrapping_add(0x9E3779B97F4A7C15);
+        s.set(x);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (x ^ (x >> 31)) as usize % SHARDS
+    })
+}
+
+/// The per-thread shard producers push to. Pinning a producer to one shard
+/// preserves per-thread FIFO order across the sharded queue.
+fn home_shard() -> usize {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    HOME.with(|h| match h.get() {
+        Some(s) => s,
+        None => {
+            let s = COUNTER.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            h.set(Some(s));
+            s
+        }
+    })
+}
+
+/// An unbounded FIFO queue for tasks injected from outside the worker pool.
+pub struct Injector<T> {
+    shards: [Shard<T>; SHARDS],
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            shards: std::array::from_fn(|_| Shard::new()),
+        }
+    }
+
+    /// Enqueue a task. Tasks pushed by one thread are dequeued in FIFO order
+    /// relative to each other.
+    pub fn push(&self, task: T) {
+        self.shards[home_shard()].push(task);
+    }
+
+    /// Steal the oldest task from some shard, scanning from a pseudo-random
+    /// starting shard for fairness.
+    pub fn steal(&self) -> Steal<T> {
+        let start = random_shard();
+        let mut retry = false;
+        for i in 0..SHARDS {
+            match self.shards[(start + i) % SHARDS].steal() {
+                Steal::Success(task) => return Steal::Success(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Whether every shard is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Shard::is_empty)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Injector { .. }")
+    }
+}

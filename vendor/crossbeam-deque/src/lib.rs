@@ -1,16 +1,34 @@
-//! Offline shim for the subset of `crossbeam-deque` this workspace uses.
+//! Offline implementation of the subset of `crossbeam-deque` this workspace
+//! uses: a lock-free Chase-Lev work-stealing deque plus a sharded lock-free
+//! FIFO injector.
 //!
-//! Implements the `Worker`/`Stealer`/`Injector` API over a mutex-protected
-//! `VecDeque`. The owner pushes and pops at the back (LIFO), thieves steal
-//! from the front (FIFO) — the same ordering contract as the Chase-Lev deque
-//! the real crate provides. Performance is adequate at this reproduction's
-//! scale; the lock-free implementation can be swapped back in when a registry
-//! mirror is available.
+//! The owner side ([`Worker`]) pushes at the bottom of a growable circular
+//! buffer and pops either at the bottom (LIFO flavor, the fork-join default)
+//! or at the top (FIFO flavor). Thieves ([`Stealer`]) always take from the
+//! top, competing through a CAS on the `top` index. The implementation
+//! follows the C11 formulation of Lê, Pop, Cohen and Nardelli, *Correct and
+//! Efficient Work-Stealing for Weak Memory Models* (PPoPP '13): the owner's
+//! `pop` and every `steal` are separated by sequentially-consistent fences so
+//! the last-element race is decided by a single compare-exchange on `top`.
+//!
+//! [`Injector`] is an unbounded multi-producer multi-consumer FIFO built from
+//! per-shard segmented queues (fixed-size slot blocks linked by `next`
+//! pointers, per-slot state bits arbitrating write/read/reclaim). Producers
+//! stay on a per-thread shard so per-thread FIFO order is preserved; consumers
+//! scan shards from a per-attempt pseudo-random start for fairness.
+//!
+//! Buffer reclamation needs no epoch machinery: retired deque buffers are kept
+//! until every handle drops (their total size is bounded by a geometric
+//! series), and injector blocks are freed by whichever consumer observes the
+//! last slot of a block become unreachable.
 
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, PoisonError};
+mod deque;
+mod injector;
+
+pub use deque::{Stealer, Worker};
+pub use injector::Injector;
 
 /// Result of a steal attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,128 +39,6 @@ pub enum Steal<T> {
     Success(T),
     /// The attempt lost a race and should be retried.
     Retry,
-}
-
-#[derive(Debug)]
-struct Shared<T>(Mutex<VecDeque<T>>);
-
-impl<T> Shared<T> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-}
-
-/// The owner side of a work-stealing deque.
-#[derive(Debug)]
-pub struct Worker<T> {
-    shared: Arc<Shared<T>>,
-}
-
-impl<T> Worker<T> {
-    /// Create a deque whose owner pops in LIFO order.
-    pub fn new_lifo() -> Self {
-        Self {
-            shared: Arc::new(Shared(Mutex::new(VecDeque::new()))),
-        }
-    }
-
-    /// Create a deque whose owner pops in FIFO order.
-    ///
-    /// The shim's owner always pops at the back; FIFO construction is kept
-    /// for API compatibility and behaves identically under a single owner.
-    pub fn new_fifo() -> Self {
-        Self::new_lifo()
-    }
-
-    /// Push a task onto the owner's end.
-    pub fn push(&self, task: T) {
-        self.shared.lock().push_back(task);
-    }
-
-    /// Pop the most recently pushed task.
-    pub fn pop(&self) -> Option<T> {
-        self.shared.lock().pop_back()
-    }
-
-    /// Whether the deque is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.shared.lock().is_empty()
-    }
-
-    /// Create a stealer handle for other threads.
-    pub fn stealer(&self) -> Stealer<T> {
-        Stealer {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-}
-
-/// A thief-side handle stealing from the opposite end of a [`Worker`].
-#[derive(Debug)]
-pub struct Stealer<T> {
-    shared: Arc<Shared<T>>,
-}
-
-impl<T> Stealer<T> {
-    /// Steal the oldest task from the deque.
-    pub fn steal(&self) -> Steal<T> {
-        match self.shared.lock().pop_front() {
-            Some(task) => Steal::Success(task),
-            None => Steal::Empty,
-        }
-    }
-
-    /// Whether the deque is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.shared.lock().is_empty()
-    }
-}
-
-impl<T> Clone for Stealer<T> {
-    fn clone(&self) -> Self {
-        Self {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-}
-
-/// A FIFO queue for tasks injected from outside the worker pool.
-#[derive(Debug)]
-pub struct Injector<T> {
-    shared: Shared<T>,
-}
-
-impl<T> Injector<T> {
-    /// Create an empty injector.
-    pub fn new() -> Self {
-        Self {
-            shared: Shared(Mutex::new(VecDeque::new())),
-        }
-    }
-
-    /// Enqueue a task.
-    pub fn push(&self, task: T) {
-        self.shared.lock().push_back(task);
-    }
-
-    /// Steal the oldest injected task.
-    pub fn steal(&self) -> Steal<T> {
-        match self.shared.lock().pop_front() {
-            Some(task) => Steal::Success(task),
-            None => Steal::Empty,
-        }
-    }
-
-    /// Whether the injector is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.shared.lock().is_empty()
-    }
-}
-
-impl<T> Default for Injector<T> {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 #[cfg(test)]
@@ -164,6 +60,23 @@ mod tests {
     }
 
     #[test]
+    fn fifo_owner_pops_oldest_first() {
+        // Regression test: the old shim constructed `new_fifo()` as LIFO, so
+        // the owner popped newest-first. The FIFO flavor must pop from the top.
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        let s = w.stealer();
+        w.push(4);
+        assert_eq!(s.steal(), Steal::Success(3)); // front of the queue
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
     fn injector_is_fifo() {
         let inj = Injector::new();
         inj.push("a");
@@ -171,5 +84,142 @@ mod tests {
         assert_eq!(inj.steal(), Steal::Success("a"));
         assert_eq!(inj.steal(), Steal::Success("b"));
         assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn deque_grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..10_000u32 {
+            w.push(i);
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        let mut seen = Vec::new();
+        while let Some(x) = w.pop() {
+            seen.push(x);
+        }
+        assert_eq!(seen.len(), 9_999);
+        assert_eq!(seen.first(), Some(&9_999));
+        assert_eq!(seen.last(), Some(&1));
+    }
+
+    #[test]
+    fn injector_crosses_block_boundaries() {
+        let inj = Injector::new();
+        for i in 0..1_000u32 {
+            inj.push(i);
+        }
+        // Per-thread FIFO: a single producer's items come back in order.
+        let mut prev = None;
+        let mut count = 0;
+        loop {
+            match inj.steal() {
+                Steal::Success(x) => {
+                    if let Some(p) = prev {
+                        assert!(x > p, "injector reordered {p} before {x}");
+                    }
+                    prev = Some(x);
+                    count += 1;
+                }
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        assert_eq!(count, 1_000);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_remaining_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Token(Arc<AtomicUsize>);
+        impl Drop for Token {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let w = Worker::new_lifo();
+            let _s = w.stealer();
+            for _ in 0..500 {
+                w.push(Token(Arc::clone(&drops)));
+            }
+            // Pop a few so top/bottom sit mid-buffer, then drop with the rest
+            // still enqueued.
+            for _ in 0..100 {
+                drop(w.pop());
+            }
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 500);
+
+        drops.store(0, Ordering::Relaxed);
+        {
+            let inj = Injector::new();
+            for _ in 0..500 {
+                inj.push(Token(Arc::clone(&drops)));
+            }
+            for _ in 0..100 {
+                drop(inj.steal());
+            }
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn concurrent_steal_pop_exactly_once() {
+        use std::collections::HashSet;
+
+        const N: u64 = 20_000;
+        let w = Worker::new_lifo();
+        let mut taken = HashSet::new();
+        let mut stolen = Vec::new();
+        std::thread::scope(|scope| {
+            let mut thieves = Vec::new();
+            for _ in 0..3 {
+                let s = w.stealer();
+                thieves.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(x) => {
+                                if x == u64::MAX {
+                                    break;
+                                }
+                                local.push(x);
+                            }
+                            Steal::Empty => std::thread::yield_now(),
+                            Steal::Retry => {}
+                        }
+                    }
+                    local
+                }));
+            }
+            for i in 0..N {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(x) = w.pop() {
+                        assert!(taken.insert(x), "item {x} taken twice");
+                    }
+                }
+            }
+            while let Some(x) = w.pop() {
+                assert!(taken.insert(x), "item {x} taken twice");
+            }
+            // Sentinels to stop the stealers (each consumes exactly one).
+            for _ in 0..3 {
+                w.push(u64::MAX);
+            }
+            for t in thieves {
+                stolen.extend(t.join().unwrap());
+            }
+        });
+        for x in stolen {
+            assert!(taken.insert(x), "item {x} taken twice");
+        }
+        assert_eq!(taken.len(), N as usize, "items lost");
     }
 }
