@@ -35,6 +35,10 @@ pub struct MutableGraph {
     adj: Vec<Vec<V>>,
     m: usize,
     block_size: usize,
+    /// Inherited from the source graph; cleared by [`Self::pack_edges`],
+    /// whose predicate may be one-sided (e.g. the rank orientation in
+    /// triangle counting keeps `(u,v)` but drops `(v,u)`).
+    symmetric: bool,
 }
 
 impl MutableGraph {
@@ -52,12 +56,19 @@ impl MutableGraph {
             adj,
             m: g.num_edges(),
             block_size: g.block_size(),
+            symmetric: g.is_symmetric(),
         }
     }
 
     /// Remove the edges failing `pred`, physically compacting each adjacency
     /// list (GBBS `filterEdges`/`packGraph`). Returns remaining edge count.
+    ///
+    /// Packing conservatively clears [`Graph::is_symmetric`]: the predicate
+    /// may keep `(u,v)` while dropping `(v,u)` (the triangle-count rank
+    /// orientation does exactly that), and a lying flag would let the dense
+    /// (pull) `edge_map` direction traverse invalid in-edges.
     pub fn pack_edges(&mut self, pred: impl Fn(V, V) -> bool + Sync) -> usize {
+        self.symmetric = false;
         let counts: Vec<usize> = {
             let adj = &mut self.adj;
             let ptr = par::SendPtr(adj.as_mut_ptr());
@@ -95,6 +106,10 @@ impl Graph for MutableGraph {
 
     fn is_weighted(&self) -> bool {
         false
+    }
+
+    fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     fn block_size(&self) -> usize {

@@ -39,7 +39,8 @@ fn bench_connectivity_beta(c: &mut Criterion) {
 }
 
 fn bench_bucket_packing(c: &mut Criterion) {
-    // k-core-shaped churn over the two packing strategies of Appendix B.
+    // k-core-shaped churn over the two packing strategies of Appendix B,
+    // with each round's moves applied as one parallel `update_batch`.
     let n = 1usize << 16;
     let mut group = c.benchmark_group("bucket_packing");
     group.sample_size(10);
@@ -58,10 +59,14 @@ fn bench_bucket_packing(c: &mut Criterion) {
                     round += 1;
                     // Re-bucket a third of the extracted vertices upward,
                     // mimicking peeling updates.
-                    for &v in vs.iter().filter(|&&v| (v as u64 + round) % 3 == 0) {
-                        if k < 256 {
-                            buckets.update(v, k + 5);
-                        }
+                    if k < 256 {
+                        let moves: Vec<(u32, u64)> = vs
+                            .iter()
+                            .copied()
+                            .filter(|&v| (v as u64 + round) % 3 == 0)
+                            .map(|v| (v, k + 5))
+                            .collect();
+                        buckets.update_batch_distinct(&moves);
                     }
                 }
                 extracted
@@ -72,7 +77,9 @@ fn bench_bucket_packing(c: &mut Criterion) {
 }
 
 fn bench_histogram_threshold(c: &mut Criterion) {
-    // Dense vs sparse histogram at k-core-like neighborhood sizes.
+    // Dense vs sparse histogram at k-core-like neighborhood sizes. Each
+    // strategy holds its scratch across iterations, exactly like a peeling
+    // algorithm holds its Histogram across rounds.
     let n = 1usize << 16;
     let keys: Vec<u32> = (0..(1usize << 18))
         .map(|i| (sage_parallel::hash64(i as u64) % n as u64) as u32)
@@ -81,15 +88,10 @@ fn bench_histogram_threshold(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (label, h) in [
-        ("force_dense", Histogram::Dense),
-        ("force_sparse", Histogram::Sparse),
-        (
-            "auto_m_over_16",
-            Histogram::Auto {
-                threshold: keys.len() / 16,
-            },
-        ),
+    for (label, mut h) in [
+        ("force_dense", Histogram::dense()),
+        ("force_sparse", Histogram::sparse()),
+        ("auto_m_over_16", Histogram::with_threshold(keys.len() / 16)),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -103,6 +103,7 @@ fn memmode_hit_rate(graph_bytes: usize) -> f64 {
 
 /// Figure 1: Sage (NVRAM) vs GBBS-MemMode vs Galois on the largest graph.
 pub fn fig1() {
+    crate::report::set_experiment("fig1");
     let suite = Suite::load();
     let g = suite.graphs.last().expect("suite");
     let model = CostModel::default();
@@ -149,6 +150,7 @@ pub fn fig1() {
 
 /// Figure 2: n vs average degree over the published-statistics catalog.
 pub fn fig2() {
+    crate::report::set_experiment("fig2");
     println!(
         "\nFigure 2 — n vs m/n over {} catalog graphs",
         catalog::CATALOG.len()
@@ -180,6 +182,7 @@ pub fn fig2() {
 
 /// Figure 6: self-relative speedup (T1 / Tp) per problem per graph.
 pub fn fig6() {
+    crate::report::set_experiment("fig6");
     let suite = Suite::load();
     let p = std::thread::available_parallelism()
         .map(|x| x.get())
@@ -234,6 +237,7 @@ pub fn fig6() {
 
 /// Figure 7: the four placement configurations on the ClueWeb-sized input.
 pub fn fig7() {
+    crate::report::set_experiment("fig7");
     let suite = Suite::load();
     let g = &suite.graphs[0];
     let model = CostModel::default();
@@ -273,6 +277,7 @@ pub fn fig7() {
 
 /// Table 1: measured PSAM work scaling and the zero-graph-write invariant.
 pub fn table1() {
+    crate::report::set_experiment("table1");
     let base = Suite::base_scale().min(13);
     let graphs: Vec<(sage_graph::Csr, sage_graph::Csr)> = (0..3)
         .map(|i| {
@@ -330,6 +335,7 @@ pub fn table1() {
 
 /// Table 2: the input suite.
 pub fn table2() {
+    crate::report::set_experiment("table2");
     let suite = Suite::load();
     println!("\nTable 2 — synthetic inputs replacing the paper's datasets");
     let mut rows = Vec::new();
@@ -360,6 +366,7 @@ pub fn table2() {
 
 /// Table 3: semi-external streaming vs Sage.
 pub fn table3() {
+    crate::report::set_experiment("table3");
     let g = Suite::social();
     let dir = std::env::temp_dir().join(format!("sage-table3-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -424,6 +431,7 @@ pub fn table3() {
 
 /// Table 4: filter block size vs triangle-counting work.
 pub fn table4() {
+    crate::report::set_experiment("table4");
     let suite = Suite::load();
     let g = &suite.graphs[0];
     println!(
@@ -455,6 +463,7 @@ pub fn table4() {
 
 /// Table 5 + App D.2: DRAM usage of the three sparse traversals.
 pub fn table5() {
+    crate::report::set_experiment("table5");
     let suite = Suite::load();
     println!("\nTable 5 — DRAM usage and BFS time per sparse edgeMap implementation");
     let mut rows = Vec::new();
@@ -516,6 +525,7 @@ pub fn table5() {
 
 /// §5.2: the NUMA graph-layout microbenchmark.
 pub fn numa() {
+    crate::report::set_experiment("numa");
     let suite = Suite::load();
     let g = &suite.graphs[0];
     let n = g.csr.num_vertices();

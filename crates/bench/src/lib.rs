@@ -4,6 +4,7 @@
 
 pub mod catalog;
 pub mod experiments;
+pub mod report;
 pub mod suite;
 
 pub use suite::{BenchGraph, Suite};
@@ -23,13 +24,15 @@ pub struct RunResult {
     pub traffic: MeterSnapshot,
 }
 
-/// Time `f` and capture its meter delta.
+/// Time `f` and capture its meter delta. Every timed run is also appended to
+/// the [`report`] sink so the harness can emit machine-readable JSON.
 pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, RunResult) {
     let before = Meter::global().snapshot();
     let start = Instant::now();
     let out = f();
     let seconds = start.elapsed().as_secs_f64();
     let traffic = Meter::global().snapshot().since(&before);
+    report::record(name, seconds, traffic);
     (
         out,
         RunResult {

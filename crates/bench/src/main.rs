@@ -4,6 +4,10 @@
 //! sage-bench <experiment> [SAGE_SCALE=17] [SAGE_THREADS=N]
 //!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa all
 //! ```
+//!
+//! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
+//! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
+//! which is how CI tracks the perf trajectory across PRs (`BENCH_*.json`).
 
 use sage_nvram::alloc_track::TrackingAlloc;
 
@@ -35,6 +39,24 @@ fn main() {
             eprintln!("unknown experiment {other:?}");
             eprintln!("choose one of: fig1 fig2 fig6 fig7 table1..table5 numa all");
             std::process::exit(2);
+        }
+    }
+    if let Ok(path) = std::env::var("SAGE_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        match sage_bench::report::write_json(
+            &path,
+            sage_bench::Suite::base_scale(),
+            sage_parallel::num_threads(),
+        ) {
+            Ok(()) => println!(
+                "wrote {} timed records to {}",
+                sage_bench::report::len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(3);
+            }
         }
     }
 }

@@ -34,7 +34,8 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
     let mut removed_round = vec![u32::MAX; n];
     let mut alive: Vec<V> = (0..n as V).collect();
     let mut m_alive = g.num_edges() as u64;
-    let histogram = Histogram::auto(g.num_edges());
+    // Dense scratch is reused across rounds; see the histogram module docs.
+    let mut histogram = Histogram::auto(g.num_edges());
 
     let mut best_density = 0.0f64;
     let mut best_round = 0u32;
@@ -83,12 +84,15 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
                 }
             });
         });
-        let mut decrements = 0u64;
-        for (u, c) in counts {
+        sage_nvram::meter::aux_read(histogram.last_work());
+        // Histogram keys are distinct: decrement in parallel.
+        let counts_ref: &[(u32, u32)] = &counts;
+        let decrements = par::reduce_add(0, counts.len(), |i| {
+            let (u, c) = counts_ref[i];
             let d = degrees[u as usize].load(Ordering::Relaxed);
             degrees[u as usize].store(d.saturating_sub(c as u64), Ordering::Relaxed);
-            decrements += c as u64;
-        }
+            c as u64
+        });
         // Directed edges removed: those out of R plus those into R from
         // survivors (the within-R ones are inside out_deg_removed already).
         m_alive -= out_deg_removed + decrements;

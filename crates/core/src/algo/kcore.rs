@@ -9,6 +9,7 @@
 
 use crate::bucket::{Buckets, Order, Packing};
 use sage_graph::{Graph, V};
+use sage_nvram::meter;
 use sage_parallel as par;
 use sage_parallel::Histogram;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,7 +38,10 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
     let mut coreness = vec![0u32; n];
     let mut k = 0u64;
     let mut rounds = 0usize;
-    let histogram = Histogram::auto(m);
+    // One histogram for the whole peel: its dense scratch is allocated on
+    // first use and reused across all rounds (per-round cost stays
+    // proportional to the peeled neighborhood, not to n).
+    let mut histogram = Histogram::auto(m);
     while let Some((bkt, ids)) = buckets.next_bucket() {
         rounds += 1;
         k = k.max(bkt);
@@ -56,17 +60,18 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
                 }
             });
         });
-        // Decrement degrees (clamped at k) and re-bucket.
-        let updates: Vec<(V, u64)> = counts
-            .into_iter()
-            .map(|(u, c)| {
-                let d = degrees[u as usize].load(Ordering::Relaxed);
-                let nd = d.saturating_sub(c as u64).max(k);
-                degrees[u as usize].store(nd, Ordering::Relaxed);
-                (u, nd)
-            })
-            .collect();
-        buckets.update_batch(&updates);
+        meter::aux_read(histogram.last_work());
+        // Decrement degrees (clamped at k) and re-bucket. The histogram keys
+        // are distinct, so the degree writes are race-free.
+        let counts_ref: &[(u32, u32)] = &counts;
+        let updates: Vec<(V, u64)> = par::par_map(counts.len(), |i| {
+            let (u, c) = counts_ref[i];
+            let d = degrees[u as usize].load(Ordering::Relaxed);
+            let nd = d.saturating_sub(c as u64).max(k);
+            degrees[u as usize].store(nd, Ordering::Relaxed);
+            (u, nd)
+        });
+        buckets.update_batch_distinct(&updates);
     }
     KcoreResult {
         coreness,

@@ -60,19 +60,22 @@ pub fn set_cover<G: Graph>(g: &G, num_sets: usize, eps: f64, seed: u64) -> SetCo
             !covered_ref[e as usize].load(Ordering::Relaxed)
         });
         // Sets whose bucket dropped get re-bucketed; the rest compete.
-        let mut competing: Vec<V> = Vec::new();
-        let mut rebucket: Vec<(V, u64)> = Vec::new();
-        for (s, deg) in packed {
-            if deg == 0 {
-                continue; // nothing left to cover
-            }
-            let b = log_bucket(eps, deg as u64);
-            if b >= bkt {
-                competing.push(s);
-            } else {
-                rebucket.push((s, b));
-            }
-        }
+        // (Bucket each set once, then split with two parallel filters; sets
+        // with nothing left to cover drop out.)
+        let packed_ref: &[(V, u32)] = &packed;
+        let bucketed: Vec<(V, u64, bool)> = par::par_map(packed.len(), |i| {
+            let (s, deg) = packed_ref[i];
+            (s, log_bucket(eps, deg as u64), deg > 0)
+        });
+        let competing: Vec<V> = par::filter_slice(&bucketed, |&(_, b, live)| live && b >= bkt)
+            .into_iter()
+            .map(|(s, _, _)| s)
+            .collect();
+        let mut rebucket: Vec<(V, u64)> =
+            par::filter_slice(&bucketed, |&(_, b, live)| live && b < bkt)
+                .into_iter()
+                .map(|(s, b, _)| (s, b))
+                .collect();
         // Claim phase: min (priority, set) wins each element.
         let comp: &[V] = &competing;
         let claims_ref = &claims;
@@ -108,7 +111,8 @@ pub fn set_cover<G: Graph>(g: &G, num_sets: usize, eps: f64, seed: u64) -> SetCo
                         covered[e as usize].store(true, Ordering::Relaxed);
                     }
                 });
-                buckets.update(s, CLOSED);
+                // Removal rides the same batch as the re-buckets below.
+                rebucket.push((s, CLOSED));
             } else {
                 // Re-bucket at the (possibly reduced) current bucket.
                 rebucket.push((s, log_bucket(eps, deg)));
@@ -120,7 +124,7 @@ pub fn set_cover<G: Graph>(g: &G, num_sets: usize, eps: f64, seed: u64) -> SetCo
                 claims_ref[e as usize].store(u64::MAX, Ordering::Relaxed);
             });
         });
-        buckets.update_batch(&rebucket);
+        buckets.update_batch_distinct(&rebucket);
     }
     SetCoverResult {
         sets: chosen,

@@ -58,15 +58,18 @@ pub fn wbfs<G: Graph>(g: &G, src: V) -> Vec<u64> {
         let mut frontier = VertexSubset::from_sparse(n, ids);
         let relax = RelaxFn { dist: &dist };
         let mut moved = edge_map(g, &mut frontier, &relax, EdgeMapOpts::default());
-        // Re-bucket improved vertices at their new tentative distance.
+        // Re-bucket improved vertices at their new tentative distance. The
+        // sort+dedup collapses the frontier's duplicate emissions to one move
+        // per vertex, qualifying the batch for the distinct fast path.
         let mut ids: Vec<V> = moved.as_sparse().to_vec();
         par::par_sort(&mut ids);
         ids.dedup();
-        let updates: Vec<(V, u64)> = ids
-            .iter()
-            .map(|&v| (v, dist[v as usize].load(Ordering::Relaxed)))
-            .collect();
-        buckets.update_batch(&updates);
+        let ids_ref: &[V] = &ids;
+        let updates: Vec<(V, u64)> = par::par_map(ids.len(), |i| {
+            let v = ids_ref[i];
+            (v, dist[v as usize].load(Ordering::Relaxed))
+        });
+        buckets.update_batch_distinct(&updates);
     }
     unwrap_atomic(dist)
 }

@@ -117,11 +117,12 @@ pub fn widest_path_bucketed<G: Graph>(g: &G, src: V) -> Vec<u64> {
         let mut ids: Vec<V> = moved.as_sparse().to_vec();
         par::par_sort(&mut ids);
         ids.dedup();
-        let updates: Vec<(V, u64)> = ids
-            .iter()
-            .map(|&v| (v, key_of(width[v as usize].load(Ordering::Relaxed))))
-            .collect();
-        buckets.update_batch(&updates);
+        let ids_ref: &[V] = &ids;
+        let updates: Vec<(V, u64)> = par::par_map(ids.len(), |i| {
+            let v = ids_ref[i];
+            (v, key_of(width[v as usize].load(Ordering::Relaxed)))
+        });
+        buckets.update_batch_distinct(&updates);
     }
     unwrap_atomic(width)
 }

@@ -1,9 +1,9 @@
-//! Julienne-style bucketing (Appendix B) with semi-eager packing.
+//! Julienne-style bucketing (Appendix B) with semi-eager packing — the
+//! **parallel bucket engine** behind wBFS, k-core, approximate densest
+//! subgraph, and approximate set cover.
 //!
 //! A bucketing structure maintains a dynamic map from vertices to integer
 //! buckets and repeatedly extracts the lowest (or highest) non-empty bucket.
-//! It underpins weighted BFS, k-core, approximate densest subgraph, and
-//! approximate set cover.
 //!
 //! Julienne's original strategy is *lazy*: moved vertices are simply
 //! re-inserted and stale copies are skipped at extraction, which can hold up
@@ -16,16 +16,51 @@
 //! As in Julienne's practical variant, a constant number of *open* buckets is
 //! kept (the next [`OPEN_BUCKETS`] priorities) plus one overflow bucket that
 //! is re-split when reached.
+//!
+//! # Parallel batch updates
+//!
+//! The paper's peeling algorithms run for up to hundreds of thousands of
+//! rounds (130,728 on Hyperlink2012), so per-round cost must be proportional
+//! to the *batch*, never to `n`, and the batch itself must be applied in
+//! parallel to respect the work/depth bounds. [`Buckets::update_batch`]
+//! (Julienne's `UpdateBuckets`) therefore:
+//!
+//! 1. deduplicates the batch in parallel (last move per vertex wins, matching
+//!    the sequential loop's semantics);
+//! 2. applies id writes and stale-copy accounting with a parallel loop
+//!    (distinct vertices touch disjoint slots; per-bucket dead counters are
+//!    atomic during the batch);
+//! 3. groups surviving moves by destination bucket with a block-local
+//!    counting sort — the histogram-style grouping of §4.3.4 — and appends
+//!    each group with prefix-sum offsets plus disjoint parallel writes, the
+//!    same scatter pattern as `edgeMapChunked`;
+//! 4. triggers semi-eager packing once per batch from the updated dead/live
+//!    statistics rather than per element, packing stale buckets in parallel.
+//!
+//! [`Buckets::new`] and the overflow re-split use the same scatter, so
+//! construction is a parallel pack instead of an `n`-iteration insert loop.
+//! Single-vertex [`Buckets::update`] remains for point updates; batches below
+//! [`SEQ_BATCH`] take the sequential path (the parallel machinery only pays
+//! off past a few cache lines of moves), and both paths are
+//! extraction-equivalent by the model tests in `tests/bucket_model.rs`.
 
 use sage_graph::V;
 use sage_nvram::meter;
 use sage_parallel as par;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of open buckets kept ahead of the current priority.
 pub const OPEN_BUCKETS: usize = 128;
 
 /// Bucket id meaning "never schedule this vertex again".
 pub const CLOSED: u64 = u64::MAX;
+
+/// Batch sizes below this take the sequential per-element update path.
+pub const SEQ_BATCH: usize = 48;
+
+/// Destination slots for the counting-sort scatter: one per open bucket plus
+/// the overflow bucket.
+const SLOTS: usize = OPEN_BUCKETS + 1;
 
 /// Extraction order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +98,8 @@ pub struct Buckets {
 
 impl Buckets {
     /// Build from an initial priority function; `None` leaves the vertex out.
+    /// Construction is a parallel pack + scatter, `O(n)` work, `O(log n)`
+    /// depth — not an `n`-iteration sequential insert loop.
     pub fn new(
         n: usize,
         order: Order,
@@ -89,9 +126,9 @@ impl Buckets {
             overflow: Vec::new(),
             base: 0,
         };
-        for v in 0..n as V {
-            b.insert(v);
-        }
+        let ids = &b.ids;
+        let live: Vec<V> = par::pack_index(n, |v| ids[v] != CLOSED);
+        b.scatter_live(&live);
         b
     }
 
@@ -112,6 +149,99 @@ impl Buckets {
             self.open[rel].push(v);
         } else {
             self.overflow.push(v);
+        }
+    }
+
+    /// Append every vertex of `items` to the bucket its *current* id selects
+    /// (`ids[v]` must be live and `>= base`): block-local destination counts,
+    /// a prefix sum per destination, and disjoint parallel writes — the
+    /// `edgeMapChunked` aggregation pattern applied to bucket insertion.
+    fn scatter_live(&mut self, items: &[V]) {
+        let k = items.len();
+        if k == 0 {
+            return;
+        }
+        // Bucket pushes are deliberately unmetered, exactly like the
+        // sequential `insert` path: callers account the id writes, so both
+        // paths report identical traffic for identical logical work.
+        if k < SEQ_BATCH {
+            for &v in items {
+                self.insert(v);
+            }
+            return;
+        }
+        let (ids, open, overflow) = (&self.ids, &mut self.open, &mut self.overflow);
+        let base = self.base;
+        let slot_of = |v: V| -> usize {
+            let key = ids[v as usize];
+            debug_assert!(key != CLOSED && key >= base, "scatter of a dead vertex");
+            (key - base).min(OPEN_BUCKETS as u64) as usize
+        };
+        // Pass 1: per-block destination counts.
+        let block = k.div_ceil(8 * par::num_threads().max(1)).max(SEQ_BATCH);
+        let nblocks = k.div_ceil(block);
+        let mut offs: Vec<[u32; SLOTS]> = par::par_map_grain(nblocks, 1, |b| {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(k);
+            let mut c = [0u32; SLOTS];
+            for &v in &items[lo..hi] {
+                c[slot_of(v)] += 1;
+            }
+            c
+        });
+        // Column-wise exclusive scan: offs[b][s] becomes the write offset of
+        // block b within destination s; totals[s] the per-destination count.
+        // (nblocks × SLOTS is O(P · 129) — constant-ish, scanned serially.)
+        let mut totals = [0u32; SLOTS];
+        for s in 0..SLOTS {
+            let mut acc = 0u32;
+            for off in offs.iter_mut() {
+                let c = off[s];
+                off[s] = acc;
+                acc += c;
+            }
+            totals[s] = acc;
+        }
+        // Reserve destination tails and capture disjoint write cursors.
+        let mut starts = [0usize; SLOTS];
+        let mut ptrs: Vec<par::SendPtr<V>> = Vec::with_capacity(SLOTS);
+        for s in 0..SLOTS {
+            let bucket: &mut Vec<V> = if s < OPEN_BUCKETS {
+                &mut open[s]
+            } else {
+                &mut *overflow
+            };
+            starts[s] = bucket.len();
+            bucket.reserve(totals[s] as usize);
+            // SAFETY: pointer to the first uninitialized slot of the reserved
+            // tail; `add` below stays within the reservation.
+            ptrs.push(par::SendPtr(unsafe { bucket.as_mut_ptr().add(starts[s]) }));
+        }
+        // Pass 2: disjoint scatter — block b owns [offs[b][s], offs[b+1][s])
+        // of every destination s.
+        {
+            let offs_ref: &[[u32; SLOTS]] = &offs;
+            let ptrs_ref: &[par::SendPtr<V>] = &ptrs;
+            par::par_for_grain(0, nblocks, 1, |b| {
+                let lo = b * block;
+                let hi = ((b + 1) * block).min(k);
+                let mut cur = offs_ref[b];
+                for &v in &items[lo..hi] {
+                    let s = slot_of(v);
+                    // SAFETY: slot ranges are disjoint per (block, dest).
+                    unsafe { ptrs_ref[s].add(cur[s] as usize).write(v) };
+                    cur[s] += 1;
+                }
+            });
+        }
+        for s in 0..SLOTS {
+            let bucket: &mut Vec<V> = if s < OPEN_BUCKETS {
+                &mut open[s]
+            } else {
+                &mut *overflow
+            };
+            // SAFETY: exactly totals[s] tail slots were written above.
+            unsafe { bucket.set_len(starts[s] + totals[s] as usize) };
         }
     }
 
@@ -151,18 +281,148 @@ impl Buckets {
         }
     }
 
-    /// Batch form of [`Buckets::update`] (`update_buckets` in Julienne).
+    /// Batch form of [`Buckets::update`] (`UpdateBuckets` in Julienne),
+    /// applied in parallel for batches of at least [`SEQ_BATCH`] moves; see
+    /// the module docs for the four phases. Duplicate vertices are allowed —
+    /// the last move wins, exactly as if the batch were applied in order.
+    /// Callers that can guarantee distinct vertices should prefer
+    /// [`Buckets::update_batch_distinct`], which skips the dedup sort.
     pub fn update_batch(&mut self, moves: &[(V, u64)]) {
-        for &(v, k) in moves {
-            self.update(v, k);
+        if moves.len() < SEQ_BATCH {
+            for &(v, k) in moves {
+                self.update(v, k);
+            }
+            return;
+        }
+        self.update_batch_parallel(moves, false);
+    }
+
+    /// [`Buckets::update_batch`] for batches the caller guarantees contain
+    /// **at most one move per vertex** (histogram outputs, deduplicated
+    /// frontiers). Skips the `O(k log k)` last-move-wins sort — the dominant
+    /// phase-1 cost — which matters at hundreds of thousands of peeling
+    /// rounds. Distinctness is debug-checked; a violating batch in release is
+    /// still memory-safe (id slots are written atomically, so concurrent
+    /// moves of one vertex race benignly: some single move wins, and dead
+    /// counts can at worst overcount, which only packs earlier), but which
+    /// move wins is unspecified — use [`Buckets::update_batch`] when
+    /// duplicates are possible.
+    pub fn update_batch_distinct(&mut self, moves: &[(V, u64)]) {
+        debug_assert!(
+            {
+                let mut vs: Vec<V> = moves.iter().map(|&(v, _)| v).collect();
+                vs.sort_unstable();
+                vs.windows(2).all(|w| w[0] != w[1])
+            },
+            "update_batch_distinct requires at most one move per vertex"
+        );
+        if moves.len() < SEQ_BATCH {
+            for &(v, k) in moves {
+                self.update(v, k);
+            }
+            return;
+        }
+        self.update_batch_parallel(moves, true);
+    }
+
+    fn update_batch_parallel(&mut self, moves: &[(V, u64)], distinct: bool) {
+        let base = self.base;
+        let order = self.order;
+        let normalize = |external: u64| match (order, external) {
+            (_, CLOSED) => CLOSED,
+            (Order::Increasing, k) => k,
+            (Order::Decreasing, k) => u64::MAX - 1 - k,
+        };
+        // Phase 1: normalize keys; deduplicate unless the caller vouched for
+        // distinctness. Sorting (vertex, position) pairs makes "last move
+        // wins" a run-boundary pack.
+        let survivors: Vec<(V, u64)> = if distinct {
+            par::par_map(moves.len(), |i| (moves[i].0, normalize(moves[i].1)))
+        } else {
+            let mut tagged: Vec<(V, u32)> = par::par_map(moves.len(), |i| (moves[i].0, i as u32));
+            par::par_sort(&mut tagged);
+            let tagged_ref: &[(V, u32)] = &tagged;
+            let last_of_run = par::pack_index(tagged.len(), |i| {
+                i + 1 == tagged_ref.len() || tagged_ref[i].0 != tagged_ref[i + 1].0
+            });
+            par::par_map(last_of_run.len(), |j| {
+                let (v, mi) = tagged_ref[last_of_run[j] as usize];
+                (v, normalize(moves[mi as usize].1))
+            })
+        };
+        // Phase 2: parallel apply. Survivors are one-per-vertex by contract,
+        // but id slots are accessed atomically anyway so that a contract
+        // violation on the distinct fast path degrades to a benign race (an
+        // unspecified move wins) instead of undefined behavior. Relaxed is
+        // enough: the scatter below only reads ids after the par_for joins.
+        let dead_add: Vec<AtomicUsize> = (0..OPEN_BUCKETS).map(|_| AtomicUsize::new(0)).collect();
+        let mut needs_insert: Vec<bool> = vec![false; survivors.len()];
+        {
+            let surv: &[(V, u64)] = &survivors;
+            let dead_ref: &[AtomicUsize] = &dead_add;
+            // SAFETY: AtomicU64 has the same size, alignment, and bit
+            // validity as u64, and `&mut self` guarantees exclusive access
+            // to `ids` for the lifetime of this view. The pointer must carry
+            // write provenance (`as_mut_ptr`) for the stores below.
+            let ids_atomic: &[AtomicU64] = unsafe {
+                std::slice::from_raw_parts(
+                    self.ids.as_mut_ptr() as *const AtomicU64,
+                    self.ids.len(),
+                )
+            };
+            let flag_ptr = par::SendPtr(needs_insert.as_mut_ptr());
+            par::par_for(0, surv.len(), |j| {
+                let (v, k) = surv[j];
+                let slot = &ids_atomic[v as usize];
+                let old = slot.load(Ordering::Relaxed);
+                if old == k {
+                    return; // no-op move, matching the sequential early-out
+                }
+                if old != CLOSED && old >= base {
+                    let rel = (old - base) as usize;
+                    if rel < OPEN_BUCKETS {
+                        dead_ref[rel].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let clamped = if k == CLOSED { CLOSED } else { k.max(base) };
+                slot.store(clamped, Ordering::Relaxed);
+                if clamped != CLOSED {
+                    // SAFETY: flag j belongs to this iteration alone.
+                    unsafe { flag_ptr.add(j).write(true) };
+                }
+            });
+        }
+        meter::aux_write(survivors.len() as u64);
+        // Phase 3: group by destination bucket and append (scatter reads the
+        // freshly written ids, which now hold each survivor's destination).
+        let flags: &[bool] = &needs_insert;
+        let surv: &[(V, u64)] = &survivors;
+        let inserted = par::pack_index(survivors.len(), |j| flags[j]);
+        let inserted_ref: &[u32] = &inserted;
+        let to_insert: Vec<V> = par::par_map(inserted.len(), |i| surv[inserted_ref[i] as usize].0);
+        self.scatter_live(&to_insert);
+        // Phase 4: merge dead statistics and pack once per batch.
+        for (dead, add) in self.dead.iter_mut().zip(&dead_add) {
+            *dead += add.load(Ordering::Relaxed);
+        }
+        if self.packing == Packing::SemiEager {
+            self.pack_stale_buckets();
         }
     }
 
+    /// The Appendix B semi-eager threshold, shared by the per-element and
+    /// batch packing paths: pack once dead entries outnumber the rest, but
+    /// never bother below 16 entries.
+    #[inline]
+    fn needs_pack(dead: usize, len: usize) -> bool {
+        dead > len / 2 && len >= 16
+    }
+
     /// Semi-eager packing: physically drop stale entries once they outnumber
-    /// the live ones (Appendix B).
+    /// the live ones (Appendix B). Per-element path for [`Buckets::update`].
     fn maybe_pack(&mut self, rel: usize) {
         let bucket = &mut self.open[rel];
-        if self.dead[rel] <= bucket.len() / 2 || bucket.len() < 16 {
+        if !Self::needs_pack(self.dead[rel], bucket.len()) {
             return;
         }
         let key = self.base + rel as u64;
@@ -170,6 +430,34 @@ impl Buckets {
         bucket.retain(|&v| ids[v as usize] == key);
         meter::aux_write(bucket.len() as u64);
         self.dead[rel] = 0;
+    }
+
+    /// Batch-statistics packing: after a batch merge, pack every open bucket
+    /// whose dead entries outnumber the live ones, in parallel across
+    /// buckets. Same threshold as [`Buckets::maybe_pack`].
+    fn pack_stale_buckets(&mut self) {
+        let decisions: Vec<bool> = (0..OPEN_BUCKETS)
+            .map(|rel| Self::needs_pack(self.dead[rel], self.open[rel].len()))
+            .collect();
+        if !decisions.iter().any(|&d| d) {
+            return;
+        }
+        {
+            let (ids, base) = (&self.ids, self.base);
+            let dec: &[bool] = &decisions;
+            par::par_for_slices(&mut self.open, |rel, bucket| {
+                if dec[rel] {
+                    let key = base + rel as u64;
+                    bucket.retain(|&v| ids[v as usize] == key);
+                }
+            });
+        }
+        for (rel, &packed) in decisions.iter().enumerate() {
+            if packed {
+                meter::aux_write(self.open[rel].len() as u64);
+                self.dead[rel] = 0;
+            }
+        }
     }
 
     /// Extract the next non-empty bucket: `(external_key, live_vertices)`.
@@ -217,29 +505,23 @@ impl Buckets {
                 };
                 return Some((external, live));
             }
-            // Open range exhausted: re-split the overflow bucket.
+            // Open range exhausted: re-split the overflow bucket in parallel
+            // (filter the live entries, advance the base, scatter).
             if self.overflow.is_empty() {
                 return None;
             }
             let over = std::mem::take(&mut self.overflow);
-            let ids = &self.ids;
-            let live: Vec<V> = over
-                .into_iter()
-                .filter(|&v| ids[v as usize] != CLOSED)
-                .collect();
+            meter::aux_read(over.len() as u64);
+            let ids: &[u64] = &self.ids;
+            let live: Vec<V> = par::filter_slice(&over, |&v| ids[v as usize] != CLOSED);
             if live.is_empty() {
                 return None;
             }
-            let new_base = live
-                .iter()
-                .map(|&v| self.ids[v as usize])
-                .min()
-                .expect("nonempty");
+            let live_ref: &[V] = &live;
+            let new_base = par::reduce_min(0, live.len(), u64::MAX, |i| ids[live_ref[i] as usize]);
             self.base = new_base;
             self.dead.iter_mut().for_each(|d| *d = 0);
-            for v in live {
-                self.insert(v);
-            }
+            self.scatter_live(&live);
         }
     }
 }
@@ -343,6 +625,118 @@ mod tests {
             order
         };
         assert_eq!(run(Packing::Lazy), run(Packing::SemiEager));
+    }
+
+    #[test]
+    fn batched_and_sequential_updates_agree_under_churn() {
+        // Same churn as above, but one side applies each round's moves as a
+        // single (parallel-path) batch. The batch is padded with duplicate
+        // no-op moves so it clears SEQ_BATCH and exercises last-wins dedup.
+        let n = 500usize;
+        let run = |batched: bool| {
+            let mut b = Buckets::new(n, Order::Increasing, Packing::SemiEager, |v| {
+                Some(v as u64 % 50)
+            });
+            let mut order = Vec::new();
+            let mut round = 0u64;
+            while let Some((k, vs)) = b.next_bucket() {
+                order.push((k, {
+                    let mut s = vs.clone();
+                    s.sort_unstable();
+                    s
+                }));
+                round += 1;
+                let moved: Vec<V> = vs
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as u64 + round) % 3 == 0 && k < 200)
+                    .collect();
+                if batched {
+                    let mut batch: Vec<(V, u64)> = Vec::new();
+                    for &v in &moved {
+                        batch.push((v, k + 3)); // overwritten by the later move
+                        batch.push((v, k + 7));
+                    }
+                    while batch.len() < SEQ_BATCH && !batch.is_empty() {
+                        let dup = batch[0].0;
+                        batch.insert(0, (dup, k + 1)); // earlier duplicate loses
+                    }
+                    b.update_batch(&batch);
+                } else {
+                    for &v in &moved {
+                        b.update(v, k + 7);
+                    }
+                }
+            }
+            order
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn parallel_construction_matches_sequential_inserts() {
+        // Large enough that new() takes the counting-sort scatter path for
+        // both the open range and the overflow bucket.
+        let n = 10_000usize;
+        let key = |v: u32| match v % 5 {
+            0 => None,
+            1 => Some(v as u64 % 90),          // open range
+            _ => Some(500 + (v as u64 % 300)), // overflow
+        };
+        let mut b = Buckets::new(n, Order::Increasing, Packing::SemiEager, key);
+        let mut expected: Vec<(u64, Vec<V>)> = {
+            let mut by_key: std::collections::BTreeMap<u64, Vec<V>> = Default::default();
+            for v in 0..n as V {
+                if let Some(k) = key(v) {
+                    by_key.entry(k).or_default().push(v);
+                }
+            }
+            by_key.into_iter().collect()
+        };
+        let got = drain(&mut b);
+        expected.retain(|(_, vs)| !vs.is_empty());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn big_batch_with_closes_and_overflow_moves() {
+        let n = 4096usize;
+        let mut b = Buckets::new(n, Order::Increasing, Packing::SemiEager, |v| {
+            Some(v as u64 % 8)
+        });
+        // One parallel batch: close every multiple of 3, push every multiple
+        // of 4 far into the overflow, leave the rest.
+        let batch: Vec<(V, u64)> = (0..n as V)
+            .filter_map(|v| {
+                if v % 3 == 0 {
+                    Some((v, CLOSED))
+                } else if v % 4 == 0 {
+                    Some((v, 100_000 + v as u64))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(batch.len() >= SEQ_BATCH);
+        // The batch is one move per vertex: exercise the distinct fast path.
+        b.update_batch_distinct(&batch);
+        let got = drain(&mut b);
+        let extracted: Vec<V> = got.iter().flat_map(|(_, vs)| vs.iter().copied()).collect();
+        assert!(
+            extracted.iter().all(|&v| v % 3 != 0),
+            "closed vertex escaped"
+        );
+        for (k, vs) in &got {
+            for &v in vs {
+                if v % 4 == 0 {
+                    assert_eq!(*k, 100_000 + v as u64, "overflow move lost");
+                } else {
+                    assert_eq!(*k, v as u64 % 8);
+                }
+            }
+        }
+        let expected_count = (0..n as V).filter(|v| v % 3 != 0).count();
+        assert_eq!(extracted.len(), expected_count);
     }
 
     #[test]

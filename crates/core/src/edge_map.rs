@@ -18,7 +18,11 @@
 //! Ligra: dense is chosen when `|U| + Σ_{u∈U} deg(u) > m / 20`.
 //!
 //! Dense traversal requires a symmetric graph (in-neighbors = out-neighbors),
-//! which holds for every input in the paper's evaluation (§5.1.3).
+//! which holds for every input in the paper's evaluation (§5.1.3). The engine
+//! *enforces* this via [`sage_graph::Graph::is_symmetric`]: under
+//! [`Strategy::Auto`] an asymmetric graph silently stays on the always-correct
+//! sparse (push) side, and [`Strategy::ForceDense`] panics rather than pull
+//! over out-edges that are not valid in-edges.
 
 use crate::vertex_subset::VertexSubset;
 use parking_lot::Mutex;
@@ -99,10 +103,23 @@ pub fn edge_map<G: Graph, F: EdgeMapFn>(
     }
     let dense = match opts.strategy {
         Strategy::ForceSparse => false,
-        Strategy::ForceDense => true,
+        Strategy::ForceDense => {
+            assert!(
+                g.is_symmetric(),
+                "dense (pull) edge_map reads out-edges as in-edges, which is only \
+                 correct on a symmetric graph; symmetrize the input (or mark_symmetric \
+                 a known-undirected one), or use Strategy::Auto / ForceSparse"
+            );
+            true
+        }
         Strategy::Auto => {
-            let work = frontier.len() + frontier.out_degree_sum(g);
-            work > g.num_edges() / opts.dense_threshold_den.max(1)
+            // Asymmetric graphs stay on the push side (pull would traverse
+            // out-edges that are not valid in-edges); checking the flag first
+            // skips the O(|frontier|) degree-sum estimate entirely for them.
+            g.is_symmetric() && {
+                let work = frontier.len() + frontier.out_degree_sum(g);
+                work > g.num_edges() / opts.dense_threshold_den.max(1)
+            }
         }
     };
     if dense {
@@ -555,6 +572,58 @@ mod tests {
     fn variants_agree_on_star_and_path() {
         check_all_variants_agree(&gen::star(500), 3);
         check_all_variants_agree(&gen::path(200), 0);
+    }
+
+    fn directed_two_hop() -> sage_graph::Csr {
+        // 0 -> 1 -> 2 with NO reverse edges: pulling over out-edges would
+        // never discover anything from the frontier.
+        sage_graph::build_csr(
+            sage_graph::EdgeList::new(3, vec![(0, 1), (1, 2)]),
+            sage_graph::BuildOptions {
+                symmetrize: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn auto_falls_back_to_sparse_on_asymmetric_graphs() {
+        let g = directed_two_hop();
+        assert!(!g.is_symmetric());
+        // The frontier {0, 1} covers the whole edge set, so the Beamer rule
+        // alone would have chosen dense; the symmetry guard must keep the
+        // traversal on the (correct) push side.
+        let parents: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(UNVISITED)).collect();
+        parents[0].store(0, Ordering::Relaxed);
+        let mut frontier = VertexSubset::single(3, 0);
+        let mut next = edge_map(
+            &g,
+            &mut frontier,
+            &ClaimFn { parents: &parents },
+            EdgeMapOpts {
+                strategy: Strategy::Auto,
+                dense_threshold_den: 1_000_000, // always "dense" by work
+                ..Default::default()
+            },
+        );
+        assert_eq!(next.as_sparse(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only correct on a symmetric graph")]
+    fn force_dense_rejects_asymmetric_graphs() {
+        let g = directed_two_hop();
+        let parents: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(UNVISITED)).collect();
+        let mut frontier = VertexSubset::single(3, 0);
+        let _ = edge_map(
+            &g,
+            &mut frontier,
+            &ClaimFn { parents: &parents },
+            EdgeMapOpts {
+                strategy: Strategy::ForceDense,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -388,6 +388,12 @@ impl<G: Graph> Graph for GraphFilter<'_, G> {
         self.g.is_weighted()
     }
 
+    fn is_symmetric(&self) -> bool {
+        // Mirrored deletions over a symmetric base preserve symmetry; an
+        // unmirrored predicate can delete (u,v) but keep (v,u).
+        self.symmetric && self.g.is_symmetric()
+    }
+
     fn block_size(&self) -> usize {
         self.fb
     }

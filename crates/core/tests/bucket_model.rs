@@ -1,9 +1,14 @@
 //! Model-based property test for the Julienne bucketing structure: random
 //! operation sequences are applied both to [`Buckets`] and to a trivial
 //! BTreeMap reference model, and the extraction sequences must coincide.
+//!
+//! Two harnesses: `run_scenario` interleaves point updates (the sequential
+//! path), `run_batched_scenario` applies each round's moves as one
+//! `update_batch` call with duplicate vertices allowed (last move wins), at
+//! batch sizes that exercise the parallel dedup/scatter path.
 
 use proptest::prelude::*;
-use sage_core::bucket::{Buckets, Order, Packing, CLOSED, OPEN_BUCKETS};
+use sage_core::bucket::{Buckets, Order, Packing, CLOSED, OPEN_BUCKETS, SEQ_BATCH};
 use std::collections::BTreeMap;
 
 /// Reference model: key -> sorted set of vertices.
@@ -94,6 +99,78 @@ fn run_scenario(
     Ok(())
 }
 
+/// Batched variant: between extractions, drain up to `per_round` moves from
+/// the move list, apply them in order to the model, and hand the whole batch
+/// (duplicates included) to `update_batch` — or, with `distinct`, collapse
+/// it to the last move per vertex and use `update_batch_distinct`.
+/// Extraction sequences must match either way.
+fn run_batched_scenario(
+    n: usize,
+    keys: Vec<u64>,
+    moves: Vec<(u32, u64)>,
+    per_round: usize,
+    order: Order,
+    packing: Packing,
+    distinct: bool,
+) -> Result<(), TestCaseError> {
+    let keys: Vec<u64> = keys.into_iter().take(n).collect();
+    let mut model = Model::new(&keys, order);
+    let mut buckets = Buckets::new(n, order, packing, |v| {
+        let k = keys[v as usize];
+        if k == CLOSED {
+            None
+        } else {
+            Some(k)
+        }
+    });
+    let mut move_iter = moves.into_iter();
+    loop {
+        let got = buckets.next_bucket().map(|(k, mut vs)| {
+            vs.sort_unstable();
+            (k, vs)
+        });
+        let want = model.next_bucket();
+        prop_assert_eq!(&got, &want, "extraction diverged");
+        if got.is_none() {
+            break;
+        }
+        let (cur, _) = got.unwrap();
+        let mut batch: Vec<(u32, u64)> = Vec::new();
+        for _ in 0..per_round {
+            let Some((v, raw_key)) = move_iter.next() else {
+                break;
+            };
+            let v = v % n as u32;
+            if model.key_of[v as usize] == CLOSED {
+                continue; // already settled; Sage algorithms never reopen
+            }
+            // Clamp like the monotone algorithms; the span deliberately
+            // reaches past the open range so batches churn the overflow
+            // bucket (and duplicates of the same v may land on both sides).
+            let key = match order {
+                Order::Increasing => raw_key.clamp(cur, cur + 3 * OPEN_BUCKETS as u64),
+                Order::Decreasing => {
+                    raw_key.clamp(cur.saturating_sub(3 * OPEN_BUCKETS as u64), cur)
+                }
+            };
+            model.update(v, key);
+            batch.push((v, key));
+        }
+        if distinct {
+            // Last move per vertex wins, as the sequential loop would apply.
+            let mut last: std::collections::HashMap<u32, u64> = Default::default();
+            for &(v, k) in &batch {
+                last.insert(v, k);
+            }
+            let deduped: Vec<(u32, u64)> = last.into_iter().collect();
+            buckets.update_batch_distinct(&deduped);
+        } else {
+            buckets.update_batch(&batch);
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -130,5 +207,72 @@ proptest! {
         keys in proptest::collection::vec(1_000u64..100_000, 40),
     ) {
         run_scenario(n, keys, Vec::new(), Order::Increasing, Packing::SemiEager)?;
+    }
+
+    // ---- Batched (parallel-path) coverage ----
+
+    #[test]
+    fn batched_increasing_matches_model(
+        n in 8usize..200,
+        keys in proptest::collection::vec(0u64..200, 200),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..500), 0..600),
+    ) {
+        // Batches of up to 3*SEQ_BATCH moves with duplicate vertices: hits
+        // the parallel dedup + counting-sort scatter, including overflow
+        // destinations (keys reach cur + 3*OPEN_BUCKETS).
+        run_batched_scenario(
+            n, keys, moves, 3 * SEQ_BATCH, Order::Increasing, Packing::SemiEager, false,
+        )?;
+    }
+
+    #[test]
+    fn batched_increasing_lazy_matches_model(
+        n in 8usize..200,
+        keys in proptest::collection::vec(0u64..200, 200),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..500), 0..600),
+    ) {
+        run_batched_scenario(
+            n, keys, moves, 3 * SEQ_BATCH, Order::Increasing, Packing::Lazy, false,
+        )?;
+    }
+
+    #[test]
+    fn batched_decreasing_matches_model(
+        n in 8usize..200,
+        keys in proptest::collection::vec(0u64..400, 200),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..400), 0..600),
+    ) {
+        // Decreasing order flips the internal key space (u64::MAX - 1 - k);
+        // semi-eager packing must still pack the right (reversed) buckets.
+        run_batched_scenario(
+            n, keys, moves, 3 * SEQ_BATCH, Order::Decreasing, Packing::SemiEager, false,
+        )?;
+    }
+
+    #[test]
+    fn batched_overflow_churn_with_duplicates(
+        n in 8usize..120,
+        keys in proptest::collection::vec(1_000u64..1_400, 120),
+        moves in proptest::collection::vec((0u32..40, 1_000u64..2_000), 0..400),
+    ) {
+        // Start everything in the overflow bucket, then repeatedly move a
+        // *small* set of vertices (v % 40 — lots of duplicates per batch)
+        // across the open/overflow boundary while extraction re-splits it.
+        run_batched_scenario(
+            n, keys, moves, 2 * SEQ_BATCH, Order::Increasing, Packing::SemiEager, false,
+        )?;
+    }
+
+    #[test]
+    fn batched_distinct_matches_model(
+        n in 8usize..200,
+        keys in proptest::collection::vec(0u64..200, 200),
+        moves in proptest::collection::vec((any::<u32>(), 0u64..500), 0..600),
+    ) {
+        // The `update_batch_distinct` fast path (no dedup sort) used by the
+        // four peeling consumers.
+        run_batched_scenario(
+            n, keys, moves, 3 * SEQ_BATCH, Order::Increasing, Packing::SemiEager, true,
+        )?;
     }
 }

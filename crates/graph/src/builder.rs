@@ -116,12 +116,18 @@ pub fn build_csr(list: EdgeList, opts: BuildOptions) -> Csr {
         None
     };
 
-    Csr::from_parts(
+    let mut g = Csr::from_parts(
         offsets.into(),
         edges.into(),
         weights.map(Into::into),
         opts.block_size,
-    )
+    );
+    if opts.symmetrize {
+        // Symmetrization guarantees in-neighbors == out-neighbors, which the
+        // dense (pull) edgeMap direction depends on.
+        g.mark_symmetric();
+    }
+    g
 }
 
 fn partition_point<T>(s: &[T], pred: impl Fn(&T) -> bool) -> usize {

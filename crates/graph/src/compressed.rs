@@ -32,6 +32,8 @@ pub struct CompressedCsr {
     pub(crate) m: usize,
     pub(crate) weighted: bool,
     pub(crate) block_size: usize,
+    /// See [`Graph::is_symmetric`]; inherited from the source CSR.
+    pub(crate) symmetric: bool,
 }
 
 #[inline]
@@ -154,6 +156,7 @@ impl CompressedCsr {
             m: g.num_edges(),
             weighted,
             block_size,
+            symmetric: g.is_symmetric(),
         }
     }
 
@@ -175,7 +178,14 @@ impl CompressedCsr {
             m,
             weighted,
             block_size,
+            symmetric: false,
         }
+    }
+
+    /// Declare that in-neighbors equal out-neighbors; see
+    /// [`crate::csr::Csr::mark_symmetric`].
+    pub fn mark_symmetric(&mut self) {
+        self.symmetric = true;
     }
 
     /// Size of all arrays in bytes (compression-ratio reporting, §4.2.3).
@@ -269,6 +279,11 @@ impl Graph for CompressedCsr {
     #[inline]
     fn is_weighted(&self) -> bool {
         self.weighted
+    }
+
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     #[inline]

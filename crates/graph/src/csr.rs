@@ -51,6 +51,10 @@ pub struct Csr {
     /// contracted graphs of the connectivity recursion, §4.3.2), which live
     /// within the PSAM's small memory rather than on NVRAM.
     pub(crate) dram_resident: bool,
+    /// Whether in-neighbors equal out-neighbors; see [`Graph::is_symmetric`].
+    /// Set by the builder when it symmetrizes, or via
+    /// [`Csr::mark_symmetric`] for inputs known to be undirected.
+    pub(crate) symmetric: bool,
 }
 
 impl Csr {
@@ -82,6 +86,7 @@ impl Csr {
             weights,
             block_size,
             dram_resident: false,
+            symmetric: false,
         }
     }
 
@@ -89,6 +94,14 @@ impl Csr {
     /// reads are metered as `aux_read` instead of `graph_read`.
     pub fn mark_dram_resident(&mut self) {
         self.dram_resident = true;
+    }
+
+    /// Declare that in-neighbors equal out-neighbors (undirected graph),
+    /// unlocking the dense (pull) `edgeMap` direction. The builder sets this
+    /// automatically when it symmetrizes; callers constructing from raw parts
+    /// must only set it when the property actually holds.
+    pub fn mark_symmetric(&mut self) {
+        self.symmetric = true;
     }
 
     #[inline]
@@ -188,6 +201,11 @@ impl Graph for Csr {
     #[inline]
     fn is_weighted(&self) -> bool {
         self.weights.is_some()
+    }
+
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     #[inline]

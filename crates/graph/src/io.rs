@@ -17,6 +17,10 @@ use std::path::Path;
 const MAGIC: u64 = 0x5341_4745_4752_0031; // "SAGEGR\0 1"
 const FLAG_WEIGHTED: u64 = 1;
 const FLAG_COMPRESSED: u64 = 2;
+/// In-neighbors equal out-neighbors; loaded graphs keep the dense (pull)
+/// `edgeMap` direction available. Files written before this flag existed
+/// load as asymmetric, which is always safe (sparse-only traversal).
+const FLAG_SYMMETRIC: u64 = 4;
 const HEADER_BYTES: usize = 64;
 
 /// Where to place a loaded graph.
@@ -68,7 +72,8 @@ pub fn write_csr(g: &Csr, path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let n = g.num_vertices() as u64;
     let m = g.num_edges() as u64;
-    let flags = if g.is_weighted() { FLAG_WEIGHTED } else { 0 };
+    let flags = if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
+        | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
     write_header(&mut out, flags, n, m, g.block_size() as u64, 0)?;
     write_u64s(&mut out, g.offsets())?;
     let edges: Vec<V> = {
@@ -101,7 +106,9 @@ pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let (voffsets, degrees, data) = g.parts();
     let n = g.num_vertices() as u64;
-    let flags = FLAG_COMPRESSED | if g.is_weighted() { FLAG_WEIGHTED } else { 0 };
+    let flags = FLAG_COMPRESSED
+        | if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
+        | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
     write_header(
         &mut out,
         flags,
@@ -228,7 +235,11 @@ pub fn load_csr(path: &Path, placement: Placement) -> io::Result<Csr> {
             weights.map(|w| Storage::from(w.to_vec())),
         ),
     };
-    Ok(Csr::from_parts(o, e, w, h.block_size.max(64)))
+    let mut g = Csr::from_parts(o, e, w, h.block_size.max(64));
+    if h.flags & FLAG_SYMMETRIC != 0 {
+        g.mark_symmetric();
+    }
+    Ok(g)
 }
 
 /// Load a compressed graph.
@@ -283,14 +294,11 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
             Storage::from(data.to_vec()),
         ),
     };
-    Ok(CompressedCsr::from_parts(
-        vo,
-        de,
-        da,
-        h.m,
-        weighted,
-        h.block_size.max(64),
-    ))
+    let mut g = CompressedCsr::from_parts(vo, de, da, h.m, weighted, h.block_size.max(64));
+    if h.flags & FLAG_SYMMETRIC != 0 {
+        g.mark_symmetric();
+    }
+    Ok(g)
 }
 
 /// Write the Ligra `AdjacencyGraph` text format.
@@ -455,6 +463,40 @@ mod tests {
         write_adjacency_text(&g, &path).unwrap();
         let back = read_adjacency_text(&path).unwrap();
         graphs_equal(&g, &back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn symmetry_flag_roundtrips() {
+        // Symmetrized graph: the flag must survive write -> load so mmap'd
+        // graphs keep the dense edgeMap direction.
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 21);
+        assert!(g.is_symmetric());
+        let path = tmp("sym");
+        write_csr(&g, &path).unwrap();
+        assert!(load_csr(&path, Placement::Nvram).unwrap().is_symmetric());
+        std::fs::remove_file(&path).unwrap();
+        // Directed graph: no flag, loads as asymmetric.
+        let d = crate::build_csr(
+            crate::EdgeList::new(3, vec![(0, 1), (1, 2)]),
+            crate::BuildOptions {
+                symmetrize: false,
+                ..Default::default()
+            },
+        );
+        assert!(!d.is_symmetric());
+        let path = tmp("asym");
+        write_csr(&d, &path).unwrap();
+        assert!(!load_csr(&path, Placement::Dram).unwrap().is_symmetric());
+        std::fs::remove_file(&path).unwrap();
+        // Compressed roundtrip keeps the flag too.
+        let c = CompressedCsr::from_csr(&g, 64);
+        assert!(c.is_symmetric());
+        let path = tmp("symc");
+        write_compressed(&c, &path).unwrap();
+        assert!(load_compressed(&path, Placement::Nvram)
+            .unwrap()
+            .is_symmetric());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -61,6 +61,17 @@ pub trait Graph: Sync {
     /// Whether edges carry weights.
     fn is_weighted(&self) -> bool;
 
+    /// Whether the in-neighbors of every vertex equal its out-neighbors
+    /// (an undirected/symmetrized graph). The dense (pull) direction of
+    /// `edgeMap` reads *out*-edge lists as if they were in-edges, which is
+    /// only correct under this property — the engine falls back to the
+    /// always-correct sparse (push) direction when it does not hold (the
+    /// paper symmetrizes every input, §5.1.3). Defaults to `false`, the
+    /// conservative answer; representations that track symmetry override it.
+    fn is_symmetric(&self) -> bool {
+        false
+    }
+
     /// Logical block size of adjacency lists (the compression block size for
     /// compressed graphs; configurable for CSR). Always a multiple of 64 so
     /// that the graphFilter's bitsets align with machine words (§4.2.1).

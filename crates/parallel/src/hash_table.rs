@@ -5,6 +5,16 @@
 //! histogram and inter-cluster edge deduplication in connectivity use the same
 //! structure. Keys are `u64` (with one reserved EMPTY sentinel), values are
 //! `u64`, and all operations are lock-free CAS loops over linear probes.
+//!
+//! Two value conventions coexist, chosen per key by the caller:
+//! * **counter** values ([`ConcurrentMap::fetch_add`] /
+//!   [`ConcurrentMap::get_counter`]) are stored raw, starting at 0;
+//! * **encoded** values ([`ConcurrentMap::fetch_min`] /
+//!   [`ConcurrentMap::insert_if_absent`] / [`ConcurrentMap::get_encoded`])
+//!   are stored as `val + 1` so the zero-initialized slot reads as "unset".
+//!   This reserves `val == u64::MAX`, which those operations reject (it would
+//!   wrap to the unset sentinel and corrupt the map). Do not mix the two
+//!   conventions on the same key.
 
 use crate::rng::hash64;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,8 +90,23 @@ impl ConcurrentMap {
     }
 
     /// Keep the minimum of the current value and `val` for `key`.
-    /// Absent keys behave as `u64::MAX`. Returns `true` if `val` was written.
+    /// Absent keys behave as unset. Returns `true` if `val` was written.
+    ///
+    /// # Value encoding
+    /// Slots are zero-initialized, so values are stored as `val + 1` with `0`
+    /// meaning "unset" (see [`Self::get_encoded`]). That reserves
+    /// `u64::MAX`: encoding it would wrap back to the unset sentinel —
+    /// silently in release builds, corrupting the map — so it is rejected
+    /// here. Callers needing a "no value" key should simply not insert it.
+    ///
+    /// # Panics
+    /// Panics if `val == u64::MAX` (unrepresentable under the `+1` encoding).
     pub fn fetch_min(&self, key: u64, val: u64) -> bool {
+        assert_ne!(
+            val,
+            u64::MAX,
+            "u64::MAX is unrepresentable under the +1 value encoding"
+        );
         let i = self.probe_insert(key);
         // First touch initializes the slot to MAX semantics: we encode
         // "unset" as 0 from construction, so use a CAS loop from a snapshot
@@ -102,7 +127,18 @@ impl ConcurrentMap {
 
     /// Insert `(key, val)` only if the key is absent; returns `true` on the
     /// first insert.
+    ///
+    /// Uses the same `+1` value encoding as [`Self::fetch_min`], so
+    /// `val == u64::MAX` is reserved and rejected.
+    ///
+    /// # Panics
+    /// Panics if `val == u64::MAX` (unrepresentable under the `+1` encoding).
     pub fn insert_if_absent(&self, key: u64, val: u64) -> bool {
+        assert_ne!(
+            val,
+            u64::MAX,
+            "u64::MAX is unrepresentable under the +1 value encoding"
+        );
         let i = self.probe_insert(key);
         self.vals[i]
             .compare_exchange(0, val + 1, Ordering::AcqRel, Ordering::Acquire)
@@ -217,6 +253,36 @@ mod tests {
         e.sort_unstable();
         assert_eq!(e.len(), 64);
         assert_eq!(e[1], (3, 1));
+    }
+
+    #[test]
+    fn fetch_min_accepts_largest_encodable_value() {
+        // Regression: `u64::MAX - 1` encodes to `u64::MAX` and must round-trip
+        // (only `u64::MAX` itself is reserved by the +1 encoding).
+        let map = ConcurrentMap::with_capacity(8);
+        assert!(map.fetch_min(1, u64::MAX - 1));
+        assert_eq!(map.get_encoded(1), Some(u64::MAX - 1));
+        // A smaller value still wins the min race.
+        assert!(map.fetch_min(1, 5));
+        assert_eq!(map.get_encoded(1), Some(5));
+        assert!(map.insert_if_absent(2, u64::MAX - 1));
+        assert_eq!(map.get_encoded(2), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrepresentable under the +1 value encoding")]
+    fn fetch_min_rejects_reserved_value() {
+        // Regression: `val + 1` used to wrap to the "unset" sentinel for
+        // `u64::MAX` (debug overflow panic, silent corruption in release).
+        let map = ConcurrentMap::with_capacity(8);
+        map.fetch_min(1, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrepresentable under the +1 value encoding")]
+    fn insert_if_absent_rejects_reserved_value() {
+        let map = ConcurrentMap::with_capacity(8);
+        map.insert_if_absent(1, u64::MAX);
     }
 
     #[test]

@@ -4,18 +4,42 @@
 //! Two implementations mirror the paper:
 //! * [`histogram_sparse`] — hash-table aggregation, work proportional to the
 //!   number of keys; used when the key multiset is small.
-//! * [`histogram_dense`] — atomic-array accumulation followed by an `O(n)`
-//!   pack; the "dense version of the histogram routine" the paper introduces
-//!   for k-core, used when the number of keys exceeds a threshold `t = m/c`.
+//! * [`histogram_dense`] — atomic-array accumulation, the "dense version of
+//!   the histogram routine" the paper introduces for k-core, used when the
+//!   number of keys exceeds a threshold `t = m/c`.
 //!
-//! [`Histogram::auto`] selects between them with that threshold rule.
+//! # Scratch reuse contract
+//!
+//! Peeling algorithms call the histogram once per round — 130,728 rounds for
+//! k-core on Hyperlink2012 — so a dense path that allocates, zeroes, and packs
+//! an `O(universe)` array per call turns an `O(|peeled neighborhood|)` round
+//! into an `Θ(n)` one. [`Histogram`] therefore owns *reusable* dense scratch:
+//!
+//! * a counter array of `universe` atomic slots, allocated on the **first**
+//!   dense call (and re-allocated only if a later call passes a larger
+//!   universe — see [`Histogram::dense_allocations`]);
+//! * a *touched-key list*, sized by demand (`min(total_keys, universe)`,
+//!   grown geometrically): the first increment of a counter appends its key,
+//!   so the result pack and the post-call reset walk only the touched keys.
+//!
+//! Between calls every counter is zero and the touched list is empty — the
+//! reset is part of `count`, not the caller's job. Per-call work is thus
+//! `O(total_keys + |distinct keys|)` after the first call, reported via
+//! [`Histogram::last_work`] so PSAM-metered callers can account for it. The
+//! one-shot free functions [`histogram_dense`] / [`histogram_sparse`] remain
+//! for callers without a round structure; the free dense version pays the
+//! `O(universe)` allocation + pack every call.
+//!
+//! The selection policy is the paper's threshold rule `t = m/c` (via
+//! [`Histogram::auto`]).
 
 use crate::hash_table::ConcurrentMap;
-use crate::ops::{pack_index, par_for};
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::ops::{pack_index, par_for, par_map};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Strategy selector for histogram computation.
-pub enum Histogram {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
     /// Always use the hash-based sparse path.
     Sparse,
     /// Always use the dense atomic-array path.
@@ -27,19 +51,109 @@ pub enum Histogram {
     },
 }
 
+/// Reusable dense scratch: see the module docs for the reuse contract.
+struct DenseScratch {
+    /// One counter per key of the universe; all zero between calls.
+    counts: Vec<AtomicU32>,
+    /// Keys whose counter left zero this call, in first-touch order. Sized
+    /// by demand (`min(total_keys, universe)`, grown geometrically) rather
+    /// than by the universe, so the persistent footprint stays one word per
+    /// universe key plus one per *observed-distinct* key — a second
+    /// universe-sized array would double the DRAM the PSAM model budgets.
+    touched: Vec<AtomicU32>,
+    /// Number of valid entries in `touched`.
+    len: AtomicUsize,
+}
+
+impl DenseScratch {
+    fn new(universe: usize) -> Self {
+        Self {
+            // Zeroed in parallel: a serial O(universe) init on the first
+            // round would undercut the depth bound the reuse contract buys.
+            counts: par_map(universe, |_| AtomicU32::new(0)),
+            touched: Vec::new(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Make room for up to `needed` touched keys this call.
+    fn reserve_touched(&mut self, needed: usize) {
+        if self.touched.len() < needed {
+            let target = needed.next_power_of_two();
+            self.touched = par_map(target, |_| AtomicU32::new(0));
+        }
+    }
+}
+
+/// A histogram computer with a persistent strategy and reusable dense
+/// scratch (allocated on first dense use, retained across calls).
+pub struct Histogram {
+    mode: Mode,
+    scratch: Option<DenseScratch>,
+    dense_allocations: usize,
+    last_work: u64,
+}
+
 impl Histogram {
+    fn with_mode(mode: Mode) -> Self {
+        Self {
+            mode,
+            scratch: None,
+            dense_allocations: 0,
+            last_work: 0,
+        }
+    }
+
     /// The paper's default policy with `t = m/16`.
     pub fn auto(m: usize) -> Self {
-        Histogram::Auto {
+        Self::with_mode(Mode::Auto {
             threshold: (m / 16).max(1),
-        }
+        })
+    }
+
+    /// Always use the hash-based sparse path.
+    pub fn sparse() -> Self {
+        Self::with_mode(Mode::Sparse)
+    }
+
+    /// Always use the dense atomic-array path.
+    pub fn dense() -> Self {
+        Self::with_mode(Mode::Dense)
+    }
+
+    /// Dense when `total_keys >= threshold`, else sparse.
+    pub fn with_threshold(threshold: usize) -> Self {
+        Self::with_mode(Mode::Auto {
+            threshold: threshold.max(1),
+        })
+    }
+
+    /// Number of times the dense scratch has been (re-)allocated. Stays at 1
+    /// across repeated calls with a non-growing universe — the property the
+    /// peeling regression tests pin down.
+    pub fn dense_allocations(&self) -> usize {
+        self.dense_allocations
+    }
+
+    /// Auxiliary (DRAM) words touched by the most recent [`Histogram::count`]
+    /// call: counter updates, touched-list traffic, and — on an allocating
+    /// call only — the `O(universe)` scratch initialization. Callers that
+    /// meter PSAM traffic report this as `aux` work.
+    pub fn last_work(&self) -> u64 {
+        self.last_work
     }
 
     /// Count occurrences of each key produced by `keys_of(i)` for
     /// `i in 0..items`, where each item yields zero or more keys via the
-    /// provided iterator closure. `universe` bounds key values.
+    /// provided iterator closure. `universe` bounds key values, and
+    /// `total_keys` must upper-bound the number of keys emitted (both paths
+    /// size scratch from it; under-reporting panics rather than corrupts).
+    ///
+    /// The returned pairs are in no particular order (the dense path returns
+    /// first-touch order, the sparse path hash order); both paths return each
+    /// occurring key exactly once.
     pub fn count<F>(
-        &self,
+        &mut self,
         items: usize,
         total_keys: usize,
         universe: usize,
@@ -48,21 +162,80 @@ impl Histogram {
     where
         F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
     {
-        let dense = match self {
-            Histogram::Sparse => false,
-            Histogram::Dense => true,
-            Histogram::Auto { threshold } => total_keys >= *threshold,
+        let dense = match self.mode {
+            Mode::Sparse => false,
+            Mode::Dense => true,
+            Mode::Auto { threshold } => total_keys >= threshold,
         };
         if dense {
-            histogram_dense(items, universe, keys_of)
+            self.count_dense(items, total_keys, universe, keys_of)
         } else {
+            // The sparse path's table is sized per call (O(total_keys)), so
+            // there is nothing worth retaining.
+            self.last_work = 2 * total_keys as u64;
             histogram_sparse(items, total_keys, keys_of)
         }
     }
+
+    fn count_dense<F>(
+        &mut self,
+        items: usize,
+        total_keys: usize,
+        universe: usize,
+        keys_of: F,
+    ) -> Vec<(u32, u32)>
+    where
+        F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
+    {
+        let grew = self
+            .scratch
+            .as_ref()
+            .map_or(true, |s| s.counts.len() < universe);
+        if grew {
+            self.scratch = Some(DenseScratch::new(universe));
+            self.dense_allocations += 1;
+        }
+        let scratch = self.scratch.as_mut().expect("scratch just ensured");
+        // At most min(total_keys, universe) distinct keys can be touched;
+        // `total_keys` must upper-bound the emitted keys (as in the sparse
+        // path, whose table is sized the same way).
+        scratch.reserve_touched(total_keys.min(universe));
+        let scratch = &*scratch;
+        let counts = &scratch.counts;
+        let touched = &scratch.touched;
+        let cursor = &scratch.len;
+        par_for(0, items, |i| {
+            keys_of(i, &mut |k| {
+                // Exactly one thread sees the 0 -> 1 transition and appends
+                // the key; every counter reaching zero again happens only in
+                // the reset below, after all increments joined.
+                if counts[k as usize].fetch_add(1, Ordering::Relaxed) == 0 {
+                    let at = cursor.fetch_add(1, Ordering::Relaxed);
+                    touched[at].store(k, Ordering::Relaxed);
+                }
+            });
+        });
+        let t = cursor.load(Ordering::Relaxed);
+        let out: Vec<(u32, u32)> = par_map(t, |i| {
+            let k = touched[i].load(Ordering::Relaxed);
+            (k, counts[k as usize].load(Ordering::Relaxed))
+        });
+        // Reset only the touched keys so the next call starts clean without
+        // an O(universe) sweep.
+        par_for(0, t, |i| {
+            let k = touched[i].load(Ordering::Relaxed);
+            counts[k as usize].store(0, Ordering::Relaxed);
+        });
+        cursor.store(0, Ordering::Relaxed);
+        self.last_work = total_keys as u64 + 3 * t as u64 + if grew { universe as u64 } else { 0 };
+        out
+    }
 }
 
-/// Dense histogram: atomic counter per key in `0..universe`, then a parallel
-/// pack of nonzero counters. Work `O(total_keys + universe)`.
+/// One-shot dense histogram: atomic counter per key in `0..universe`, then a
+/// parallel pack of nonzero counters, **allocating per call** — work
+/// `O(total_keys + universe)`. Round-structured callers should hold a
+/// [`Histogram`] instead and reuse its scratch. Results are sorted by key.
 pub fn histogram_dense<F>(items: usize, universe: usize, keys_of: F) -> Vec<(u32, u32)>
 where
     F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
@@ -117,43 +290,96 @@ mod tests {
             .collect()
     }
 
+    fn check_against_reference(keys: &[u32], got: &[(u32, u32)]) {
+        let want = reference(keys);
+        assert_eq!(got.len(), want.len());
+        for &(k, c) in got {
+            assert_eq!(want[&k], c);
+        }
+    }
+
     #[test]
     fn dense_matches_reference() {
         let keys = keys_fixture(10_000);
         let got = histogram_dense(keys.len(), 100, |i, emit| emit(keys[i]));
-        let want = reference(&keys);
-        assert_eq!(got.len(), want.len());
-        for (k, c) in got {
-            assert_eq!(want[&k], c);
-        }
+        check_against_reference(&keys, &got);
     }
 
     #[test]
     fn sparse_matches_reference() {
         let keys = keys_fixture(10_000);
-        let mut got = histogram_sparse(keys.len(), keys.len(), |i, emit| emit(keys[i]));
-        got.sort_unstable();
-        let want = reference(&keys);
-        assert_eq!(got.len(), want.len());
-        for (k, c) in got {
-            assert_eq!(want[&k], c);
-        }
+        let got = histogram_sparse(keys.len(), keys.len(), |i, emit| emit(keys[i]));
+        check_against_reference(&keys, &got);
+    }
+
+    #[test]
+    fn reusable_dense_matches_reference() {
+        let keys = keys_fixture(10_000);
+        let mut h = Histogram::dense();
+        let got = h.count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
+        check_against_reference(&keys, &got);
     }
 
     #[test]
     fn auto_switches_paths_consistently() {
         let keys = keys_fixture(5_000);
-        let lo = Histogram::Auto { threshold: 1 }
+        let mut lo = Histogram::with_threshold(1)
             .count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
-        let hi = Histogram::Auto {
-            threshold: usize::MAX,
-        }
-        .count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
-        let mut lo = lo;
-        let mut hi = hi;
+        let mut hi =
+            Histogram::with_threshold(usize::MAX)
+                .count(keys.len(), keys.len(), 100, |i, emit| emit(keys[i]));
         lo.sort_unstable();
         hi.sort_unstable();
         assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn dense_scratch_allocated_once_across_rounds() {
+        // The reuse contract: repeated rounds over the same universe must not
+        // re-allocate, and each round must be exact despite the shared
+        // counters (i.e., the per-touched-key reset works).
+        let mut h = Histogram::dense();
+        let universe = 50_000;
+        for round in 0..20u64 {
+            let keys: Vec<u32> = (0..64)
+                .map(|i| (crate::rng::hash64(round * 1000 + i) % universe as u64) as u32)
+                .collect();
+            let got = h.count(keys.len(), keys.len(), universe, |i, emit| emit(keys[i]));
+            check_against_reference(&keys, &got);
+            assert_eq!(h.dense_allocations(), 1, "round {round} re-allocated");
+        }
+    }
+
+    #[test]
+    fn dense_work_is_key_proportional_after_first_call() {
+        let mut h = Histogram::dense();
+        let universe = 100_000usize;
+        let warm: Vec<u32> = (0..universe as u32).step_by(7).collect();
+        let _ = h.count(warm.len(), warm.len(), universe, |i, emit| emit(warm[i]));
+        assert!(
+            h.last_work() >= universe as u64,
+            "first call pays the alloc"
+        );
+        let keys: Vec<u32> = (0..128u32).collect();
+        let _ = h.count(keys.len(), keys.len(), universe, |i, emit| emit(keys[i]));
+        assert!(
+            h.last_work() <= 8 * keys.len() as u64,
+            "reused-scratch work {} not O(|keys|)",
+            h.last_work()
+        );
+        assert_eq!(h.dense_allocations(), 1);
+    }
+
+    #[test]
+    fn dense_scratch_grows_for_larger_universe() {
+        let mut h = Histogram::dense();
+        let _ = h.count(4, 4, 100, |i, emit| emit(i as u32));
+        let _ = h.count(4, 4, 1_000, |i, emit| emit(900 + i as u32));
+        assert_eq!(h.dense_allocations(), 2);
+        // And a shrink does not re-allocate.
+        let got = h.count(4, 4, 50, |i, emit| emit(i as u32));
+        assert_eq!(h.dense_allocations(), 2);
+        assert_eq!(got.len(), 4);
     }
 
     #[test]
@@ -171,5 +397,6 @@ mod tests {
     fn empty_input() {
         assert!(histogram_dense(0, 10, |_, _| {}).is_empty());
         assert!(histogram_sparse(0, 0, |_, _| {}).is_empty());
+        assert!(Histogram::dense().count(0, 0, 10, |_, _| {}).is_empty());
     }
 }
