@@ -592,6 +592,119 @@ pub fn numa() {
     println!("measured local degree-count wall time: {:.4}s", run.seconds);
 }
 
+/// Serving throughput/latency: mixed queries from concurrent clients over
+/// one shared snapshot via [`sage_serve::GraphService`] (not part of the
+/// paper; the production-serving experiment for the scoped-runtime
+/// architecture). Emits a schema-v2 latency record per configuration —
+/// CI uploads the `SAGE_SCALE=8` run as `BENCH_SERVE8.json`.
+pub fn serve() {
+    use sage_serve::{GraphService, Query, ServiceConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    crate::report::set_experiment("serve");
+    // A social-network-like snapshot in the suite's degree regime; the
+    // service takes ownership (one loaded snapshot, many queries).
+    let scale = Suite::base_scale();
+    let csr = sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E);
+    let n = csr.num_vertices();
+    let clients = 4usize;
+    let per_client = 16usize.max(256 / clients.max(1));
+    println!(
+        "\n== serve: rmat-2^{scale} ({n} vertices), {clients} clients x {per_client} mixed queries =="
+    );
+
+    let service = Arc::new(GraphService::start(csr, ServiceConfig::default()));
+    // Sources must have out-edges or point queries degenerate to no-ops.
+    let live: Arc<Vec<V>> = Arc::new(
+        (0..n as V)
+            .filter(|&v| service.graph().degree(v) > 0)
+            .collect(),
+    );
+    let before = sage_nvram::Meter::global().snapshot();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let live = Arc::clone(&live);
+            std::thread::spawn(move || {
+                let pick = |k: usize| live[k % live.len()];
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut traffic = sage_nvram::MeterSnapshot::default();
+                for i in 0..per_client {
+                    let q = match (c + i) % 5 {
+                        0 => Query::Bfs { src: pick(i * 13) },
+                        1 => Query::PageRank {
+                            iters: 5,
+                            vertices: vec![pick(i)],
+                        },
+                        2 => Query::KCore {
+                            vertices: vec![pick(i * 7)],
+                        },
+                        3 => Query::Connected {
+                            u: pick(i),
+                            v: pick(i * 31),
+                        },
+                        _ => Query::Neighborhood {
+                            src: pick(i),
+                            hops: 1 + (i % 2) as u8,
+                        },
+                    };
+                    let q0 = Instant::now();
+                    let r = service.query(q);
+                    latencies.push(q0.elapsed().as_secs_f64());
+                    assert_eq!(r.traffic.graph_write, 0, "NVRAM write in a served query");
+                    traffic = traffic.plus(&r.traffic);
+                }
+                (latencies, traffic)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut traffic = sage_nvram::MeterSnapshot::default();
+    for h in handles {
+        let (l, t) = h.join().expect("client thread");
+        latencies.extend(l);
+        traffic = traffic.plus(&t);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed);
+    crate::report::record_latency("mixed", elapsed, traffic, stats);
+
+    let global_delta = sage_nvram::Meter::global().snapshot().since(&before);
+    let svc = service.stats();
+    print_table(
+        "serve throughput",
+        &[
+            "queries",
+            "qps",
+            "p50 ms",
+            "p99 ms",
+            "peak-inflight",
+            "peak-DRAM MB",
+        ],
+        &[(
+            "mixed".to_string(),
+            vec![
+                format!("{}", stats.queries),
+                format!("{:.1}", stats.qps),
+                format!("{:.3}", stats.p50 * 1e3),
+                format!("{:.3}", stats.p99 * 1e3),
+                format!("{}", svc.peak_inflight),
+                format!("{:.1}", svc.peak_inflight_bytes as f64 / 1e6),
+            ],
+        )],
+    );
+    println!(
+        "per-query attributed NVRAM reads: {} words (global delta {}); graph writes: {}",
+        traffic.graph_read, global_delta.graph_read, traffic.graph_write
+    );
+    assert!(
+        traffic.graph_read <= global_delta.graph_read,
+        "scoped reads must reconcile with the global meter"
+    );
+}
+
 /// Run everything (the `all` subcommand).
 pub fn all() {
     table2();

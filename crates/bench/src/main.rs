@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! sage-bench <experiment> [SAGE_SCALE=17] [SAGE_THREADS=N]
-//!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa all
+//!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa serve all
 //! ```
+//!
+//! `serve` is the multi-query serving throughput/latency experiment (not a
+//! paper figure); its JSON records carry the schema-v2 p50/p99/qps fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
@@ -34,10 +37,11 @@ fn main() {
         "table4" => sage_bench::experiments::table4(),
         "table5" => sage_bench::experiments::table5(),
         "numa" => sage_bench::experiments::numa(),
+        "serve" => sage_bench::experiments::serve(),
         "all" => sage_bench::experiments::all(),
         other => {
             eprintln!("unknown experiment {other:?}");
-            eprintln!("choose one of: fig1 fig2 fig6 fig7 table1..table5 numa all");
+            eprintln!("choose one of: fig1 fig2 fig6 fig7 table1..table5 numa serve all");
             std::process::exit(2);
         }
     }

@@ -8,16 +8,23 @@
 //! `BENCH_SCALE8.json` this way.
 //!
 //! The JSON is hand-rolled (the container has no serde): a flat schema of
-//! one object per record, stable across PRs:
+//! one object per record, stable across PRs. Schema v2 adds *optional*
+//! latency-distribution fields to a record (present only for throughput
+//! experiments such as `serve`); every v1 field is unchanged, so v1
+//! consumers keep working:
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "scale": 8,
 //!   "threads": 2,
 //!   "records": [
 //!     {"experiment": "fig1", "name": "BFS", "seconds": 0.001234,
-//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3}
+//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3},
+//!     {"experiment": "serve", "name": "mixed", "seconds": 0.120000,
+//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3,
+//!      "queries": 64, "clients": 4, "qps": 533.3,
+//!      "p50_seconds": 0.001, "p99_seconds": 0.004}
 //!   ]
 //! }
 //! ```
@@ -26,6 +33,38 @@ use sage_nvram::MeterSnapshot;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Mutex;
+
+/// Latency distribution of a multi-query throughput run (schema v2).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyStats {
+    /// Total queries executed.
+    pub queries: usize,
+    /// Concurrent client threads issuing them.
+    pub clients: usize,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Median per-query latency (seconds, client-observed incl. queue wait).
+    pub p50: f64,
+    /// 99th-percentile per-query latency (seconds).
+    pub p99: f64,
+}
+
+impl LatencyStats {
+    /// Compute stats from client-observed per-query latencies (seconds).
+    /// `elapsed` is the whole run's wall-clock time.
+    pub fn from_latencies(latencies: &mut [f64], clients: usize, elapsed: f64) -> Self {
+        assert!(!latencies.is_empty());
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        Self {
+            queries: latencies.len(),
+            clients,
+            qps: latencies.len() as f64 / elapsed.max(1e-9),
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
 
 /// One timed run, tagged with the experiment that performed it.
 #[derive(Clone, Debug)]
@@ -38,6 +77,8 @@ pub struct Record {
     pub seconds: f64,
     /// Meter delta attributed to the run.
     pub traffic: MeterSnapshot,
+    /// Latency distribution, for throughput experiments only (schema v2).
+    pub latency: Option<LatencyStats>,
 }
 
 static CURRENT: Mutex<Option<String>> = Mutex::new(None);
@@ -50,6 +91,25 @@ pub fn set_experiment(label: &str) {
 
 /// Append one record to the sink (called by [`crate::timed`]).
 pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
+    record_inner(name, seconds, traffic, None);
+}
+
+/// Append one throughput record with its latency distribution (schema v2).
+pub fn record_latency(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: LatencyStats,
+) {
+    record_inner(name, seconds, traffic, Some(latency));
+}
+
+fn record_inner(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: Option<LatencyStats>,
+) {
     let experiment = CURRENT
         .lock()
         .unwrap()
@@ -60,6 +120,7 @@ pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
         name,
         seconds,
         traffic,
+        latency,
     });
 }
 
@@ -87,7 +148,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
     let records = RECORDS.lock().unwrap();
     let mut out = String::with_capacity(128 + records.len() * 160);
     out.push_str(&format!(
-        "{{\n  \"schema\": 1,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
+        "{{\n  \"schema\": 2,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
     ));
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -95,7 +156,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
         }
         out.push_str(&format!(
             "\n    {{\"experiment\": \"{}\", \"name\": \"{}\", \"seconds\": {:.6}, \
-             \"graph_read\": {}, \"graph_write\": {}, \"aux_read\": {}, \"aux_write\": {}}}",
+             \"graph_read\": {}, \"graph_write\": {}, \"aux_read\": {}, \"aux_write\": {}",
             escape(&r.experiment),
             escape(r.name),
             r.seconds,
@@ -104,6 +165,14 @@ pub fn to_json(scale: u32, threads: usize) -> String {
             r.traffic.aux_read,
             r.traffic.aux_write,
         ));
+        if let Some(l) = &r.latency {
+            out.push_str(&format!(
+                ", \"queries\": {}, \"clients\": {}, \"qps\": {:.2}, \
+                 \"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}",
+                l.queries, l.clients, l.qps, l.p50, l.p99,
+            ));
+        }
+        out.push('}');
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -133,13 +202,29 @@ mod tests {
                 aux_write: 3,
             },
         );
+        record_latency(
+            "serve-mixed",
+            0.25,
+            MeterSnapshot::default(),
+            LatencyStats {
+                queries: 64,
+                clients: 4,
+                qps: 256.0,
+                p50: 0.001,
+                p99: 0.004,
+            },
+        );
         let json = to_json(8, 2);
-        assert!(json.starts_with("{\n  \"schema\": 1,"));
+        assert!(json.starts_with("{\n  \"schema\": 2,"));
         assert!(json.contains("\"scale\": 8"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains(
             "{\"experiment\": \"unit-test\", \"name\": \"BFS\", \"seconds\": 0.500000, \
              \"graph_read\": 10, \"graph_write\": 0, \"aux_read\": 7, \"aux_write\": 3}"
+        ));
+        assert!(json.contains(
+            "\"queries\": 64, \"clients\": 4, \"qps\": 256.00, \
+             \"p50_seconds\": 0.001000, \"p99_seconds\": 0.004000"
         ));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(

@@ -8,7 +8,6 @@
 
 use sage_graph::{Graph, V};
 use sage_parallel as par;
-use sage_parallel::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of the densest-subgraph approximation.
@@ -34,8 +33,9 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
     let mut removed_round = vec![u32::MAX; n];
     let mut alive: Vec<V> = (0..n as V).collect();
     let mut m_alive = g.num_edges() as u64;
-    // Dense scratch is reused across rounds; see the histogram module docs.
-    let mut histogram = Histogram::auto(g.num_edges());
+    // Dense scratch is reused across rounds (and across queries, via the
+    // current QueryArena); see the histogram module docs.
+    let mut histogram = crate::arena::fetch_histogram(g.num_edges());
 
     let mut best_density = 0.0f64;
     let mut best_round = 0u32;
@@ -102,6 +102,7 @@ pub fn densest_subgraph<G: Graph>(g: &G, eps: f64) -> DensestResult {
             .collect();
         round += 1;
     }
+    crate::arena::release_histogram(histogram);
     let subset: Vec<V> = par::pack_index(n, |v| removed_round[v] >= best_round);
     DensestResult {
         density: best_density,

@@ -11,7 +11,6 @@ use crate::bucket::{Buckets, Order, Packing};
 use sage_graph::{Graph, V};
 use sage_nvram::meter;
 use sage_parallel as par;
-use sage_parallel::Histogram;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Result of the k-core decomposition.
@@ -40,8 +39,9 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
     let mut rounds = 0usize;
     // One histogram for the whole peel: its dense scratch is allocated on
     // first use and reused across all rounds (per-round cost stays
-    // proportional to the peeled neighborhood, not to n).
-    let mut histogram = Histogram::auto(m);
+    // proportional to the peeled neighborhood, not to n). Checked out of the
+    // current QueryArena so back-to-back queries reuse the scratch too.
+    let mut histogram = crate::arena::fetch_histogram(m);
     while let Some((bkt, ids)) = buckets.next_bucket() {
         rounds += 1;
         k = k.max(bkt);
@@ -73,6 +73,7 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
         });
         buckets.update_batch_distinct(&updates);
     }
+    crate::arena::release_histogram(histogram);
     KcoreResult {
         coreness,
         rounds,

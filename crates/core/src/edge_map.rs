@@ -24,8 +24,8 @@
 //! sparse (push) side, and [`Strategy::ForceDense`] panics rather than pull
 //! over out-edges that are not valid in-edges.
 
+use crate::arena;
 use crate::vertex_subset::VertexSubset;
-use parking_lot::Mutex;
 use sage_graph::{Graph, V};
 use sage_nvram::meter;
 use sage_parallel as par;
@@ -272,66 +272,10 @@ pub fn edge_map_blocked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
     out
 }
 
-/// A pooled output chunk, recycled across `edgeMapChunked` calls via a
-/// freelist, reproducing the paper's pool-based chunk allocator (§4.1.2).
-struct ChunkPool {
-    free: Mutex<Vec<Vec<V>>>,
-}
-
-/// Largest per-chunk capacity (in entries) the pool will retain. Chunks are
-/// normally `max(4096, davg)` entries, but a high-average-degree graph can
-/// demand arbitrarily large ones; retaining those would park up to
-/// `4 × num_threads` chunks of unbounded size in DRAM forever — the paper's
-/// small-memory discipline (§4.1.2) caps the pool at `O(P)` *bounded* chunks.
-const CHUNK_RETAIN_CAP: usize = 1 << 15;
-
-static CHUNK_POOL: ChunkPool = ChunkPool {
-    free: Mutex::new(Vec::new()),
-};
-
-impl ChunkPool {
-    fn fetch(&self, capacity: usize) -> Vec<V> {
-        let mut guard = self.free.lock();
-        let mut chunk = guard.pop().unwrap_or_default();
-        drop(guard);
-        chunk.clear();
-        if chunk.capacity() < capacity {
-            // `reserve_exact` guarantees `len + additional` capacity; with the
-            // chunk cleared that is exactly `capacity`. (Subtracting the old
-            // capacity here would under-reserve a recycled chunk.)
-            chunk.reserve_exact(capacity);
-        }
-        chunk
-    }
-
-    fn release(&self, mut chunk: Vec<V>) {
-        let cap = 4 * par::num_threads();
-        if self.free.lock().len() >= cap {
-            return; // full freelist: drop without paying the shrink below
-        }
-        if chunk.capacity() > CHUNK_RETAIN_CAP {
-            // Shrink outsized chunks before retaining them so a single
-            // huge-degree frontier cannot pin unbounded DRAM. (`shrink_to`
-            // reallocates: the empty chunk keeps `CHUNK_RETAIN_CAP`.)
-            chunk.clear();
-            chunk.shrink_to(CHUNK_RETAIN_CAP);
-        }
-        let mut guard = self.free.lock();
-        if guard.len() < cap {
-            guard.push(chunk);
-        }
-    }
-
-    /// Total bytes currently parked in the freelist (test observability).
-    #[cfg(test)]
-    fn retained_bytes(&self) -> usize {
-        self.free
-            .lock()
-            .iter()
-            .map(|c| c.capacity() * std::mem::size_of::<V>())
-            .sum()
-    }
-}
+// The pooled output chunks of the paper's pool-based chunk allocator
+// (§4.1.2) live in `crate::arena`: each query draws from its own
+// `QueryArena` when one is installed, falling back to a process-wide shared
+// pool for one-shot runs.
 
 /// The paper's `edgeMapChunked` (Algorithm 1): memory-efficient sparse
 /// traversal with `O(n)` words of intermediate memory (Theorem 4.1).
@@ -408,7 +352,7 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
                     .last()
                     .map_or(true, |c| c.len() + need > c.capacity())
                 {
-                    chunks.push(CHUNK_POOL.fetch(chunk_size.max(need)));
+                    chunks.push(arena::fetch_chunk(chunk_size.max(need)));
                 }
                 let chunk = chunks.last_mut().unwrap();
                 g.decode_block(u, b as usize, |_, d, w| {
@@ -446,7 +390,7 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
     meter::aux_write(out_len as u64);
     for group in group_results {
         for chunk in group {
-            CHUNK_POOL.release(chunk);
+            arena::release_chunk(chunk);
         }
     }
     out
@@ -652,7 +596,7 @@ mod tests {
     /// The freelist bound every release must respect: at most
     /// `4 × num_threads` chunks of at most `CHUNK_RETAIN_CAP` entries.
     fn chunk_pool_bound_bytes() -> usize {
-        4 * par::num_threads() * CHUNK_RETAIN_CAP * std::mem::size_of::<V>()
+        4 * par::num_threads() * crate::arena::CHUNK_RETAIN_CAP * std::mem::size_of::<V>()
     }
 
     /// Regression test for unbounded DRAM retention: the pool used to retain
@@ -661,14 +605,20 @@ mod tests {
     /// buffers in DRAM forever. Outsized chunks must be shrunk on release.
     #[test]
     fn chunk_pool_does_not_retain_outsized_chunks() {
-        let huge: Vec<Vec<V>> = (0..4 * par::num_threads())
-            .map(|_| CHUNK_POOL.fetch(4 * CHUNK_RETAIN_CAP))
-            .collect();
-        for chunk in huge {
-            assert!(chunk.capacity() >= 4 * CHUNK_RETAIN_CAP);
-            CHUNK_POOL.release(chunk);
-        }
-        let retained = CHUNK_POOL.retained_bytes();
+        // Run inside a private arena so the bound is exact regardless of
+        // what other tests park in the shared fallback pool concurrently.
+        let arena = crate::arena::QueryArena::new();
+        arena.enter(|| {
+            let cap = crate::arena::CHUNK_RETAIN_CAP;
+            let huge: Vec<Vec<V>> = (0..4 * par::num_threads())
+                .map(|_| crate::arena::fetch_chunk(4 * cap))
+                .collect();
+            for chunk in huge {
+                assert!(chunk.capacity() >= 4 * cap);
+                crate::arena::release_chunk(chunk);
+            }
+        });
+        let retained = arena.retained_chunk_bytes();
         assert!(
             retained <= chunk_pool_bound_bytes(),
             "pool retains {retained} bytes, bound {}",
@@ -685,12 +635,15 @@ mod tests {
     /// frontiers.
     #[test]
     fn chunk_pool_bounded_after_huge_degree_scenario() {
-        let g = sage_graph::CompressedCsr::from_csr(&gen::star(20_000), 1 << 20);
-        let parents: Vec<AtomicU64> = (0..20_000).map(|_| AtomicU64::new(UNVISITED)).collect();
-        parents[0].store(0, Ordering::Relaxed);
-        let out = edge_map_chunked(&g, &[0], &ClaimFn { parents: &parents });
-        assert_eq!(out.len(), 19_999);
-        let retained = CHUNK_POOL.retained_bytes();
+        let arena = crate::arena::QueryArena::new();
+        arena.enter(|| {
+            let g = sage_graph::CompressedCsr::from_csr(&gen::star(20_000), 1 << 20);
+            let parents: Vec<AtomicU64> = (0..20_000).map(|_| AtomicU64::new(UNVISITED)).collect();
+            parents[0].store(0, Ordering::Relaxed);
+            let out = edge_map_chunked(&g, &[0], &ClaimFn { parents: &parents });
+            assert_eq!(out.len(), 19_999);
+        });
+        let retained = arena.retained_chunk_bytes();
         assert!(
             retained <= chunk_pool_bound_bytes(),
             "pool retains {retained} bytes after huge-degree traversal, bound {}",

@@ -29,12 +29,14 @@
 //! ```
 
 pub mod algo;
+pub mod arena;
 pub mod bucket;
 pub mod edge_map;
 pub mod filter;
 pub mod seq;
 pub mod vertex_subset;
 
+pub use arena::QueryArena;
 pub use edge_map::{edge_map, EdgeMapFn, EdgeMapOpts, SparseImpl, Strategy};
 pub use filter::GraphFilter;
 pub use vertex_subset::VertexSubset;

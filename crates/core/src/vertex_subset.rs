@@ -4,6 +4,7 @@
 //! vertex) form. Both fit comfortably in the PSAM's small memory: at most
 //! `O(n)` words.
 
+use crate::arena;
 use sage_graph::{Graph, V};
 use sage_nvram::meter;
 use sage_parallel as par;
@@ -44,7 +45,7 @@ impl VertexSubset {
         Self {
             n,
             repr: Repr::Dense {
-                flags: vec![true; n],
+                flags: arena::fetch_flags(n, true),
                 count: n,
             },
         }
@@ -125,7 +126,10 @@ impl VertexSubset {
             let ids = par::pack_index(self.n, |i| flags[i]);
             meter::aux_read(self.n as u64 / 64 + 1);
             meter::aux_write(ids.len() as u64);
-            self.repr = Repr::Sparse(ids);
+            if let Repr::Dense { flags, .. } = std::mem::replace(&mut self.repr, Repr::Sparse(ids))
+            {
+                arena::release_flags(flags);
+            }
         }
         match &self.repr {
             Repr::Sparse(ids) => ids,
@@ -137,7 +141,7 @@ impl VertexSubset {
     pub fn as_dense(&mut self) -> &[bool] {
         if let Repr::Sparse(ids) = &self.repr {
             let count = ids.len();
-            let mut flags = vec![false; self.n];
+            let mut flags = arena::fetch_flags(self.n, false);
             let fp = par::SendPtr(flags.as_mut_ptr());
             let ids_ref: &[V] = ids;
             par::par_for(0, ids_ref.len(), |i| unsafe {
@@ -170,6 +174,19 @@ impl VertexSubset {
                     f(v as V)
                 }
             }),
+        }
+    }
+}
+
+impl Drop for VertexSubset {
+    /// Recycle the dense flag buffer into the current task's scratch pools
+    /// (the innermost [`crate::QueryArena`], or the shared fallback pool).
+    /// A subset dropped outside the arena it was built in simply donates its
+    /// buffer to whichever pool is current — buffers carry no state between
+    /// fetches beyond their capacity.
+    fn drop(&mut self) {
+        if let Repr::Dense { flags, .. } = &mut self.repr {
+            arena::release_flags(std::mem::take(flags));
         }
     }
 }

@@ -28,6 +28,6 @@ pub mod mmap;
 pub mod region;
 
 pub use memmode::DirectMappedCache;
-pub use meter::{CostModel, MemConfig, Meter, MeterSnapshot};
+pub use meter::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot};
 pub use mmap::MmapFile;
 pub use region::{NvRegion, NvSlice, Pod};

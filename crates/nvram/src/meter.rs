@@ -16,8 +16,27 @@
 //! The meter is a set of global atomics so that instrumentation does not
 //! thread a handle through every algorithm; the harness brackets each run
 //! with [`Meter::snapshot`].
+//!
+//! # Scoped attribution
+//!
+//! A server executing many queries over one shared graph needs *per-query*
+//! traffic, not just the process-wide totals. A [`MeterScope`] provides that:
+//! while code runs inside [`MeterScope::enter`], every free-function report
+//! ([`graph_read`], [`aux_write`], …) is attributed to the scope's private
+//! meter **in addition to** the global one. The scope rides the task-context
+//! slots of `sage_parallel` ([`sage_parallel::context::SLOT_METER`]), so it
+//! follows the computation across `join`/`par_for`/`Pool::scope` onto worker
+//! threads — no call-site changes in algorithm code. Scopes may nest; the
+//! innermost scope wins (attribution is not split between nested scopes).
+//!
+//! Because each scope owns a freshly zeroed meter and reads it with
+//! [`MeterScope::snapshot`], per-query accounting is independent of
+//! [`Meter::reset`] by construction: a concurrent harness reset can skew the
+//! *global* totals but can never produce negative or corrupted per-query
+//! traffic.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of counter shards; threads hash onto shards so that hot-path
 /// updates never contend on a shared cache line.
@@ -84,13 +103,35 @@ pub struct MeterSnapshot {
 
 impl MeterSnapshot {
     /// Traffic between `earlier` and `self`.
+    ///
+    /// Saturating: if a [`Meter::reset`] raced the two snapshots, a counter in
+    /// `self` can be *below* `earlier`; the difference clamps to zero instead
+    /// of wrapping to an absurd ~2^64 value. Per-query accounting that must
+    /// be exact should use a [`MeterScope`], whose private meter no reset can
+    /// touch.
     pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
         MeterSnapshot {
-            graph_read: self.graph_read - earlier.graph_read,
-            graph_write: self.graph_write - earlier.graph_write,
-            aux_read: self.aux_read - earlier.aux_read,
-            aux_write: self.aux_write - earlier.aux_write,
+            graph_read: self.graph_read.saturating_sub(earlier.graph_read),
+            graph_write: self.graph_write.saturating_sub(earlier.graph_write),
+            aux_read: self.aux_read.saturating_sub(earlier.aux_read),
+            aux_write: self.aux_write.saturating_sub(earlier.aux_write),
         }
+    }
+
+    /// Component-wise sum, used to reconcile per-query scoped snapshots
+    /// against a global delta.
+    pub fn plus(&self, other: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            graph_read: self.graph_read + other.graph_read,
+            graph_write: self.graph_write + other.graph_write,
+            aux_read: self.aux_read + other.aux_read,
+            aux_write: self.aux_write + other.aux_write,
+        }
+    }
+
+    /// Total words across all four traffic classes.
+    pub fn total_words(&self) -> u64 {
+        self.graph_read + self.graph_write + self.aux_read + self.aux_write
     }
 
     /// Total PSAM work: unit-cost for every access except graph writes,
@@ -122,7 +163,15 @@ impl Meter {
         s
     }
 
-    /// Zero all counters (harness use only; not linearizable w.r.t. workers).
+    /// Zero all counters.
+    ///
+    /// **Harness-only API.** The store is not linearizable with respect to
+    /// in-flight workers: resetting while *any* metered computation runs
+    /// tears that run's deltas. A serving system must never call this —
+    /// per-query accounting belongs to [`MeterScope`], whose private meters
+    /// a global reset cannot touch, and global deltas taken with
+    /// [`MeterSnapshot::since`] saturate rather than underflow if a reset
+    /// slips in between.
     pub fn reset(&self) {
         for shard in &self.shards {
             shard.graph_read.store(0, Ordering::Relaxed);
@@ -133,36 +182,109 @@ impl Meter {
     }
 }
 
+/// A per-query (or per-task) traffic meter, installed for the duration of a
+/// closure and inherited by every parallel task forked inside it.
+///
+/// ```
+/// use sage_nvram::meter::{self, MeterScope};
+///
+/// let scope = MeterScope::new();
+/// scope.enter(|| meter::graph_read(128));
+/// assert_eq!(scope.snapshot().graph_read, 128);
+/// assert_eq!(scope.snapshot().graph_write, 0);
+/// ```
+#[derive(Clone)]
+pub struct MeterScope {
+    meter: Arc<Meter>,
+}
+
+impl Default for MeterScope {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeterScope {
+    /// A fresh scope with a zeroed private meter.
+    pub fn new() -> Self {
+        Self {
+            meter: Arc::new(Meter::default()),
+        }
+    }
+
+    /// Run `f` with this scope installed: all traffic reported by `f` and by
+    /// parallel tasks forked inside it lands on this scope's meter as well as
+    /// the global one. Re-entrant and nestable (innermost scope wins).
+    pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        let value: Arc<Meter> = Arc::clone(&self.meter);
+        sage_parallel::context::with_slot(sage_parallel::context::SLOT_METER, value, f)
+    }
+
+    /// Point-in-time view of the scope's private meter. Since the meter
+    /// starts at zero and only this scope's tasks write to it, this *is* the
+    /// scope's attributed traffic — no baseline subtraction, and immune to
+    /// [`Meter::reset`].
+    pub fn snapshot(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Borrow the underlying private meter.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+}
+
+/// Add `words` to counter `which` of the scoped meter, if a scope is
+/// installed on the current task.
+#[inline]
+fn scoped_add(shard_idx: usize, pick: impl Fn(&Shard) -> &AtomicU64, words: u64) {
+    sage_parallel::context::with(sage_parallel::context::SLOT_METER, |slot| {
+        if let Some(any) = slot {
+            if let Some(m) = any.downcast_ref::<Meter>() {
+                pick(&m.shards[shard_idx]).fetch_add(words, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
 /// Record `words` read from the graph (bulk-reported by engine primitives).
 #[inline]
 pub fn graph_read(words: u64) {
-    GLOBAL.shards[shard()]
+    let s = shard();
+    GLOBAL.shards[s]
         .graph_read
         .fetch_add(words, Ordering::Relaxed);
+    scoped_add(s, |sh| &sh.graph_read, words);
 }
 
 /// Record `words` written to the graph (only baseline systems do this).
 #[inline]
 pub fn graph_write(words: u64) {
-    GLOBAL.shards[shard()]
+    let s = shard();
+    GLOBAL.shards[s]
         .graph_write
         .fetch_add(words, Ordering::Relaxed);
+    scoped_add(s, |sh| &sh.graph_write, words);
 }
 
 /// Record `words` read from algorithm state.
 #[inline]
 pub fn aux_read(words: u64) {
-    GLOBAL.shards[shard()]
+    let s = shard();
+    GLOBAL.shards[s]
         .aux_read
         .fetch_add(words, Ordering::Relaxed);
+    scoped_add(s, |sh| &sh.aux_read, words);
 }
 
 /// Record `words` written to algorithm state.
 #[inline]
 pub fn aux_write(words: u64) {
-    GLOBAL.shards[shard()]
+    let s = shard();
+    GLOBAL.shards[s]
         .aux_write
         .fetch_add(words, Ordering::Relaxed);
+    scoped_add(s, |sh| &sh.aux_write, words);
 }
 
 /// Relative per-word access costs (DRAM read ≡ 1).
@@ -338,5 +460,110 @@ mod tests {
         let d = Meter::global().snapshot().since(&before);
         assert!(d.graph_read >= 11);
         assert!(d.aux_write >= 5);
+    }
+
+    #[test]
+    fn since_saturates_across_resets() {
+        let big = MeterSnapshot {
+            graph_read: 100,
+            graph_write: 1,
+            aux_read: 50,
+            aux_write: 50,
+        };
+        let after_reset = MeterSnapshot::default();
+        let d = after_reset.since(&big);
+        assert_eq!(d, MeterSnapshot::default(), "must clamp, not wrap");
+    }
+
+    #[test]
+    fn scope_attributes_exactly_its_own_traffic() {
+        let scope = MeterScope::new();
+        graph_read(1000); // outside the scope: global only
+        scope.enter(|| {
+            graph_read(40);
+            aux_write(7);
+        });
+        aux_read(3); // outside again
+        let s = scope.snapshot();
+        assert_eq!(s.graph_read, 40);
+        assert_eq!(s.aux_write, 7);
+        assert_eq!(s.aux_read, 0);
+        assert_eq!(s.graph_write, 0);
+    }
+
+    #[test]
+    fn scope_also_feeds_the_global_meter() {
+        let before = Meter::global().snapshot();
+        let scope = MeterScope::new();
+        scope.enter(|| graph_read(123));
+        let d = Meter::global().snapshot().since(&before);
+        assert!(
+            d.graph_read >= 123,
+            "scoped traffic must stay in the global"
+        );
+    }
+
+    #[test]
+    fn scope_follows_parallel_tasks_onto_workers() {
+        use sage_parallel as par;
+        let scope = MeterScope::new();
+        scope.enter(|| {
+            par::par_for(0, 1000, |_| aux_write(1));
+            let ((), ()) = par::join(|| graph_read(5), || graph_read(6));
+        });
+        let s = scope.snapshot();
+        assert_eq!(s.aux_write, 1000);
+        assert_eq!(s.graph_read, 11);
+    }
+
+    #[test]
+    fn nested_scopes_innermost_wins() {
+        let outer = MeterScope::new();
+        let inner = MeterScope::new();
+        outer.enter(|| {
+            aux_write(10);
+            inner.enter(|| aux_write(3));
+            aux_write(20);
+        });
+        assert_eq!(outer.snapshot().aux_write, 30);
+        assert_eq!(inner.snapshot().aux_write, 3);
+    }
+
+    #[test]
+    fn scope_unaffected_by_global_reset() {
+        // A private (non-global) meter stands in for "some other harness
+        // meter being reset"; the scope's meter has no shared state with it.
+        let scope = MeterScope::new();
+        scope.enter(|| {
+            graph_read(50);
+            Meter::global().snapshot(); // arbitrary global activity
+        });
+        // Even a *global* reset cannot disturb the scope's private counters.
+        // (Do not actually reset the global here — tests share it.)
+        let private = MeterScope::new();
+        private.enter(|| aux_write(9));
+        private.meter().reset();
+        assert_eq!(private.snapshot(), MeterSnapshot::default());
+        assert_eq!(scope.snapshot().graph_read, 50);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_bleed() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let scope = MeterScope::new();
+                    scope.enter(|| {
+                        for _ in 0..100 {
+                            graph_read(t + 1);
+                        }
+                    });
+                    scope.snapshot().graph_read
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 100 * (t as u64 + 1));
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Task-inherited context slots: the propagation substrate for scoped
+//! runtimes.
+//!
+//! A *context* is a tiny array of optional, reference-counted values that is
+//! captured when a job is forked and re-installed on whichever worker thread
+//! ends up executing it. This is what lets a per-query facility — the
+//! [`sage_nvram` meter scope](https://docs.rs/) or a per-query scratch arena —
+//! follow a computation across `join`/`par_for`/[`crate::Pool::scope`]
+//! boundaries without threading a handle through every call site.
+//!
+//! The slots are opaque to this crate: each holds an `Arc<dyn Any + Send +
+//! Sync>` that client crates downcast to their own type. Slot indices are a
+//! workspace-level convention declared here so clients cannot collide:
+//!
+//! * [`SLOT_METER`] — claimed by `sage-nvram`'s `MeterScope` (per-query PSAM
+//!   traffic attribution);
+//! * [`SLOT_ARENA`] — claimed by `sage-core`'s `QueryArena` (per-query
+//!   scratch pools).
+//!
+//! # Lifetime and cost model
+//!
+//! Installation is strictly scoped: [`with_slot`] installs a value for the
+//! duration of a closure and restores the previous context on the way out
+//! (including on unwind), so contexts always nest LIFO. Forked jobs *clone*
+//! the `Arc`s into the job itself ([`capture`]), which keeps every referenced
+//! value alive for as long as any outstanding job can still touch it — even a
+//! heap-spawned scope job that outlives the `with_slot` frame that forked it.
+//! A fork with an empty context costs two `Option::None` copies; reading an
+//! empty context is a thread-local load and a null check.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::ptr;
+use std::sync::Arc;
+
+/// Slot claimed by `sage-nvram`'s `MeterScope` (per-query traffic meter).
+pub const SLOT_METER: usize = 0;
+
+/// Slot claimed by `sage-core`'s `QueryArena` (per-query scratch pools).
+pub const SLOT_ARENA: usize = 1;
+
+/// Number of context slots carried by every forked job.
+pub const SLOTS: usize = 2;
+
+/// One captured context: the values a job inherits from its forking thread.
+pub(crate) type Context = [Option<Arc<dyn Any + Send + Sync>>; SLOTS];
+
+thread_local! {
+    /// The context of the task currently executing on this thread.
+    ///
+    /// Points either at a `with_slot` stack frame or at the `Context` owned
+    /// by the currently executing job; both strictly outlive the window in
+    /// which this pointer is observable (the pointer is reset before the
+    /// frame or the job is released), so dereferencing it is sound.
+    static CURRENT: Cell<*const Context> = const { Cell::new(ptr::null()) };
+}
+
+/// An empty context (no slots installed).
+pub(crate) fn empty() -> Context {
+    [const { None }; SLOTS]
+}
+
+/// Clone the current thread's context for a job about to be forked.
+pub(crate) fn capture() -> Context {
+    let p = CURRENT.with(|c| c.get());
+    if p.is_null() {
+        empty()
+    } else {
+        // SAFETY: see `CURRENT` — the pointee outlives its installation.
+        unsafe { (*p).clone() }
+    }
+}
+
+/// Install `ctx` as the current context, returning the previous pointer.
+/// The caller must guarantee `ctx` stays alive until the matching [`exit`].
+pub(crate) fn enter(ctx: &Context) -> *const Context {
+    CURRENT.with(|c| c.replace(ctx as *const Context))
+}
+
+/// Restore a context pointer previously returned by [`enter`].
+pub(crate) fn exit(prev: *const Context) {
+    CURRENT.with(|c| c.set(prev));
+}
+
+/// Restores the previous context on drop, so `with_slot` is unwind-safe.
+struct Restore(*const Context);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        exit(self.0);
+    }
+}
+
+/// Run `f` with `value` installed in `slot` of the current context.
+///
+/// Jobs forked inside `f` (via `join`, the `par_*` loops, or scope spawns)
+/// inherit the value; it is kept alive by `Arc` clones inside each job, so it
+/// remains valid even for jobs that finish after `with_slot` returns. The
+/// previous context is restored when `f` returns or unwinds — installations
+/// therefore always nest and cannot dangle.
+pub fn with_slot<R>(slot: usize, value: Arc<dyn Any + Send + Sync>, f: impl FnOnce() -> R) -> R {
+    assert!(slot < SLOTS, "context slot {slot} out of range");
+    let mut ctx = capture();
+    ctx[slot] = Some(value);
+    let _restore = Restore(enter(&ctx));
+    f()
+}
+
+/// Inspect `slot` of the current context; `f` receives `None` when nothing is
+/// installed. Clients downcast the value to their own concrete type.
+pub fn with<R>(slot: usize, f: impl FnOnce(Option<&(dyn Any + Send + Sync)>) -> R) -> R {
+    assert!(slot < SLOTS, "context slot {slot} out of range");
+    let p = CURRENT.with(|c| c.get());
+    if p.is_null() {
+        f(None)
+    } else {
+        // SAFETY: see `CURRENT` — the pointee outlives its installation.
+        f(unsafe { &(*p)[slot] }.as_deref())
+    }
+}
+
+/// Downcast helper: fetch a cloned `Arc<T>` from `slot`, if one of that exact
+/// type is installed.
+pub fn get<T: Any + Send + Sync>(slot: usize) -> Option<Arc<T>> {
+    assert!(slot < SLOTS, "context slot {slot} out of range");
+    let p = CURRENT.with(|c| c.get());
+    if p.is_null() {
+        return None;
+    }
+    // SAFETY: see `CURRENT` — the pointee outlives its installation.
+    let arc = unsafe { (*p)[slot].clone() }?;
+    arc.downcast::<T>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::join;
+
+    #[test]
+    fn empty_context_reads_none() {
+        with(SLOT_METER, |v| assert!(v.is_none()));
+        assert!(get::<u64>(SLOT_ARENA).is_none());
+    }
+
+    #[test]
+    fn with_slot_scopes_and_restores() {
+        let value: Arc<u64> = Arc::new(17);
+        with_slot(SLOT_METER, value, || {
+            assert_eq!(*get::<u64>(SLOT_METER).unwrap(), 17);
+            assert!(get::<u64>(SLOT_ARENA).is_none());
+        });
+        assert!(get::<u64>(SLOT_METER).is_none());
+    }
+
+    #[test]
+    fn nested_slots_compose_and_shadow() {
+        with_slot(SLOT_METER, Arc::new(1u64), || {
+            with_slot(SLOT_ARENA, Arc::new(2u64), || {
+                assert_eq!(*get::<u64>(SLOT_METER).unwrap(), 1);
+                assert_eq!(*get::<u64>(SLOT_ARENA).unwrap(), 2);
+                // Shadow the meter slot; innermost wins.
+                with_slot(SLOT_METER, Arc::new(3u64), || {
+                    assert_eq!(*get::<u64>(SLOT_METER).unwrap(), 3);
+                    assert_eq!(*get::<u64>(SLOT_ARENA).unwrap(), 2);
+                });
+                assert_eq!(*get::<u64>(SLOT_METER).unwrap(), 1);
+            });
+            assert!(get::<u64>(SLOT_ARENA).is_none());
+        });
+    }
+
+    #[test]
+    fn restored_on_unwind() {
+        let r = std::panic::catch_unwind(|| {
+            with_slot(SLOT_METER, Arc::new(9u64), || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(get::<u64>(SLOT_METER).is_none());
+    }
+
+    #[test]
+    fn context_propagates_across_join() {
+        with_slot(SLOT_METER, Arc::new(42u64), || {
+            let (a, b) = join(
+                || get::<u64>(SLOT_METER).map(|v| *v),
+                || get::<u64>(SLOT_METER).map(|v| *v),
+            );
+            assert_eq!(a, Some(42));
+            assert_eq!(b, Some(42));
+        });
+    }
+
+    #[test]
+    fn context_propagates_into_deep_parallel_loops() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let misses = AtomicUsize::new(0);
+        with_slot(SLOT_ARENA, Arc::new(7u64), || {
+            crate::ops::par_for(0, 10_000, |_| {
+                if get::<u64>(SLOT_ARENA).map(|v| *v) != Some(7) {
+                    misses.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(misses.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn value_outlives_installation_via_job_clones() {
+        let value = Arc::new(11u64);
+        let weak = Arc::downgrade(&value);
+        with_slot(SLOT_METER, value, || {});
+        // No jobs hold it any more: the only strong ref was the installation.
+        assert!(weak.upgrade().is_none());
+    }
+}

@@ -128,6 +128,16 @@ impl Histogram {
         })
     }
 
+    /// Re-aim a (possibly scratch-carrying) histogram at a new workload:
+    /// resets the selection policy to [`Histogram::auto`] for `m` edges while
+    /// keeping any dense scratch, so arena-recycled histograms keep their
+    /// allocation history across queries.
+    pub fn retarget_auto(&mut self, m: usize) {
+        self.mode = Mode::Auto {
+            threshold: (m / 16).max(1),
+        };
+    }
+
     /// Number of times the dense scratch has been (re-)allocated. Stays at 1
     /// across repeated calls with a non-growing universe — the property the
     /// peeling regression tests pin down.

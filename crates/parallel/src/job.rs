@@ -5,6 +5,7 @@
 //! the job's latch is set. The deques therefore only carry thin [`JobRef`]
 //! pointers, exactly like Cilk's spawn frames.
 
+use crate::context;
 use crate::latch::Latch;
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -50,6 +51,11 @@ pub(crate) struct StackJob<L: Latch, F, R> {
     latch: L,
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
+    /// Context captured at fork time and re-installed around execution, so
+    /// scoped runtime state (meter scopes, query arenas) follows the job onto
+    /// whichever worker steals it. The job owns `Arc` clones of the values,
+    /// keeping them alive for its whole lifetime.
+    ctx: context::Context,
 }
 
 impl<L: Latch, F, R> StackJob<L, F, R>
@@ -62,6 +68,7 @@ where
             latch,
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::Pending),
+            ctx: context::capture(),
         }
     }
 
@@ -81,7 +88,12 @@ where
         {
             let job = unsafe { &*(this as *const StackJob<L, F, R>) };
             let func = unsafe { (*job.func.get()).take().expect("job executed twice") };
+            // Install the captured context for the duration of the closure
+            // and restore the executor's own context before the latch is set
+            // (after the latch, the joiner may free this job's frame).
+            let prev = context::enter(&job.ctx);
             let res = panic::catch_unwind(AssertUnwindSafe(func));
+            context::exit(prev);
             unsafe {
                 *job.result.get() = match res {
                     Ok(v) => JobResult::Ok(v),
@@ -115,6 +127,47 @@ where
 // SAFETY: access to the UnsafeCells is serialized by the latch protocol: the
 // executor writes before setting the latch, the joiner reads after probing it.
 unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+/// A heap-allocated fire-and-forget job, used by [`crate::Pool::scope`]
+/// spawns whose closures outlive the spawning stack frame. The box is
+/// reclaimed by whichever thread executes the job.
+pub(crate) struct HeapJob<F: FnOnce() + Send> {
+    func: F,
+    ctx: context::Context,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(Self {
+            func,
+            ctx: context::capture(),
+        })
+    }
+
+    /// Erase the box into a [`JobRef`].
+    ///
+    /// SAFETY: the caller must guarantee the job is executed exactly once
+    /// (leaks otherwise) and that everything the closure borrows outlives the
+    /// execution — `Pool::scope` enforces the latter by not returning until
+    /// every spawned job has run.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        unsafe fn execute<F: FnOnce() + Send>(this: *const ()) {
+            // SAFETY: ownership transfers to the executing thread; the ref
+            // was created from `Box::into_raw` and is executed once.
+            let job = unsafe { Box::from_raw(this as *mut HeapJob<F>) };
+            let prev = context::enter(&job.ctx);
+            // The closure is responsible for its own panic containment
+            // (scope spawns wrap it in `catch_unwind`); an escaping panic
+            // would unwind into the worker loop and abort.
+            (job.func)();
+            context::exit(prev);
+        }
+        JobRef {
+            data: Box::into_raw(self) as *const (),
+            execute_fn: execute::<F>,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

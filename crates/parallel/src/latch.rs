@@ -69,6 +69,59 @@ impl Latch for LockLatch {
     }
 }
 
+/// A latch that fires when a counter of outstanding jobs reaches zero.
+///
+/// Starts at one (the owning scope body); every spawned job adds one and
+/// removes it on completion. Supports both waiting styles: worker threads
+/// probe [`CountLatch::probe`] while stealing, external threads park on
+/// [`CountLatch::wait`].
+pub(crate) struct CountLatch {
+    count: std::sync::atomic::AtomicUsize,
+    done: SpinLatch,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        Self {
+            count: std::sync::atomic::AtomicUsize::new(1),
+            done: SpinLatch::new(),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remove one outstanding job; the last removal fires the latch.
+    pub(crate) fn decrement(&self) {
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.set();
+            // Pair with `wait`: taking the lock before notifying means a
+            // waiter that observed `probe() == false` under the lock cannot
+            // miss this notification.
+            let _g = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.probe()
+    }
+
+    /// Park until the counter reaches zero (for threads outside the pool).
+    pub(crate) fn wait(&self) {
+        let mut g = self.lock.lock();
+        while !self.probe() {
+            self.cond.wait(&mut g);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +142,26 @@ mod tests {
         let h = std::thread::spawn(move || l2.set());
         l.wait();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn count_latch_fires_at_zero() {
+        let l = Arc::new(CountLatch::new());
+        for _ in 0..8 {
+            l.increment();
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || l.decrement())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!l.probe(), "body count still outstanding");
+        l.decrement();
+        assert!(l.probe());
+        l.wait(); // must not block
     }
 }

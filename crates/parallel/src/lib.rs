@@ -32,6 +32,7 @@
 //! assert_eq!((v, total), (vec![0, 1, 3, 6], 10));
 //! ```
 
+pub mod context;
 pub mod hash_table;
 pub mod histogram;
 mod job;
@@ -47,7 +48,7 @@ pub use ops::{
     filter_slice, pack_index, par_copy, par_fill, par_for, par_for_grain, par_for_slices, par_map,
     par_map_grain, reduce_add, reduce_map, reduce_max, reduce_min, scan_add, scan_with, SendPtr,
 };
-pub use pool::{global_pool, in_worker, join, num_threads, worker_index, Pool};
+pub use pool::{global_pool, in_worker, join, num_threads, scope, worker_index, Pool, Scope};
 pub use rng::{hash64, hash64_pair, SplitMix64};
 pub use sort::{merge_into, par_sort, par_sort_by, par_sort_by_key};
 

@@ -6,11 +6,14 @@
 //! pushes `b`, runs `a`, then either pops `b` back or steals other work until
 //! the thief finishes `b`.
 
-use crate::job::{JobRef, StackJob};
-use crate::latch::{LockLatch, SpinLatch};
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::latch::{CountLatch, LockLatch, SpinLatch};
 use crossbeam_deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
 use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -165,11 +168,18 @@ impl WorkerThread {
     }
 
     /// Busy-wait for `latch`, executing any available work in the meantime.
-    /// Long waits back off to short sleeps so a starved sibling (e.g. on an
-    /// oversubscribed or throttled host) can finish the stolen job.
+    #[inline]
     fn wait_until(&self, latch: &SpinLatch) {
+        self.wait_probe(|| latch.probe());
+    }
+
+    /// Busy-wait until `probe` turns true, executing any available work in
+    /// the meantime. Long waits back off to short sleeps so a starved sibling
+    /// (e.g. on an oversubscribed or throttled host) can finish the stolen
+    /// job.
+    fn wait_probe(&self, probe: impl Fn() -> bool) {
         let mut spins = 0u32;
-        while !latch.probe() {
+        while !probe() {
             let job = self.pop().or_else(|| self.steal());
             match job {
                 Some(job) => {
@@ -288,6 +298,140 @@ impl Pool {
         job.latch().wait();
         unsafe { job.take_result() }
     }
+
+    /// Run `f` with a [`Scope`] on which heterogeneous jobs can be spawned;
+    /// blocks until `f` *and every spawned job* have completed.
+    ///
+    /// Unlike [`Pool::install`] (one job, one result), a scope expresses a
+    /// dynamic fan-out whose closures may borrow data from the caller's stack
+    /// (anything outliving `'scope`). Scopes submitted concurrently from
+    /// multiple external threads interleave on the worker set: spawns from
+    /// outside the pool land in the sharded FIFO injector, spawns from
+    /// workers go to their own deque, and idle workers steal across all of
+    /// them — this is the multi-query serving entry point.
+    ///
+    /// `f` runs on the calling thread. Task-inherited context (meter scopes,
+    /// query arenas — see [`crate::context`]) is captured per spawn and
+    /// installed around each job's execution. A panic in `f` or in any
+    /// spawned job is re-thrown here after all jobs have finished (the first
+    /// spawned panic wins).
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_on(Arc::clone(&self.registry), f)
+    }
+}
+
+/// Cross-thread pointer to a [`Scope`]; a method (not field) accessor keeps
+/// edition-2021 closures capturing the whole Send wrapper rather than the
+/// raw pointer field.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+
+// SAFETY: Scope is Sync (all fields are thread-safe) and outlives the jobs
+// that carry this pointer, per the latch protocol in `scope_on`.
+unsafe impl<'scope> Send for ScopePtr<'scope> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// SAFETY: caller must ensure the scope is still alive.
+    unsafe fn as_scope(&self) -> &Scope<'scope> {
+        unsafe { &*self.0 }
+    }
+}
+
+/// Shared implementation of [`Pool::scope`] / [`scope`].
+fn scope_on<'scope, F, R>(registry: Arc<Registry>, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        registry,
+        latch: Arc::new(CountLatch::new()),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // The scope body itself holds one count; release it and wait for the
+    // spawned jobs. Workers of this pool keep stealing while they wait so
+    // a scope created on a worker cannot deadlock the pool.
+    scope.latch.decrement();
+    let current = WorkerThread::current();
+    let on_this_pool =
+        !current.is_null() && Arc::ptr_eq(&unsafe { &*current }.registry, &scope.registry);
+    if on_this_pool {
+        unsafe { &*current }.wait_probe(|| scope.latch.probe());
+    } else {
+        scope.latch.wait();
+    }
+    match result {
+        Err(p) => panic::resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = scope.panic.lock().take() {
+                panic::resume_unwind(p);
+            }
+            r
+        }
+    }
+}
+
+/// A fork scope created by [`Pool::scope`]: spawned closures may borrow any
+/// data that outlives `'scope`, and the scope does not end until every spawn
+/// has completed.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding work: 1 for the scope body plus 1 per unfinished spawn.
+    ///
+    /// `Arc`-shared with every spawned job: the final `decrement()` makes the
+    /// scope observable as complete, at which point `scope_on` may return and
+    /// free the `Scope` — so the decrementing worker must only touch latch
+    /// memory *it* keeps alive, never the scope's stack frame.
+    latch: Arc<CountLatch>,
+    /// First panic observed in a spawned job, re-thrown when the scope ends.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over `'scope`, as the spawned closures store borrows of it.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the pool (the `spawn_scoped` operation). Returns
+    /// immediately; the job runs on some worker, inheriting the spawning
+    /// task's context slots. The closure receives the scope back (as in
+    /// rayon) so jobs can spawn further jobs. Panics inside `f` are captured
+    /// and re-thrown when the owning [`Pool::scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.increment();
+        let this = ScopePtr(self as *const Self);
+        let latch = Arc::clone(&self.latch);
+        let job = HeapJob::new(move || {
+            {
+                // SAFETY: until the decrement below, the latch count is > 0,
+                // so `scope_on` is still waiting and the scope is alive.
+                let scope = unsafe { this.as_scope() };
+                if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| f(scope))) {
+                    let mut slot = scope.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+            }
+            // After this point the scope may be freed at any instant (the
+            // owner's spin-probe needs no lock); touch only the Arc'd latch.
+            latch.decrement();
+        });
+        // SAFETY: executed exactly once; outstanding-borrow lifetime is
+        // guaranteed by the scope's latch wait, as documented on HeapJob.
+        let job_ref = unsafe { job.into_job_ref() };
+        let current = WorkerThread::current();
+        if !current.is_null() && Arc::ptr_eq(&unsafe { &*current }.registry, &self.registry) {
+            unsafe { &*current }.push(job_ref);
+        } else {
+            self.registry.injector.push(job_ref);
+            self.registry.notify_work();
+        }
+    }
 }
 
 impl Drop for Pool {
@@ -360,6 +504,20 @@ pub fn worker_index() -> Option<usize> {
 /// `true` when the calling thread is a pool worker.
 pub fn in_worker() -> bool {
     !WorkerThread::current().is_null()
+}
+
+/// Create a fork scope (see [`Pool::scope`]) on the current thread's pool:
+/// the pool this worker belongs to, or the global pool for external threads.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let current = WorkerThread::current();
+    if current.is_null() {
+        global_pool().scope(f)
+    } else {
+        scope_on(Arc::clone(&unsafe { &*current }.registry), f)
+    }
 }
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
@@ -507,6 +665,128 @@ mod tests {
         let pool = Pool::new(2);
         pool.install(|| ());
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn scope_runs_all_spawns() {
+        let hits = AtomicU64::new(0);
+        global_pool().scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_spawns_borrow_stack_data() {
+        let mut results = [0u64; 8];
+        {
+            let chunks: Vec<&mut u64> = results.iter_mut().collect();
+            scope(|s| {
+                for (i, slot) in chunks.into_iter().enumerate() {
+                    s.spawn(move |_| *slot = (i * i) as u64);
+                }
+            });
+        }
+        assert!(results
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == (i * i) as u64));
+    }
+
+    #[test]
+    fn scope_returns_body_result() {
+        let r = global_pool().scope(|s| {
+            s.spawn(|_| ());
+            "done"
+        });
+        assert_eq!(r, "done");
+    }
+
+    #[test]
+    fn scope_nested_spawns_and_joins() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    // Fork-join inside a spawned job; also nested spawns.
+                    let (a, b) = join(|| 1u64, || 2u64);
+                    total.fetch_add(a + b, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        total.fetch_add(10, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 3 + 4 * 10);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic() {
+        let r = std::panic::catch_unwind(|| {
+            global_pool().scope(|s| {
+                s.spawn(|_| panic!("spawned job panicked"));
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_completes_remaining_jobs_despite_panic() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = Arc::clone(&hits);
+        let r = std::panic::catch_unwind(move || {
+            global_pool().scope(|s| {
+                for i in 0..50 {
+                    let hits = Arc::clone(&hits2);
+                    s.spawn(move |_| {
+                        if i == 13 {
+                            panic!("one bad job");
+                        }
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert!(r.is_err());
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            49,
+            "other jobs must still run"
+        );
+    }
+
+    /// Scopes submitted from several external threads at once share one
+    /// worker set without deadlock or starvation — the serving pattern.
+    #[test]
+    fn concurrent_scopes_from_external_threads() {
+        let pool = Arc::new(Pool::new(3));
+        let total = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..16 {
+                        pool.scope(|s| {
+                            for _ in 0..8 {
+                                let total = Arc::clone(&total);
+                                s.spawn(move |_| {
+                                    total.fetch_add(t + 1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 8 * (1 + 2 + 3 + 4));
     }
 
     /// Regression test for the lost-wakeup race: `notify()` used to check

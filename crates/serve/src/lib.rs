@@ -1,0 +1,267 @@
+#![warn(missing_docs)]
+//! Concurrent multi-query serving over one shared read-only graph.
+//!
+//! Sage's premise — one big immutable graph in NVRAM, cheap `O(n)`-DRAM
+//! computations over it (the PSAM, §3) — is exactly the shape of a
+//! production graph service: load a snapshot once, answer many concurrent
+//! queries against it. This crate provides that serving layer on top of the
+//! engine's scoped-runtime substrate:
+//!
+//! * [`GraphService`] — owns the graph (typically an `NvRegion`-backed,
+//!   `PROT_READ`-mapped [`sage_graph::Csr`]), a bounded MPMC request queue,
+//!   and a pool of serving workers;
+//! * [`Query`]/[`Response`] — the typed request surface (BFS, PageRank over
+//!   a vertex subset, k-core, connectivity membership, 1/2-hop
+//!   neighborhoods);
+//! * admission control — each query reserves its estimated `O(n)` DRAM from
+//!   a shared [`admission::dram_estimate`]-based budget before running, so
+//!   aggregate small-memory use stays bounded no matter the offered load;
+//! * per-query attribution — every query executes under its own
+//!   [`sage_nvram::MeterScope`] and a per-worker [`sage_core::QueryArena`],
+//!   so results carry an exact [`MeterSnapshot`](sage_nvram::MeterSnapshot)
+//!   (zero `graph_write` words, per the Sage discipline) and concurrent
+//!   traversals never alias scratch.
+//!
+//! Parallelism is two-level: serving workers dispatch queries concurrently,
+//! and each query's internal `par_for`/`join` work interleaves on the shared
+//! work-stealing pool, with meter scope and arena following the tasks via
+//! `sage_parallel::context`.
+//!
+//! ```
+//! use sage_serve::{GraphService, Query, Response, ServiceConfig};
+//! use sage_graph::gen;
+//!
+//! let g = gen::rmat(8, 8, gen::RmatParams::default(), 7);
+//! let service = GraphService::start(g, ServiceConfig::default());
+//! let result = service.query(Query::Bfs { src: 0 });
+//! assert_eq!(result.traffic.graph_write, 0); // Sage never writes the graph
+//! match result.response {
+//!     Response::Bfs { reached, .. } => assert!(reached >= 1),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod admission;
+mod query;
+mod queue;
+
+pub use admission::dram_estimate;
+pub use query::{Query, QueryResult, Response};
+pub use queue::Ticket;
+
+use admission::DramBudget;
+use queue::{Pending, RequestQueue, TicketState};
+use sage_core::QueryArena;
+use sage_graph::Graph;
+use sage_nvram::MeterScope;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tuning knobs for a [`GraphService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Serving worker threads (concurrent query dispatchers). Each query's
+    /// internal parallelism additionally fans out on the shared
+    /// work-stealing pool.
+    pub workers: usize,
+    /// Bounded request-queue depth; producers block when it is full.
+    pub queue_capacity: usize,
+    /// Total DRAM (bytes) that admitted queries may hold simultaneously,
+    /// per the per-class estimates in [`admission::dram_estimate`].
+    /// `0` = auto: four times the largest single-query estimate.
+    pub dram_budget_bytes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            dram_budget_bytes: 0,
+        }
+    }
+}
+
+/// Point-in-time serving statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Queries completed since start.
+    pub completed: u64,
+    /// Queries currently executing (admitted, not yet finished).
+    pub inflight: u64,
+    /// Highest concurrent execution level observed.
+    pub peak_inflight: u64,
+    /// Highest simultaneous admitted-DRAM reservation observed (bytes).
+    pub peak_inflight_bytes: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    completed: AtomicU64,
+    inflight: AtomicU64,
+    peak_inflight: AtomicU64,
+    inflight_bytes: AtomicU64,
+    peak_inflight_bytes: AtomicU64,
+}
+
+impl StatsInner {
+    fn on_admit(&self, bytes: u64) {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_inflight.fetch_max(now, Ordering::SeqCst);
+        let b = self.inflight_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak_inflight_bytes.fetch_max(b, Ordering::SeqCst);
+    }
+
+    fn on_finish(&self, bytes: u64) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct Shared<G> {
+    graph: G,
+    queue: RequestQueue,
+    budget: DramBudget,
+    stats: StatsInner,
+}
+
+/// A concurrent query service over one shared graph snapshot.
+///
+/// Load the graph once (ideally via `sage_graph::io::load_csr` with
+/// `Placement::Nvram`, so it is physically read-only), start the service,
+/// then submit typed queries from any number of client threads. Dropping the
+/// service closes the queue, drains every accepted request, and joins the
+/// workers.
+pub struct GraphService<G: Graph + Send + Sync + 'static> {
+    shared: Arc<Shared<G>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl<G: Graph + Send + Sync + 'static> GraphService<G> {
+    /// Start a service over `graph` with `config` workers/budget.
+    pub fn start(graph: G, config: ServiceConfig) -> Self {
+        let n = graph.num_vertices();
+        let budget_bytes = if config.dram_budget_bytes == 0 {
+            4 * admission::max_estimate(n)
+        } else {
+            config.dram_budget_bytes
+        };
+        let shared = Arc::new(Shared {
+            graph,
+            queue: RequestQueue::new(config.queue_capacity),
+            budget: DramBudget::new(budget_bytes),
+            stats: StatsInner::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sage-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The served graph snapshot.
+    pub fn graph(&self) -> &G {
+        &self.shared.graph
+    }
+
+    /// Total admitted-DRAM budget in bytes.
+    pub fn dram_budget_bytes(&self) -> u64 {
+        self.shared.budget.capacity()
+    }
+
+    /// Enqueue `query`; blocks only if the request queue is full. The
+    /// returned [`Ticket`] redeems the result.
+    ///
+    /// # Panics
+    /// Panics if the query references out-of-range vertices.
+    pub fn submit(&self, query: Query) -> Ticket {
+        query.validate(self.shared.graph.num_vertices());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(TicketState::new());
+        self.shared.queue.push(Pending {
+            id,
+            query,
+            ticket: Arc::clone(&state),
+        });
+        Ticket { state }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, query: Query) -> QueryResult {
+        self.submit(query).wait()
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared.stats;
+        ServiceStats {
+            completed: s.completed.load(Ordering::SeqCst),
+            inflight: s.inflight.load(Ordering::SeqCst),
+            peak_inflight: s.peak_inflight.load(Ordering::SeqCst),
+            peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::SeqCst),
+            queue_depth: self.shared.queue.depth() as u64,
+        }
+    }
+}
+
+impl<G: Graph + Send + Sync + 'static> Drop for GraphService<G> {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One serving worker: pop → admit → execute under scope + arena → fulfill.
+fn worker_loop<G: Graph>(shared: &Shared<G>) {
+    // The arena is per *worker*, reused across that worker's queries: scratch
+    // (chunks, flag buffers, histogram dense arrays) warms up once and is
+    // never shared with a concurrently executing query.
+    let arena = QueryArena::new();
+    let n = shared.graph.num_vertices();
+    while let Some(pending) = shared.queue.pop() {
+        let estimate = admission::dram_estimate(n, &pending.query);
+        let grant = shared.budget.acquire(estimate);
+        shared.stats.on_admit(grant);
+        let scope = MeterScope::new();
+        let start = Instant::now();
+        // A panicking query must not kill the worker (the pool would shrink
+        // silently) nor strand its client (no poisoning wakes a parked
+        // Ticket::wait): contain it and fulfill with Response::Failed.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope.enter(|| arena.enter(|| query::run_query(&shared.graph, &pending.query)))
+        }))
+        .unwrap_or_else(|payload| {
+            let reason = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "query panicked".to_string());
+            Response::Failed { reason }
+        });
+        let seconds = start.elapsed().as_secs_f64();
+        shared.stats.on_finish(grant);
+        shared.budget.release(grant);
+        pending.ticket.fulfill(QueryResult {
+            id: pending.id,
+            response,
+            traffic: scope.snapshot(),
+            seconds,
+        });
+    }
+}

@@ -1,0 +1,225 @@
+//! Typed query requests and responses served by [`crate::GraphService`].
+
+use sage_core::algo;
+use sage_graph::{Graph, NONE_V, V};
+use sage_nvram::{meter, MeterSnapshot};
+
+/// Fixed tolerance for the PageRank power iteration; the iteration budget is
+/// the client-visible knob.
+const PAGERANK_EPS: f64 = 1e-6;
+
+/// Deterministic seed for per-query randomized algorithms (connectivity's
+/// LDD), so repeated queries over the same snapshot agree.
+const QUERY_SEED: u64 = 0x5A6E_5EED;
+
+/// A typed request against the shared graph snapshot.
+#[derive(Clone, Debug)]
+pub enum Query {
+    /// Breadth-first search from `src`: full parent array.
+    Bfs {
+        /// Source vertex.
+        src: V,
+    },
+    /// PageRank restricted reporting: run `iters` power iterations over the
+    /// whole graph, return the ranks of `vertices` only.
+    PageRank {
+        /// Power-iteration budget.
+        iters: usize,
+        /// Vertices whose ranks the client wants back.
+        vertices: Vec<V>,
+    },
+    /// k-core decomposition: coreness of `vertices` plus the global `kmax`.
+    KCore {
+        /// Vertices whose coreness the client wants back.
+        vertices: Vec<V>,
+    },
+    /// Connectivity membership: are `u` and `v` in the same component?
+    Connected {
+        /// First endpoint.
+        u: V,
+        /// Second endpoint.
+        v: V,
+    },
+    /// The 1-hop or 2-hop neighborhood of `src`, sorted and deduplicated
+    /// (excludes `src` itself).
+    Neighborhood {
+        /// Center vertex.
+        src: V,
+        /// Radius: 1 or 2.
+        hops: u8,
+    },
+}
+
+impl Query {
+    /// Panic early (on the submitting thread) if the query references
+    /// vertices outside the snapshot — a worker panic would strand the
+    /// ticket.
+    pub(crate) fn validate(&self, n: usize) {
+        let check = |v: V, what: &str| {
+            assert!(
+                (v as usize) < n,
+                "{what} {v} out of range for a graph of {n} vertices"
+            );
+        };
+        match self {
+            Query::Bfs { src } => check(*src, "bfs source"),
+            Query::PageRank { vertices, .. } => {
+                for &v in vertices {
+                    check(v, "pagerank vertex");
+                }
+            }
+            Query::KCore { vertices } => {
+                for &v in vertices {
+                    check(v, "kcore vertex");
+                }
+            }
+            Query::Connected { u, v } => {
+                check(*u, "connectivity endpoint");
+                check(*v, "connectivity endpoint");
+            }
+            Query::Neighborhood { src, hops } => {
+                check(*src, "neighborhood center");
+                assert!(
+                    (1..=2).contains(hops),
+                    "neighborhood radius must be 1 or 2, got {hops}"
+                );
+            }
+        }
+    }
+
+    /// Short label for stats / bench reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Query::Bfs { .. } => "bfs",
+            Query::PageRank { .. } => "pagerank",
+            Query::KCore { .. } => "kcore",
+            Query::Connected { .. } => "connected",
+            Query::Neighborhood { .. } => "neighborhood",
+        }
+    }
+}
+
+/// The answer to one [`Query`].
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// BFS parents (`NONE_V` = unreached) and the number of reached vertices.
+    Bfs {
+        /// Parent of each vertex in the BFS tree; the source is its own
+        /// parent.
+        parents: Vec<V>,
+        /// Vertices reachable from the source (including it).
+        reached: usize,
+    },
+    /// Ranks of the requested vertices, in request order.
+    PageRank {
+        /// `(vertex, rank)` pairs.
+        ranks: Vec<(V, f64)>,
+        /// Iterations the power method actually ran.
+        iterations: usize,
+    },
+    /// Coreness of the requested vertices, in request order.
+    KCore {
+        /// `(vertex, coreness)` pairs.
+        coreness: Vec<(V, u32)>,
+        /// Largest non-empty core in the whole graph.
+        kmax: u32,
+    },
+    /// Same-component membership.
+    Connected {
+        /// Whether the two endpoints share a component.
+        connected: bool,
+        /// Total number of components in the snapshot.
+        components: usize,
+    },
+    /// Sorted, deduplicated neighborhood (excluding the center).
+    Neighborhood {
+        /// The member vertices.
+        vertices: Vec<V>,
+    },
+    /// The query panicked inside the engine. The serving worker survives and
+    /// the ticket is still fulfilled; the panic payload is reported here so
+    /// a client blocked in [`crate::Ticket::wait`] is never stranded.
+    Failed {
+        /// Panic message (best-effort stringification of the payload).
+        reason: String,
+    },
+}
+
+/// A completed query: the answer plus its attributed PSAM traffic.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Sequence number assigned at submission.
+    pub id: u64,
+    /// The typed answer.
+    pub response: Response,
+    /// Per-query traffic from the worker's [`sage_nvram::MeterScope`] —
+    /// independent of every other in-flight query and of `Meter::reset`.
+    pub traffic: MeterSnapshot,
+    /// Execution wall-clock seconds (excluding queue wait).
+    pub seconds: f64,
+}
+
+/// Execute `query` against `g`. Pure: all service machinery (metering,
+/// arenas, admission) wraps around this.
+pub(crate) fn run_query<G: Graph>(g: &G, query: &Query) -> Response {
+    match query {
+        Query::Bfs { src } => {
+            let parents = algo::bfs::bfs(g, *src);
+            let reached = parents.iter().filter(|&&p| p != NONE_V).count();
+            meter::aux_read(parents.len() as u64);
+            Response::Bfs { parents, reached }
+        }
+        Query::PageRank { iters, vertices } => {
+            let pr = algo::pagerank::pagerank(g, PAGERANK_EPS, *iters);
+            let ranks = vertices
+                .iter()
+                .map(|&v| (v, pr.ranks[v as usize]))
+                .collect();
+            meter::aux_read(vertices.len() as u64);
+            Response::PageRank {
+                ranks,
+                iterations: pr.iterations,
+            }
+        }
+        Query::KCore { vertices } => {
+            let kc = algo::kcore::kcore(g);
+            let coreness = vertices
+                .iter()
+                .map(|&v| (v, kc.coreness[v as usize]))
+                .collect();
+            meter::aux_read(vertices.len() as u64);
+            Response::KCore {
+                coreness,
+                kmax: kc.kmax,
+            }
+        }
+        Query::Connected { u, v } => {
+            let labels = algo::connectivity::connectivity(g, 0.2, QUERY_SEED);
+            let connected = labels[*u as usize] == labels[*v as usize];
+            let components = algo::connectivity::num_components(&labels);
+            meter::aux_read(2);
+            Response::Connected {
+                connected,
+                components,
+            }
+        }
+        Query::Neighborhood { src, hops } => {
+            let mut out: Vec<V> = Vec::new();
+            let mut frontier: Vec<V> = Vec::new();
+            g.for_each_edge(*src, |d, _| {
+                out.push(d);
+                frontier.push(d);
+            });
+            if *hops == 2 {
+                for &u in &frontier {
+                    g.for_each_edge(u, |d, _| out.push(d));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out.retain(|&v| v != *src);
+            meter::aux_write(out.len() as u64);
+            Response::Neighborhood { vertices: out }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Bounded MPMC request queue and completion tickets.
+//!
+//! Deliberately a straightforward mutex + condvar queue: request dispatch is
+//! orders of magnitude less frequent than the work-stealing that executes
+//! each query, so the lock is never the bottleneck — and a bounded queue is
+//! the first stage of admission control (producers block when the service is
+//! saturated instead of buffering unboundedly).
+
+use crate::query::{Query, QueryResult};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One queued request.
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    pub(crate) query: Query,
+    pub(crate) ticket: Arc<TicketState>,
+}
+
+struct QueueInner {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub(crate) struct RequestQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a request, blocking while the queue is full.
+    ///
+    /// # Panics
+    /// Panics if the service has been shut down.
+    pub(crate) fn push(&self, pending: Pending) {
+        let mut inner = self.inner.lock();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            self.not_full.wait(&mut inner);
+        }
+        assert!(!inner.closed, "submit on a shut-down GraphService");
+        inner.items.push_back(pending);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue a request, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained — workers finish every
+    /// accepted request before exiting.
+    pub(crate) fn pop(&self) -> Option<Pending> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(p) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(p);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// Close the queue: wake every producer and consumer.
+    pub(crate) fn close(&self) {
+        self.inner.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Requests currently waiting (observability).
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+}
+
+/// Completion slot shared between a worker and the waiting client.
+pub(crate) struct TicketState {
+    slot: Mutex<Option<QueryResult>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn fulfill(&self, result: QueryResult) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one in-flight query; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the query completes and take its result.
+    pub fn wait(self) -> QueryResult {
+        let mut slot = self.state.slot.lock();
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            self.state.done.wait(&mut slot);
+        }
+    }
+
+    /// Non-blocking redemption: the result if the query has already
+    /// completed, or the ticket back otherwise. Consumes the ticket on
+    /// success — the result lives in a take-once slot, so an `&self` probe
+    /// would let a successful poll strand a later `wait()` forever.
+    pub fn try_take(self) -> Result<QueryResult, Ticket> {
+        let taken = self.state.slot.lock().take();
+        match taken {
+            Some(r) => Ok(r),
+            None => Err(self),
+        }
+    }
+
+    /// Whether the result is ready (does not consume it).
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+}

@@ -1,0 +1,375 @@
+//! Integration tests for the serving layer: correctness of every query type
+//! against direct engine calls, admission-control behaviour, per-query
+//! traffic attribution, and a concurrent-clients stress run.
+
+use sage_core::algo;
+use sage_graph::{gen, Graph, NONE_V, V};
+use sage_nvram::Meter;
+use sage_serve::{GraphService, Query, Response, ServiceConfig};
+use std::sync::Arc;
+
+fn test_graph() -> sage_graph::Csr {
+    gen::rmat(10, 8, gen::RmatParams::default(), 42)
+}
+
+/// Reachable set of a BFS parent array.
+fn visited(parents: &[V]) -> Vec<bool> {
+    parents.iter().map(|&p| p != NONE_V).collect()
+}
+
+#[test]
+fn bfs_query_matches_direct_run() {
+    let g = test_graph();
+    let expect = visited(&algo::bfs::bfs(&g, 3));
+    let service = GraphService::start(g, ServiceConfig::default());
+    let r = service.query(Query::Bfs { src: 3 });
+    match r.response {
+        Response::Bfs { parents, reached } => {
+            // Parent choice is nondeterministic; the reachable set is not.
+            assert_eq!(visited(&parents), expect);
+            assert_eq!(reached, expect.iter().filter(|&&b| b).count());
+            assert_eq!(parents[3], 3, "source is its own parent");
+        }
+        other => panic!("wrong response variant: {other:?}"),
+    }
+    assert_eq!(r.traffic.graph_write, 0);
+    assert!(r.traffic.graph_read > 0);
+}
+
+#[test]
+fn pagerank_query_matches_direct_run() {
+    let g = test_graph();
+    let direct = algo::pagerank::pagerank(&g, 1e-6, 20);
+    let service = GraphService::start(g, ServiceConfig::default());
+    let r = service.query(Query::PageRank {
+        iters: 20,
+        vertices: vec![0, 7, 99],
+    });
+    match r.response {
+        Response::PageRank { ranks, iterations } => {
+            assert_eq!(iterations, direct.iterations);
+            for (v, rank) in ranks {
+                assert!(
+                    (rank - direct.ranks[v as usize]).abs() < 1e-12,
+                    "rank mismatch at {v}"
+                );
+            }
+        }
+        other => panic!("wrong response variant: {other:?}"),
+    }
+    assert_eq!(r.traffic.graph_write, 0);
+}
+
+#[test]
+fn kcore_and_connectivity_queries_match() {
+    let g = test_graph();
+    let kc = algo::kcore::kcore(&g);
+    let labels = algo::connectivity::connectivity(&g, 0.2, 1);
+    let comps = algo::connectivity::num_components(&labels);
+    let service = GraphService::start(g, ServiceConfig::default());
+
+    let r = service.query(Query::KCore {
+        vertices: vec![1, 2, 500],
+    });
+    match r.response {
+        Response::KCore { coreness, kmax } => {
+            assert_eq!(kmax, kc.kmax);
+            for (v, c) in coreness {
+                assert_eq!(c, kc.coreness[v as usize], "coreness mismatch at {v}");
+            }
+        }
+        other => panic!("wrong response variant: {other:?}"),
+    }
+
+    let r = service.query(Query::Connected { u: 4, v: 9 });
+    match r.response {
+        Response::Connected {
+            connected,
+            components,
+        } => {
+            assert_eq!(connected, labels[4] == labels[9]);
+            assert_eq!(components, comps);
+        }
+        other => panic!("wrong response variant: {other:?}"),
+    }
+}
+
+#[test]
+fn neighborhood_queries_match_adjacency() {
+    let g = test_graph();
+    let mut one_hop: Vec<V> = Vec::new();
+    g.for_each_edge(5, |d, _| one_hop.push(d));
+    let mut two_hop = one_hop.clone();
+    for &u in &one_hop.clone() {
+        g.for_each_edge(u, |d, _| two_hop.push(d));
+    }
+    for set in [&mut one_hop, &mut two_hop] {
+        set.sort_unstable();
+        set.dedup();
+        set.retain(|&v| v != 5);
+    }
+    let service = GraphService::start(g, ServiceConfig::default());
+    match service
+        .query(Query::Neighborhood { src: 5, hops: 1 })
+        .response
+    {
+        Response::Neighborhood { vertices } => assert_eq!(vertices, one_hop),
+        other => panic!("wrong response variant: {other:?}"),
+    }
+    match service
+        .query(Query::Neighborhood { src: 5, hops: 2 })
+        .response
+    {
+        Response::Neighborhood { vertices } => assert_eq!(vertices, two_hop),
+        other => panic!("wrong response variant: {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_query_panics_at_submit() {
+    let service = GraphService::start(gen::path(10), ServiceConfig::default());
+    let _ = service.submit(Query::Bfs { src: 1000 });
+}
+
+#[test]
+fn tiny_dram_budget_serializes_queries() {
+    let g = test_graph();
+    let n = g.num_vertices();
+    // Budget below two BFS estimates: peak concurrency must stay at 1 even
+    // with 4 workers and a deep backlog.
+    let service = GraphService::start(
+        g,
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            dram_budget_bytes: sage_serve::dram_estimate(n, &Query::Bfs { src: 0 }) + 1,
+        },
+    );
+    let tickets: Vec<_> = (0..16)
+        .map(|i| service.submit(Query::Bfs { src: i % 50 }))
+        .collect();
+    for t in tickets {
+        let r = t.wait();
+        assert_eq!(r.traffic.graph_write, 0);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(
+        stats.peak_inflight, 1,
+        "budget must have serialized execution"
+    );
+}
+
+#[test]
+fn oversized_query_still_runs_alone() {
+    let g = test_graph();
+    // Budget far below any single estimate: grants clamp, queries proceed.
+    let service = GraphService::start(
+        g,
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            dram_budget_bytes: 1024,
+        },
+    );
+    let r = service.query(Query::KCore { vertices: vec![0] });
+    assert_eq!(r.traffic.graph_write, 0);
+}
+
+/// The acceptance-shaped stress run: ≥ 64 mixed queries from ≥ 4 client
+/// threads over one shared snapshot; every per-query snapshot clean and the
+/// per-query sums reconcile with (stay within) the global meter delta.
+#[test]
+fn concurrent_mixed_clients_attribute_traffic_per_query() {
+    let g = test_graph();
+    let kc_kmax = algo::kcore::kcore(&g).kmax;
+    // Query sources must have outgoing edges, or a BFS legitimately reads
+    // nothing from the graph.
+    let live: Arc<Vec<V>> = Arc::new(
+        (0..g.num_vertices() as V)
+            .filter(|&v| g.degree(v) > 0)
+            .collect(),
+    );
+    assert!(live.len() >= 100);
+    let global_before = Meter::global().snapshot();
+    let service = Arc::new(GraphService::start(g, ServiceConfig::default()));
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let live = Arc::clone(&live);
+            std::thread::spawn(move || {
+                let pick = |k: u32| live[(k as usize) % live.len()];
+                let mut results = Vec::new();
+                for i in 0..16u32 {
+                    let q = match (c + i) % 5 {
+                        0 => Query::Bfs { src: pick(i * 13) },
+                        1 => Query::PageRank {
+                            iters: 5,
+                            vertices: vec![pick(i)],
+                        },
+                        2 => Query::KCore {
+                            vertices: vec![pick(i * 7)],
+                        },
+                        3 => Query::Connected {
+                            u: pick(i),
+                            v: pick(i * 31),
+                        },
+                        _ => Query::Neighborhood {
+                            src: pick(i),
+                            hops: 1 + (i % 2) as u8,
+                        },
+                    };
+                    results.push((q.label(), service.query(q)));
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    for c in clients {
+        all.extend(c.join().unwrap());
+    }
+    assert_eq!(all.len(), 64);
+
+    let mut per_query_sum = sage_nvram::MeterSnapshot::default();
+    for (label, r) in &all {
+        assert_eq!(
+            r.traffic.graph_write, 0,
+            "{label} query #{} wrote to the graph",
+            r.id
+        );
+        if matches!(label, &"bfs" | &"kcore" | &"connected" | &"pagerank") {
+            assert!(
+                r.traffic.graph_read > 0,
+                "{label} query #{} read nothing from the graph",
+                r.id
+            );
+        }
+        if matches!(label, &"bfs" | &"kcore" | &"connected") {
+            assert!(r.traffic.aux_write > 0, "{label} wrote no DRAM state");
+        }
+        if label == &"kcore" {
+            match &r.response {
+                Response::KCore { kmax, .. } => assert_eq!(*kmax, kc_kmax),
+                other => panic!("wrong response variant: {other:?}"),
+            }
+        }
+        per_query_sum = per_query_sum.plus(&r.traffic);
+    }
+
+    // Reconciliation: every scoped word also landed on the global meter, so
+    // the per-query sum is bounded by the global delta (other tests in this
+    // process may add unscoped traffic on top; exact equality is asserted in
+    // the single-process example/demo).
+    let global_delta = Meter::global().snapshot().since(&global_before);
+    for (sum, delta, class) in [
+        (
+            per_query_sum.graph_read,
+            global_delta.graph_read,
+            "graph_read",
+        ),
+        (per_query_sum.aux_read, global_delta.aux_read, "aux_read"),
+        (per_query_sum.aux_write, global_delta.aux_write, "aux_write"),
+    ] {
+        assert!(
+            sum <= delta,
+            "scoped {class} sum {sum} exceeds global delta {delta}"
+        );
+    }
+    assert!(per_query_sum.graph_read > 0);
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 64);
+    assert!(stats.peak_inflight >= 1);
+    assert!(
+        stats.peak_inflight <= 4,
+        "peak inflight {} exceeds worker count",
+        stats.peak_inflight
+    );
+}
+
+/// A graph wrapper that panics when vertex 13's edges are requested — used
+/// to prove the serving worker contains engine panics.
+struct PanickyGraph(sage_graph::Csr);
+
+impl Graph for PanickyGraph {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+    fn degree(&self, v: V) -> usize {
+        self.0.degree(v)
+    }
+    fn is_weighted(&self) -> bool {
+        self.0.is_weighted()
+    }
+    fn is_symmetric(&self) -> bool {
+        self.0.is_symmetric()
+    }
+    fn block_size(&self) -> usize {
+        self.0.block_size()
+    }
+    fn for_each_edge<F: FnMut(V, u32)>(&self, v: V, f: F) {
+        assert!(v != 13, "injected engine panic");
+        self.0.for_each_edge(v, f)
+    }
+    fn for_each_edge_while<F: FnMut(V, u32) -> bool>(&self, v: V, f: F) {
+        self.0.for_each_edge_while(v, f)
+    }
+    fn decode_block<F: FnMut(u32, V, u32)>(&self, v: V, blk: usize, f: F) {
+        self.0.decode_block(v, blk, f)
+    }
+    fn supports_random_access(&self) -> bool {
+        self.0.supports_random_access()
+    }
+    fn edge_at(&self, v: V, i: usize) -> (V, u32) {
+        self.0.edge_at(v, i)
+    }
+}
+
+#[test]
+fn query_panic_is_contained_and_worker_survives() {
+    let service = GraphService::start(
+        PanickyGraph(test_graph()),
+        ServiceConfig {
+            workers: 1, // one worker: it must survive to serve the follow-up
+            queue_capacity: 8,
+            dram_budget_bytes: 0,
+        },
+    );
+    let r = service.query(Query::Neighborhood { src: 13, hops: 1 });
+    match r.response {
+        Response::Failed { reason } => assert!(reason.contains("injected engine panic")),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    // The same (sole) worker must still serve subsequent queries.
+    let r = service.query(Query::Neighborhood { src: 5, hops: 1 });
+    assert!(matches!(r.response, Response::Neighborhood { .. }));
+    assert_eq!(service.stats().completed, 2);
+}
+
+#[test]
+fn drop_drains_accepted_requests() {
+    let g = test_graph();
+    let service = GraphService::start(
+        g,
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            dram_budget_bytes: 0,
+        },
+    );
+    let tickets: Vec<_> = (0..8)
+        .map(|i| service.submit(Query::Bfs { src: i }))
+        .collect();
+    drop(service); // close + drain + join
+    for t in tickets {
+        let r = t.wait(); // must all have been fulfilled
+        assert_eq!(r.traffic.graph_write, 0);
+    }
+}

@@ -12,6 +12,7 @@
 //! | memory | [`nvram`] | read-only mappings, the PSAM [`Meter`], Memory-Mode cache |
 //! | graph | [`graph`] | [`Csr`], [`CompressedCsr`], generators, binary I/O |
 //! | engine | [`core`] | [`edge_map`], graphFilter, bucketing, the 18 [`algo`]s |
+//! | serving | [`serve`] | [`GraphService`]: concurrent queries over one snapshot |
 //! | comparison | [`baselines`] | GBBS-, Galois-, GridGraph-style comparators |
 //!
 //! # Quickstart
@@ -41,6 +42,9 @@ pub use sage_core as core;
 /// Comparator systems used by the evaluation harness (`sage-baselines`).
 pub use sage_baselines as baselines;
 
+/// Concurrent multi-query serving over one shared graph (`sage-serve`).
+pub use sage_serve as serve;
+
 /// The 18 graph algorithms of the paper's Table 1.
 pub use sage_core::algo;
 
@@ -48,9 +52,10 @@ pub use sage_core::algo;
 pub use sage_graph::gen;
 
 pub use sage_core::{
-    edge_map, EdgeMapFn, EdgeMapOpts, GraphFilter, SparseImpl, Strategy, VertexSubset,
+    edge_map, EdgeMapFn, EdgeMapOpts, GraphFilter, QueryArena, SparseImpl, Strategy, VertexSubset,
 };
 pub use sage_graph::{
     build_csr, BuildOptions, CompressedCsr, Csr, EdgeList, Graph, Storage, NONE_V, V,
 };
-pub use sage_nvram::{CostModel, MemConfig, Meter, MeterSnapshot, NvRegion, NvSlice};
+pub use sage_nvram::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot, NvRegion, NvSlice};
+pub use sage_serve::{GraphService, Query, QueryResult, Response, ServiceConfig, Ticket};
