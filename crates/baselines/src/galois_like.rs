@@ -1,4 +1,5 @@
-//! Galois-style baseline (Gill et al. [43], §5.5 / Figure 1).
+//! Galois-style baseline (Gill et al., citation 43 of the paper; §5.5 /
+//! Figure 1).
 //!
 //! Gill et al. run operator-formulation ("vertex-centric") codes over NVRAM
 //! in Memory Mode. We reproduce the algorithmic shape their five reported

@@ -4,12 +4,13 @@
 //! The paper measures Sage against three families of systems; each is
 //! re-implemented here at the level of fidelity the comparison needs:
 //!
-//! * [`gbbs`] — the DRAM-oriented GBBS codes [37]: traversal via
+//! * [`gbbs`] — the DRAM-oriented GBBS codes (citation 37 of the paper):
+//!   traversal via
 //!   `edgeMapBlocked`, and — crucially — edge "deletions" performed by
 //!   *mutating the graph in place*, which under NVRAM placement turns into
 //!   ω-cost graph writes (the `GBBS Work` column of Table 1).
 //! * [`galois_like`] — operator-formulation codes in the style of Gill et
-//!   al. [43]: push-only, no direction optimization, label-propagation
+//!   al. (citation 43): push-only, no direction optimization, label-propagation
 //!   connectivity; the five problems their paper reports.
 //! * [`semi_external`] — a GridGraph-style 2-D grid edge-streaming engine
 //!   over an on-disk binary file (Table 3's semi-external comparison).

@@ -1,0 +1,59 @@
+//! CI perf-regression gate: compare a fresh `SAGE_BENCH_JSON` report against
+//! a committed baseline.
+//!
+//! ```text
+//! bench_diff <fresh.json> <baseline.json>
+//! ```
+//!
+//! Exits non-zero when any gate in [`sage_bench::diff`] fails: >30%
+//! wall-time regression on records above the noise floor, >10% `graph_write`
+//! regression (zero-baseline records must stay at zero), or a `serve-batch`
+//! report whose batched qps is below 2× its unbatched qps. CI runs this
+//! after the smoke benches:
+//!
+//! ```text
+//! cargo run --release -p sage-bench --bin bench_diff -- \
+//!     BENCH_SCALE8.json bench/baselines/BENCH_SCALE8.json
+//! ```
+//!
+//! Baselines live under `bench/baselines/` and are refreshed by re-running
+//! the smoke benches and committing the new JSON alongside the change that
+//! legitimately moved the numbers.
+
+use sage_bench::diff::{diff_reports, parse_report, DiffConfig};
+
+fn load(path: &str) -> sage_bench::diff::Report {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <fresh.json> <baseline.json>");
+        std::process::exit(2);
+    };
+    let fresh = load(fresh_path);
+    let baseline = load(baseline_path);
+    println!(
+        "bench_diff: {fresh_path} ({} records) vs {baseline_path} ({} records)",
+        fresh.records.len(),
+        baseline.records.len()
+    );
+    let failures = diff_reports(&fresh, &baseline, &DiffConfig::from_env());
+    if failures.is_empty() {
+        println!("bench_diff: PASS");
+    } else {
+        eprintln!("bench_diff: FAIL — {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  * {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,8 +1,9 @@
 //! Published-statistics catalog for the Figure 2 experiment.
 //!
 //! Figure 2 plots the number of vertices against the average degree of 42
-//! real-world graphs with more than one million vertices from the SNAP [57]
-//! and LAW [23] collections, observing that over 90% have average degree at
+//! real-world graphs with more than one million vertices from the SNAP
+//! (citation 57 of the paper) and LAW (citation 23) collections,
+//! observing that over 90% have average degree at
 //! least 10. We cannot redistribute the datasets, but the figure needs only
 //! their *published* sizes; this catalog curates those statistics (vertex and
 //! edge counts as published by the collections; LAW counts are arcs, SNAP

@@ -1,0 +1,590 @@
+//! Bench-report regression diffing: the logic behind the `bench_diff`
+//! binary, CI's perf gate.
+//!
+//! A fresh `SAGE_BENCH_JSON` report (see [`crate::report`]) is compared
+//! against a committed baseline under `bench/baselines/`. The gate fails
+//! when, for any `(experiment, name)` record present in both reports:
+//!
+//! * **wall time** regresses by more than 30% *and* the baseline time is
+//!   above a noise floor (default 50 ms — sub-millisecond records at smoke
+//!   scale are pure scheduler noise), or
+//! * **`graph_write` traffic** regresses by more than 10% (a zero baseline
+//!   means *any* fresh graph write fails — the Sage zero-NVRAM-write
+//!   invariant is machine-independent and exact).
+//!
+//! Repeated records with the same key (experiments re-time a problem several
+//! times) are folded to best-of wall time and worst-of graph writes before
+//! comparison. Additionally, when the fresh report carries the `serve-batch`
+//! experiment, batched qps must be at least 2× unbatched qps — the
+//! within-run speedup contract of batched execution, deliberately compared
+//! inside one report so machine speed cancels out.
+//!
+//! Environment knobs (for local experimentation, not CI):
+//! `SAGE_BENCH_DIFF_MIN_SECONDS`, `SAGE_BENCH_DIFF_MAX_WALL_REGRESSION`
+//! (fraction, default `0.30`).
+
+use std::collections::BTreeMap;
+
+/// Wall-time regressions on records faster than this are ignored (noise).
+pub const DEFAULT_MIN_SECONDS: f64 = 0.05;
+/// Allowed fractional wall-time regression.
+pub const DEFAULT_MAX_WALL_REGRESSION: f64 = 0.30;
+/// Allowed fractional `graph_write` regression.
+pub const MAX_GRAPH_WRITE_REGRESSION: f64 = 0.10;
+/// Required batched/unbatched qps ratio in the `serve-batch` experiment.
+pub const MIN_BATCH_SPEEDUP: f64 = 2.0;
+
+/// One parsed bench record (the fields the gate cares about).
+#[derive(Clone, Debug)]
+pub struct DiffRecord {
+    /// Experiment label.
+    pub experiment: String,
+    /// Problem / step name.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// NVRAM graph writes (words).
+    pub graph_write: u64,
+    /// Queries per second, for throughput records.
+    pub qps: Option<f64>,
+}
+
+/// A parsed report: scale/threads plus its records.
+#[derive(Debug)]
+pub struct Report {
+    /// `SAGE_SCALE` the report was produced at.
+    pub scale: u64,
+    /// Worker threads the report was produced with.
+    pub threads: u64,
+    /// All records, in file order.
+    pub records: Vec<DiffRecord>,
+}
+
+// --- minimal JSON parsing (the container has no serde) -------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.at)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.at += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.at += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parse a `SAGE_BENCH_JSON` document into a [`Report`].
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    let num = |key: &str| root.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let records = match root.get("records") {
+        Some(Json::Array(items)) => items,
+        _ => return Err("report has no records array".to_string()),
+    };
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        out.push(DiffRecord {
+            experiment: r
+                .get("experiment")
+                .and_then(Json::as_str)
+                .unwrap_or("-")
+                .to_string(),
+            name: r
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            seconds: r.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            graph_write: r.get("graph_write").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            qps: r.get("qps").and_then(Json::as_f64),
+        });
+    }
+    Ok(Report {
+        scale: num("scale"),
+        threads: num("threads"),
+        records: out,
+    })
+}
+
+/// Best-of/worst-of fold of repeated `(experiment, name)` records.
+fn fold(records: &[DiffRecord]) -> BTreeMap<(String, String), DiffRecord> {
+    let mut map: BTreeMap<(String, String), DiffRecord> = BTreeMap::new();
+    for r in records {
+        map.entry((r.experiment.clone(), r.name.clone()))
+            .and_modify(|e| {
+                e.seconds = e.seconds.min(r.seconds);
+                e.graph_write = e.graph_write.max(r.graph_write);
+                e.qps = match (e.qps, r.qps) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            })
+            .or_insert_with(|| r.clone());
+    }
+    map
+}
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Wall-time noise floor in seconds.
+    pub min_seconds: f64,
+    /// Allowed fractional wall-time regression.
+    pub max_wall_regression: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            min_seconds: DEFAULT_MIN_SECONDS,
+            max_wall_regression: DEFAULT_MAX_WALL_REGRESSION,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// Defaults overridden by `SAGE_BENCH_DIFF_*` environment variables.
+    pub fn from_env() -> Self {
+        let get = |key: &str, fallback: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(fallback)
+        };
+        Self {
+            min_seconds: get("SAGE_BENCH_DIFF_MIN_SECONDS", DEFAULT_MIN_SECONDS),
+            max_wall_regression: get(
+                "SAGE_BENCH_DIFF_MAX_WALL_REGRESSION",
+                DEFAULT_MAX_WALL_REGRESSION,
+            ),
+        }
+    }
+}
+
+/// Compare a fresh report against a baseline. Returns the list of failures
+/// (empty = gate passes); informational lines go to stdout.
+pub fn diff_reports(fresh: &Report, baseline: &Report, config: &DiffConfig) -> Vec<String> {
+    let mut failures = Vec::new();
+    if fresh.scale != baseline.scale {
+        failures.push(format!(
+            "scale mismatch: fresh 2^{} vs baseline 2^{} — regenerate the baseline",
+            fresh.scale, baseline.scale
+        ));
+        return failures;
+    }
+    if fresh.threads != baseline.threads {
+        failures.push(format!(
+            "thread-count mismatch: fresh {} vs baseline {} — wall times are not \
+             comparable; regenerate the baseline with the CI thread count",
+            fresh.threads, baseline.threads
+        ));
+        return failures;
+    }
+    let fresh_map = fold(&fresh.records);
+    let base_map = fold(&baseline.records);
+    let mut compared = 0usize;
+    let mut wall_checked = 0usize;
+    for (key, base) in &base_map {
+        let Some(new) = fresh_map.get(key) else {
+            println!("  note: {}/{} present in baseline only", key.0, key.1);
+            continue;
+        };
+        compared += 1;
+        // graph_write gate: exact and machine-independent.
+        let write_limit = (base.graph_write as f64 * (1.0 + MAX_GRAPH_WRITE_REGRESSION)) as u64;
+        if new.graph_write > write_limit {
+            failures.push(format!(
+                "{}/{}: graph_write regressed {} -> {} (limit {})",
+                key.0, key.1, base.graph_write, new.graph_write, write_limit
+            ));
+        }
+        // wall gate: only above the noise floor.
+        if base.seconds >= config.min_seconds {
+            wall_checked += 1;
+            let limit = base.seconds * (1.0 + config.max_wall_regression);
+            if new.seconds > limit {
+                failures.push(format!(
+                    "{}/{}: wall time regressed {:.4}s -> {:.4}s (limit {:.4}s, +{:.0}%)",
+                    key.0,
+                    key.1,
+                    base.seconds,
+                    new.seconds,
+                    limit,
+                    config.max_wall_regression * 100.0
+                ));
+            }
+        }
+    }
+    println!(
+        "  compared {compared} records ({wall_checked} above the {:.0} ms wall floor)",
+        config.min_seconds * 1e3
+    );
+    failures.extend(check_batch_speedup(&fresh_map));
+    failures
+}
+
+/// Within-run serve-batch contract: batched qps ≥ 2× unbatched qps.
+fn check_batch_speedup(fresh: &BTreeMap<(String, String), DiffRecord>) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .get(&("serve-batch".to_string(), name.to_string()))
+            .and_then(|r| r.qps)
+    };
+    match (get("batched"), get("unbatched")) {
+        (Some(batched), Some(unbatched)) => {
+            let ratio = batched / unbatched.max(1e-9);
+            println!(
+                "  serve-batch: batched {batched:.1} qps vs unbatched {unbatched:.1} qps \
+                 ({ratio:.2}x, gate >= {MIN_BATCH_SPEEDUP:.1}x)"
+            );
+            if ratio < MIN_BATCH_SPEEDUP {
+                vec![format!(
+                    "serve-batch: batched qps is only {ratio:.2}x unbatched \
+                     (required >= {MIN_BATCH_SPEEDUP:.1}x)"
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(records: &[(&str, &str, f64, u64, Option<f64>)]) -> Report {
+        Report {
+            scale: 8,
+            threads: 2,
+            records: records
+                .iter()
+                .map(|&(e, n, s, w, q)| DiffRecord {
+                    experiment: e.to_string(),
+                    name: n.to_string(),
+                    seconds: s,
+                    graph_write: w,
+                    qps: q,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_writers_output() {
+        crate::report::set_experiment("diff-unit-test");
+        crate::report::record("BFS", 0.5, sage_nvram::MeterSnapshot::default());
+        crate::report::record_latency(
+            "batched",
+            0.25,
+            sage_nvram::MeterSnapshot::default(),
+            crate::report::LatencyStats {
+                queries: 64,
+                clients: 4,
+                qps: 256.0,
+                p50: 0.001,
+                p99: 0.004,
+            },
+        );
+        let text = crate::report::to_json(8, 2);
+        let parsed = parse_report(&text).expect("writer output must round-trip");
+        assert_eq!(parsed.scale, 8);
+        assert_eq!(parsed.threads, 2);
+        let r = parsed
+            .records
+            .iter()
+            .find(|r| r.experiment == "diff-unit-test" && r.name == "BFS")
+            .expect("BFS record");
+        assert!((r.seconds - 0.5).abs() < 1e-9);
+        let l = parsed
+            .records
+            .iter()
+            .find(|r| r.experiment == "diff-unit-test" && r.name == "batched")
+            .expect("latency record");
+        assert_eq!(l.qps, Some(256.0));
+    }
+
+    #[test]
+    fn passes_when_identical() {
+        let base = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        let fresh = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        assert!(diff_reports(&fresh, &base, &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn fails_on_wall_regression_above_floor() {
+        let base = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        let fresh = report(&[("fig1", "BFS", 0.3, 0, None)]);
+        let fails = diff_reports(&fresh, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("wall time regressed"));
+    }
+
+    #[test]
+    fn ignores_wall_noise_below_floor() {
+        let base = report(&[("fig1", "BFS", 0.001, 0, None)]);
+        let fresh = report(&[("fig1", "BFS", 0.040, 0, None)]); // 40x but tiny
+        assert!(diff_reports(&fresh, &base, &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_write_baseline_rejects_any_write() {
+        let base = report(&[("table1", "BFS", 0.0001, 0, None)]);
+        let fresh = report(&[("table1", "BFS", 0.0001, 1, None)]);
+        let fails = diff_reports(&fresh, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("graph_write"));
+    }
+
+    #[test]
+    fn graph_write_tolerates_ten_percent() {
+        let base = report(&[("fig7", "MM", 0.0001, 1000, None)]);
+        let ok = report(&[("fig7", "MM", 0.0001, 1100, None)]);
+        let bad = report(&[("fig7", "MM", 0.0001, 1101, None)]);
+        assert!(diff_reports(&ok, &base, &DiffConfig::default()).is_empty());
+        assert_eq!(diff_reports(&bad, &base, &DiffConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn repeated_records_fold_to_best_wall_time() {
+        let base = report(&[("fig6", "BFS", 0.2, 0, None)]);
+        // Three timed repeats; the best one is within bounds.
+        let fresh = report(&[
+            ("fig6", "BFS", 0.9, 0, None),
+            ("fig6", "BFS", 0.21, 0, None),
+            ("fig6", "BFS", 0.5, 0, None),
+        ]);
+        assert!(diff_reports(&fresh, &base, &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn batch_speedup_gate() {
+        let base = report(&[]);
+        let good = report(&[
+            ("serve-batch", "unbatched", 0.2, 0, Some(100.0)),
+            ("serve-batch", "batched", 0.1, 0, Some(900.0)),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = report(&[
+            ("serve-batch", "unbatched", 0.2, 0, Some(100.0)),
+            ("serve-batch", "batched", 0.1, 0, Some(150.0)),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("serve-batch"));
+    }
+
+    #[test]
+    fn scale_mismatch_is_refused() {
+        let mut base = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        base.scale = 10;
+        let fresh = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        let fails = diff_reports(&fresh, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn thread_count_mismatch_is_refused() {
+        // A baseline generated at a different thread count would make every
+        // wall comparison meaningless — refuse rather than mis-gate.
+        let mut base = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        base.threads = 16;
+        let fresh = report(&[("fig1", "BFS", 0.2, 0, None)]);
+        let fails = diff_reports(&fresh, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("thread-count mismatch"));
+    }
+}

@@ -705,6 +705,122 @@ pub fn serve() {
     );
 }
 
+/// Batched vs unbatched point-query serving: the same BFS-point-query
+/// backlog is pushed through a batching [`sage_serve::GraphService`]
+/// (`max_batch` = 32, so up to 32 sources share one bit-parallel MS-BFS
+/// traversal) and through a batching-disabled one, and both sides report
+/// qps/p50/p99 as schema-v2 records (`batched` / `unbatched`). The CI
+/// regression gate (`bench_diff`) asserts batched qps ≥ 2× unbatched.
+pub fn serve_batch() {
+    use sage_serve::{BatchPolicy, GraphService, Query, ServiceConfig, Ticket};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    crate::report::set_experiment("serve-batch");
+    let scale = Suite::base_scale();
+    let clients = 4usize;
+    let per_client = 64usize;
+    let batch_size = 32usize;
+    println!(
+        "\n== serve-batch: rmat-2^{scale}, {clients} clients x {per_client} BFS point queries, \
+         batch size {batch_size} vs unbatched =="
+    );
+
+    let mut qps = Vec::new();
+    for (name, max_batch) in [("unbatched", 1usize), ("batched", batch_size)] {
+        // Same seed → the identical snapshot for both configurations.
+        let csr = sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E);
+        let n = csr.num_vertices();
+        let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| csr.degree(v) > 0).collect());
+        let service = Arc::new(GraphService::start(
+            csr,
+            ServiceConfig {
+                queue_capacity: clients * per_client,
+                batch: BatchPolicy {
+                    max_batch,
+                    max_linger: Duration::from_micros(200),
+                },
+                ..Default::default()
+            },
+        ));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    // Submit the whole backlog first (an open-loop client),
+                    // so the scheduler has material to form batches from,
+                    // then redeem in order; latency = submit → completion.
+                    let pick = |k: usize| live[k % live.len()];
+                    let submitted: Vec<(Instant, Ticket)> = (0..per_client)
+                        .map(|i| {
+                            let q = Query::Bfs {
+                                src: pick(c * 131 + i * 13),
+                            };
+                            (Instant::now(), service.submit(q))
+                        })
+                        .collect();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut traffic = sage_nvram::MeterSnapshot::default();
+                    for (at, ticket) in submitted {
+                        let r = ticket.wait();
+                        latencies.push(at.elapsed().as_secs_f64());
+                        assert_eq!(r.traffic.graph_write, 0, "NVRAM write in a served query");
+                        traffic = traffic.plus(&r.traffic);
+                    }
+                    (latencies, traffic)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        let mut traffic = sage_nvram::MeterSnapshot::default();
+        for h in handles {
+            let (l, t) = h.join().expect("client thread");
+            latencies.extend(l);
+            traffic = traffic.plus(&t);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let stats = crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed);
+        crate::report::record_latency(name, elapsed, traffic, stats);
+        let svc = service.stats();
+        print_table(
+            &format!("serve-batch: {name}"),
+            &[
+                "queries",
+                "qps",
+                "p50 ms",
+                "p99 ms",
+                "engine runs",
+                "largest batch",
+            ],
+            &[(
+                name.to_string(),
+                vec![
+                    format!("{}", stats.queries),
+                    format!("{:.1}", stats.qps),
+                    format!("{:.3}", stats.p50 * 1e3),
+                    format!("{:.3}", stats.p99 * 1e3),
+                    format!("{}", svc.batches),
+                    format!("{}", svc.peak_batch),
+                ],
+            )],
+        );
+        if max_batch > 1 {
+            assert!(
+                svc.peak_batch > 1,
+                "backlogged workload formed no batches (peak {})",
+                svc.peak_batch
+            );
+        }
+        qps.push(stats.qps);
+    }
+    println!(
+        "batched/unbatched qps ratio: {:.2}x (gate: >= 2x, enforced by bench_diff)",
+        qps[1] / qps[0].max(1e-9)
+    );
+}
+
 /// Run everything (the `all` subcommand).
 pub fn all() {
     table2();

@@ -3,6 +3,7 @@
 //! suite (Table 2 substitutes), problem runners, and table formatting.
 
 pub mod catalog;
+pub mod diff;
 pub mod experiments;
 pub mod report;
 pub mod suite;

@@ -1,16 +1,22 @@
 //! Experiment harness CLI: regenerate every table and figure of the paper.
 //!
 //! ```text
-//! sage-bench <experiment> [SAGE_SCALE=17] [SAGE_THREADS=N]
-//!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa serve all
+//! sage-bench <experiment>... [SAGE_SCALE=17] [SAGE_THREADS=N]
+//!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa
+//!   serve serve-batch all
 //! ```
 //!
-//! `serve` is the multi-query serving throughput/latency experiment (not a
-//! paper figure); its JSON records carry the schema-v2 p50/p99/qps fields.
+//! Several experiments may be named in one invocation; they run in order and
+//! share one JSON report. `serve` is the multi-query serving
+//! throughput/latency experiment and `serve-batch` the batched-vs-unbatched
+//! point-query comparison (neither is a paper figure); their JSON records
+//! carry the schema-v2 p50/p99/qps fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
-//! which is how CI tracks the perf trajectory across PRs (`BENCH_*.json`).
+//! which is how CI tracks the perf trajectory across PRs (`BENCH_*.json`):
+//! the `bench_diff` binary compares a fresh report against the committed
+//! baselines under `bench/baselines/` and fails CI on regressions.
 
 use sage_nvram::alloc_track::TrackingAlloc;
 
@@ -20,29 +26,39 @@ use sage_nvram::alloc_track::TrackingAlloc;
 static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args
+    };
     println!(
         "sage-bench: scale=2^{} threads={} (override with SAGE_SCALE / SAGE_THREADS)",
         sage_bench::Suite::base_scale(),
         sage_parallel::num_threads()
     );
-    match arg.as_str() {
-        "fig1" => sage_bench::experiments::fig1(),
-        "fig2" => sage_bench::experiments::fig2(),
-        "fig6" => sage_bench::experiments::fig6(),
-        "fig7" => sage_bench::experiments::fig7(),
-        "table1" => sage_bench::experiments::table1(),
-        "table2" => sage_bench::experiments::table2(),
-        "table3" => sage_bench::experiments::table3(),
-        "table4" => sage_bench::experiments::table4(),
-        "table5" => sage_bench::experiments::table5(),
-        "numa" => sage_bench::experiments::numa(),
-        "serve" => sage_bench::experiments::serve(),
-        "all" => sage_bench::experiments::all(),
-        other => {
-            eprintln!("unknown experiment {other:?}");
-            eprintln!("choose one of: fig1 fig2 fig6 fig7 table1..table5 numa serve all");
-            std::process::exit(2);
+    for arg in &args {
+        match arg.as_str() {
+            "fig1" => sage_bench::experiments::fig1(),
+            "fig2" => sage_bench::experiments::fig2(),
+            "fig6" => sage_bench::experiments::fig6(),
+            "fig7" => sage_bench::experiments::fig7(),
+            "table1" => sage_bench::experiments::table1(),
+            "table2" => sage_bench::experiments::table2(),
+            "table3" => sage_bench::experiments::table3(),
+            "table4" => sage_bench::experiments::table4(),
+            "table5" => sage_bench::experiments::table5(),
+            "numa" => sage_bench::experiments::numa(),
+            "serve" => sage_bench::experiments::serve(),
+            "serve-batch" => sage_bench::experiments::serve_batch(),
+            "all" => sage_bench::experiments::all(),
+            other => {
+                eprintln!("unknown experiment {other:?}");
+                eprintln!(
+                    "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch all"
+                );
+                std::process::exit(2);
+            }
         }
     }
     if let Ok(path) = std::env::var("SAGE_BENCH_JSON") {

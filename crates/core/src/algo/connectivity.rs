@@ -1,7 +1,7 @@
-//! Connectivity via LDD + contraction (§4.3.2), after Shun et al. [86].
+//! Connectivity via LDD + contraction (§4.3.2), after Shun et al. \[86\].
 //!
 //! One round of LDD with constant β leaves `O(βm)` inter-cluster edges in
-//! expectation (and `O(n)` for `β = O(1/log n)` by Corollary 3.1 of [69]);
+//! expectation (and `O(n)` for `β = O(1/log n)` by Corollary 3.1 of \[69\]);
 //! the deduplicated inter-cluster graph is built *in small memory* and the
 //! algorithm recurses. `O(m)` expected work, `O(log³ n)` depth whp,
 //! `O(n)` words of small memory (Theorem C.2).

@@ -1,4 +1,4 @@
-//! (2(1+ε))-approximate densest subgraph (§4.3.4), after Charikar [28] /
+//! (2(1+ε))-approximate densest subgraph (§4.3.4), after Charikar \[28\] /
 //! Bahmani et al.
 //!
 //! Repeatedly remove every vertex of induced degree `< 2(1+ε)·ρ(S)`; the

@@ -1,6 +1,6 @@
 //! k-clique counting — the paper's §3.2 extension example: "counting and
 //! enumerating k-cliques, which were very recently studied in the in-memory
-//! setting [82], can be adapted to the PSAM using the filtering technique
+//! setting \[82\], can be adapted to the PSAM using the filtering technique
 //! proposed in this paper."
 //!
 //! The graphFilter orients edges from lower to higher degree-rank (as in

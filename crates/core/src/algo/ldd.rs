@@ -1,4 +1,4 @@
-//! Low-diameter decomposition (§4.3.2) — Miller-Peng-Xu random shifts [70].
+//! Low-diameter decomposition (§4.3.2) — Miller-Peng-Xu random shifts \[70\].
 //!
 //! Each vertex draws a shift `δ_v ~ Exp(β)`; vertex `v` becomes a cluster
 //! center at round `⌊δ_v⌋` if still unclaimed, and clusters grow by parallel

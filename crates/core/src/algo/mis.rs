@@ -1,5 +1,5 @@
 //! Maximal independent set (§4.3.3) — rootset-based parallel greedy
-//! (Blelloch–Fineman–Shun [17]).
+//! (Blelloch–Fineman–Shun \[17\]).
 //!
 //! Vertices carry random priorities; each round every undecided vertex with
 //! no smaller-priority undecided neighbor joins the MIS and knocks its

@@ -4,6 +4,7 @@
 //! | Module | Problem(s) | Technique |
 //! |---|---|---|
 //! | [`bfs`] | Breadth-first search | edgeMapChunked |
+//! | [`msbfs`] | Multi-source BFS (≤64 sources, batched serving) | bit-parallel masks |
 //! | [`wbfs`] | Integral-weight SSSP | chunked + bucketing |
 //! | [`bellman_ford`] | General-weight SSSP | chunked |
 //! | [`widest_path`] | Single-source widest path (2 impls) | chunked (+ bucketing) |
@@ -36,6 +37,7 @@ pub mod ldd;
 pub mod local;
 pub mod maximal_matching;
 pub mod mis;
+pub mod msbfs;
 pub mod pagerank;
 pub mod set_cover;
 pub mod spanner;

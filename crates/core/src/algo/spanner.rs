@@ -1,4 +1,4 @@
-//! O(k)-spanner (§4.3.1) after Miller, Peng, Vladu, Xu [69].
+//! O(k)-spanner (§4.3.1) after Miller, Peng, Vladu, Xu \[69\].
 //!
 //! Run LDD with `β = ln n / (2k)`; the spanner is the union of the LDD BFS
 //! trees and one edge per pair of adjacent clusters. Size `O(n^{1+1/k})`

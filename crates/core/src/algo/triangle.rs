@@ -1,4 +1,4 @@
-//! Triangle counting (§4.3.4) after Shun–Tangwongsan [88].
+//! Triangle counting (§4.3.4) after Shun–Tangwongsan \[88\].
 //!
 //! The graphFilter orients every edge from lower to higher degree-rank
 //! (§4.3.4: "uses the graph filter structure to orient edges in the graph

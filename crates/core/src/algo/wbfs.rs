@@ -1,4 +1,4 @@
-//! Integral-weight SSSP — weighted BFS (§4.3.1), after Julienne [36].
+//! Integral-weight SSSP — weighted BFS (§4.3.1), after Julienne \[36\].
 //!
 //! Vertices are bucketed by tentative distance; the minimum bucket is settled
 //! each round (weights are ≥ 1, so extraction order is final, as in Dial's

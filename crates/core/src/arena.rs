@@ -12,12 +12,12 @@
 //! duration of a closure ([`QueryArena::enter`]) and inherited by every
 //! parallel task forked inside it via the task-context slot
 //! [`sage_parallel::context::SLOT_ARENA`], exactly like the traffic meter's
-//! scope. Engine internals resolve their scratch through [`with_pools`]:
+//! scope. Engine internals resolve their scratch through `with_pools`:
 //! the current arena if one is installed, else the process-wide shared pool
 //! (the pre-arena behaviour, still right for one-shot CLI runs).
 //!
 //! The DRAM budget is preserved per arena: at most `4 × num_threads` chunks
-//! of at most [`CHUNK_RETAIN_CAP`] entries, a handful of `O(n)`-bit flag
+//! of at most `CHUNK_RETAIN_CAP` entries, a handful of `O(n)`-bit flag
 //! buffers, and a few histograms whose dense scratch is `O(n)` words — the
 //! PSAM small-memory discipline, multiplied by the number of *admitted*
 //! queries rather than by an unbounded global high-water mark.

@@ -399,7 +399,7 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
 /// A ready-made [`EdgeMapFn`] for BFS-style "claim the destination once"
 /// traversals over an atomic parent array; reused by several algorithms.
 pub struct ClaimFn<'a> {
-    /// parents[d] == NONE_V means unvisited.
+    /// `parents[d] == NONE_V` means unvisited.
     pub parents: &'a [AtomicU64],
 }
 

@@ -7,7 +7,7 @@
 //! This crate implements the paper's two core techniques and all 18 of its
 //! graph algorithms:
 //!
-//! * [`edge_map`] — graph traversal with direction optimization, including
+//! * [`edge_map()`] — graph traversal with direction optimization, including
 //!   the memory-inefficient `edgeMapSparse`, GBBS's `edgeMapBlocked`, and the
 //!   paper's `O(n)`-memory **`edgeMapChunked`** (§4.1, Algorithm 1);
 //! * [`filter`] — the **graphFilter** (§4.2): a DRAM-resident bit-packed view

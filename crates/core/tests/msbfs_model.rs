@@ -1,0 +1,80 @@
+//! Model-equivalence property test for the bit-parallel multi-source BFS:
+//! on random graphs (directed and symmetrized, with self-loops, duplicate
+//! edges, and duplicate sources), a k-source `msbfs_levels` run must produce
+//! exactly the distances of k independent single-source `bfs_levels` runs —
+//! the bitwise-identity contract the serving layer's batched execution
+//! relies on.
+
+use proptest::prelude::*;
+use sage_core::algo::bfs::bfs_levels;
+use sage_core::algo::msbfs::{msbfs_levels, MAX_SOURCES};
+use sage_graph::{build_csr, BuildOptions, EdgeList, V};
+
+fn check_equivalence(
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    raw_sources: Vec<u32>,
+    symmetrize: bool,
+) -> Result<(), TestCaseError> {
+    let n = n.max(1);
+    let edges: Vec<(V, V)> = edges
+        .into_iter()
+        .map(|(u, v)| ((u as usize % n) as V, (v as usize % n) as V))
+        .collect();
+    let g = build_csr(
+        EdgeList::new(n, edges),
+        BuildOptions {
+            symmetrize,
+            ..Default::default()
+        },
+    );
+    // Strategies always hand in 1..=MAX_SOURCES raw sources.
+    let sources: Vec<V> = raw_sources
+        .into_iter()
+        .take(MAX_SOURCES)
+        .map(|s| (s as usize % n) as V)
+        .collect();
+    prop_assert!(!sources.is_empty());
+
+    let ms = msbfs_levels(&g, &sources);
+    prop_assert_eq!(ms.levels.len(), sources.len());
+    for (i, &s) in sources.iter().enumerate() {
+        let (want, _) = bfs_levels(&g, s);
+        prop_assert_eq!(
+            &ms.levels[i],
+            &want,
+            "source {} (bit {}) diverged from single-source BFS",
+            s,
+            i
+        );
+        let reached = want.iter().filter(|&&l| l != u64::MAX).count();
+        prop_assert_eq!(ms.reached[i], reached, "reach count for source {}", s);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse random graphs, modest source counts.
+    #[test]
+    fn matches_independent_bfs_runs(
+        n in 1usize..120,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+        sources in proptest::collection::vec(any::<u32>(), 1..16),
+        symmetrize in any::<bool>(),
+    ) {
+        check_equivalence(n, edges, sources, symmetrize)?;
+    }
+
+    /// Full 64-source batches — the serving layer's maximum BFS batch — on
+    /// denser symmetric graphs (the paper's evaluation regime).
+    #[test]
+    fn full_batch_matches_independent_bfs_runs(
+        n in 8usize..96,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 50..500),
+        sources in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        check_equivalence(n, edges, sources, true)?;
+    }
+}

@@ -1,4 +1,4 @@
-//! Parallel byte-encoded compressed graphs (Ligra+ [87], §2 / §4.2.1).
+//! Parallel byte-encoded compressed graphs (Ligra+ \[87\], §2 / §4.2.1).
 //!
 //! Each vertex's sorted adjacency list is difference-encoded with
 //! variable-length byte codes and divided into *compression blocks* of

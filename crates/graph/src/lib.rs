@@ -6,7 +6,7 @@
 //! * [`Csr`] — uncompressed compressed-sparse-row, used for the smaller inputs
 //!   (LiveJournal, com-Orkut, Twitter in the paper);
 //! * [`CompressedCsr`] — the parallel byte-encoded compression format of
-//!   Ligra+ [87] with difference-encoded, block-structured adjacency lists,
+//!   Ligra+ \[87\] with difference-encoded, block-structured adjacency lists,
 //!   used for the web-scale inputs (ClueWeb, Hyperlink2014/2012).
 //!
 //! Both implement the closure-based [`Graph`] trait that the Sage engine is

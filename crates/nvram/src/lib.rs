@@ -17,7 +17,7 @@
 //!   GBBS-NVRAM/libvmmalloc) and the Memory-Mode configuration of Figure 1.
 //! * [`memmode`] — a direct-mapped cache simulator reproducing Memory Mode's
 //!   "DRAM as a cache in front of NVRAM" behaviour (§5.1.2) with the 256-byte
-//!   effective NVRAM line size reported by [50].
+//!   effective NVRAM line size reported by \[50\].
 //! * [`alloc_track`] — a global-allocator shim measuring peak DRAM usage for
 //!   the Table 5 experiment.
 

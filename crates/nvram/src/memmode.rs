@@ -4,14 +4,14 @@
 //! the NVRAM for each socket … the DRAM hit rate dominates memory
 //! performance." The simulator models exactly that: a direct-mapped cache of
 //! configurable capacity with 256-byte lines (the effective NVRAM access
-//! granularity reported by Izraelevitz et al. [50]).
+//! granularity reported by Izraelevitz et al. \[50\]).
 //!
 //! It is exercised by the §5.2-style microbenchmark and by Figure 1's
 //! GBBS-MemMode projection, where the harness replays a representative access
 //! trace to estimate the hit rate plugged into
 //! [`crate::meter::MemConfig::MemoryMode`].
 
-/// Default line size: the 256 B effective NVRAM granularity from [50].
+/// Default line size: the 256 B effective NVRAM granularity from \[50\].
 pub const NVRAM_LINE_BYTES: usize = 256;
 
 /// A direct-mapped write-back cache over a byte address space.

@@ -10,7 +10,7 @@
 //! A [`MemConfig`] then decides which physical memory each class maps to, and
 //! a [`CostModel`] prices the accesses: unit-cost DRAM words, `r`-cost NVRAM
 //! reads, `r·ω`-cost NVRAM writes. The defaults (`r = 3`, `ω = 4`) are the
-//! device ratios the paper cites from [50, 96]: NVRAM reads ≈3x slower than
+//! device ratios the paper cites from \[50, 96\]: NVRAM reads ≈3x slower than
 //! DRAM, NVRAM writes a further ≈4x slower (12x total).
 //!
 //! The meter is a set of global atomics so that instrumentation does not
@@ -290,7 +290,7 @@ pub fn aux_write(words: u64) {
 /// Relative per-word access costs (DRAM read ≡ 1).
 #[derive(Clone, Copy, Debug)]
 pub struct CostModel {
-    /// NVRAM read cost relative to a DRAM read (paper: ≈3 [50, 96]).
+    /// NVRAM read cost relative to a DRAM read (paper: ≈3 \[50, 96\]).
     pub nvram_read: f64,
     /// NVRAM write/read asymmetry ω (paper: ≈4, so writes ≈12x DRAM reads).
     pub omega: f64,

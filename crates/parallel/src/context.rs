@@ -22,7 +22,7 @@
 //! Installation is strictly scoped: [`with_slot`] installs a value for the
 //! duration of a closure and restores the previous context on the way out
 //! (including on unwind), so contexts always nest LIFO. Forked jobs *clone*
-//! the `Arc`s into the job itself ([`capture`]), which keeps every referenced
+//! the `Arc`s into the job itself (`capture`), which keeps every referenced
 //! value alive for as long as any outstanding job can still touch it — even a
 //! heap-spawned scope job that outlives the `with_slot` frame that forked it.
 //! A fork with an empty context costs two `Option::None` copies; reading an

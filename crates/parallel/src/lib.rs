@@ -5,8 +5,9 @@
 //! them on a work-stealing scheduler "that we implemented, implemented similarly to
 //! Cilk" (§5.1.1). This crate reproduces that substrate: a work-stealing pool built
 //! on `crossbeam-deque` exposing a structured [`join`] primitive, plus the parallel
-//! primitives the paper relies on (§2): prefix sum ([`scan`]), [`reduce`],
-//! filter/[`pack`], parallel sorting, a concurrent hash table, and the histogram
+//! primitives the paper relies on (§2): prefix sum ([`scan_add`]/[`scan_with`]),
+//! reductions ([`reduce_map`] and friends), filter/pack ([`filter_slice`],
+//! [`pack_index`]), parallel sorting, a concurrent hash table, and the histogram
 //! primitive used by k-core and densest subgraph (§4.3.4).
 //!
 //! All primitives are deterministic given fixed inputs (randomized helpers take
@@ -45,8 +46,9 @@ pub mod sort;
 pub use hash_table::ConcurrentMap;
 pub use histogram::{histogram_dense, histogram_sparse, Histogram};
 pub use ops::{
-    filter_slice, pack_index, par_copy, par_fill, par_for, par_for_grain, par_for_slices, par_map,
-    par_map_grain, reduce_add, reduce_map, reduce_max, reduce_min, scan_add, scan_with, SendPtr,
+    count_ones, count_ones_per_bit, filter_slice, pack_index, par_copy, par_fill, par_for,
+    par_for_grain, par_for_slices, par_map, par_map_grain, reduce_add, reduce_map, reduce_max,
+    reduce_min, reduce_or, scan_add, scan_with, SendPtr,
 };
 pub use pool::{global_pool, in_worker, join, num_threads, scope, worker_index, Pool, Scope};
 pub use rng::{hash64, hash64_pair, SplitMix64};

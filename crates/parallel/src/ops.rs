@@ -199,6 +199,60 @@ where
     reduce_map(lo, hi, 0, id, map, |a, b| if b < a { b } else { a })
 }
 
+/// Parallel bitwise-OR reduction of `map(i)` over `lo..hi`.
+///
+/// The workhorse of bit-parallel multi-source traversals: OR-ing per-vertex
+/// `u64` source masks answers "which sources touched anything in this range"
+/// in one `O(n)` pass with `O(log n)` depth.
+#[inline]
+pub fn reduce_or<M>(lo: usize, hi: usize, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    reduce_map(lo, hi, 0, 0u64, map, |a, b| a | b)
+}
+
+/// Parallel population count over a slice of `u64` masks: the total number of
+/// set bits. Used to apportion batched-traversal costs by touched-word
+/// shares (each set bit of a visited-mask is one source reaching one vertex).
+#[inline]
+pub fn count_ones(masks: &[u64]) -> u64 {
+    reduce_add(0, masks.len(), |i| masks[i].count_ones() as u64)
+}
+
+/// Per-bit population counts over a slice of `u64` masks: `out[b]` is the
+/// number of mask words with bit `b` set. One pass over the data, combining
+/// 64-counter partial histograms up the reduction tree — the share vector a
+/// batched multi-source traversal splits its metered cost by.
+pub fn count_ones_per_bit(masks: &[u64]) -> [u64; 64] {
+    #[derive(Clone)]
+    struct Counts([u64; 64]);
+    let id = Counts([0u64; 64]);
+    let combined = reduce_map(
+        0,
+        masks.len(),
+        0,
+        id,
+        |i| {
+            let mut c = [0u64; 64];
+            let mut m = masks[i];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                c[b] += 1;
+                m &= m - 1;
+            }
+            Counts(c)
+        },
+        |mut a, b| {
+            for (x, y) in a.0.iter_mut().zip(b.0.iter()) {
+                *x += y;
+            }
+            a
+        },
+    );
+    combined.0
+}
+
 /// Exclusive prefix sum with a generic associative operator.
 ///
 /// Replaces `data[i]` with `id ⊕ data[0] ⊕ … ⊕ data[i-1]` and returns the
@@ -405,6 +459,38 @@ mod tests {
         let mn = reduce_min(0, data.len(), i64::MAX, |i| data[i]);
         assert_eq!(mx, *data.iter().max().unwrap());
         assert_eq!(mn, *data.iter().min().unwrap());
+    }
+
+    #[test]
+    fn reduce_or_unions_masks() {
+        let masks: Vec<u64> = (0..10_000).map(|i| 1u64 << (i % 64)).collect();
+        assert_eq!(reduce_or(0, masks.len(), |i| masks[i]), u64::MAX);
+        assert_eq!(reduce_or(0, 3, |i| masks[i]), 0b111);
+        assert_eq!(reduce_or(5, 5, |_| u64::MAX), 0);
+    }
+
+    #[test]
+    fn count_ones_matches_sequential() {
+        let masks: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let want: u64 = masks.iter().map(|m| m.count_ones() as u64).sum();
+        assert_eq!(count_ones(&masks), want);
+        assert_eq!(count_ones(&[]), 0);
+    }
+
+    #[test]
+    fn count_ones_per_bit_matches_sequential() {
+        let masks: Vec<u64> = (0..30_000u64)
+            .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95))
+            .collect();
+        let got = count_ones_per_bit(&masks);
+        for (b, &count) in got.iter().enumerate() {
+            let want = masks.iter().filter(|&&m| m & (1 << b) != 0).count() as u64;
+            assert_eq!(count, want, "bit {b}");
+        }
+        let total: u64 = got.iter().sum();
+        assert_eq!(total, count_ones(&masks));
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! Every Sage algorithm runs in `O(n)` words of DRAM (the PSAM discipline,
 //! Theorem 4.1) — so the aggregate DRAM of a server is `O(n) × active
 //! queries`, and bounding concurrency bounds memory. Each query class carries
-//! a words-per-vertex estimate ([`dram_estimate`]); a worker acquires that
-//! many bytes from the shared [`DramBudget`] before executing and releases
-//! them after, blocking while the budget is exhausted. A query whose estimate
-//! exceeds the whole budget is clamped, so it can still run — alone.
+//! a words-per-vertex estimate ([`dram_estimate`]) and every batch a shared
+//! one ([`batch_estimate`]); a worker acquires that many bytes from the
+//! shared budget before executing and releases them after, blocking while
+//! the budget is exhausted. An execution unit whose estimate exceeds the
+//! whole budget is clamped, so it can still run — alone.
 
-use crate::query::Query;
+use crate::batch::QueryBatch;
+use crate::query::{BatchClass, Query};
 use parking_lot::{Condvar, Mutex};
 
 /// Bytes per word in the estimates (the PSAM meters in 8-byte words).
@@ -31,6 +33,46 @@ pub fn dram_estimate(n: usize, query: &Query) -> u64 {
         Query::Connected { .. } => 6 * n * WORD,
         Query::Neighborhood { hops: 1, .. } => n * WORD / 4 + 4096,
         Query::Neighborhood { .. } => n * WORD + 4096,
+    }
+}
+
+/// Estimated peak DRAM of one *batch*, in bytes, for a graph of `n`
+/// vertices.
+///
+/// The whole point of batched execution is that shared state does **not**
+/// scale with the member count:
+///
+/// * a BFS batch of `k` sources runs on three `O(n)`-word mask arrays plus a
+///   frontier — one set for the whole batch, not `k` frontiers — and only
+///   the returned level arrays are per-member (`k·n` words, the same words
+///   an unbatched run would hand back one query at a time);
+/// * a connectivity batch runs **one** labeling regardless of how many
+///   `(u, v)` probes consume it;
+/// * neighborhood members execute sequentially, so their peak is the
+///   largest single estimate, not the sum.
+///
+/// Singleton batches fall back to [`dram_estimate`] exactly.
+pub fn batch_estimate(n: usize, batch: &QueryBatch) -> u64 {
+    let members = batch.members();
+    if members.len() == 1 {
+        return dram_estimate(n, members[0].query());
+    }
+    let k = members.len() as u64;
+    let n = n as u64;
+    match batch.class() {
+        // 3 mask arrays + frontier scratch, plus k level outputs.
+        BatchClass::Bfs => (4 * n + k * n) * WORD,
+        // One labeling; per-probe state is O(1).
+        BatchClass::Connected => 6 * n * WORD + k * 64,
+        // Sequential member execution: peak = the largest member.
+        BatchClass::Neighborhood | BatchClass::Single => {
+            members
+                .iter()
+                .map(|p| dram_estimate(n as usize, p.query()))
+                .max()
+                .unwrap_or(0)
+                + k * 64
+        }
     }
 }
 

@@ -1,0 +1,361 @@
+//! Batched query execution: one engine run answers every member of a
+//! [`QueryBatch`], with the batch's metered cost split back across members.
+//!
+//! The scheduler drains compatible queued queries (see
+//! [`RequestQueue::pop_batch`](crate::queue::RequestQueue::pop_batch)) and
+//! executes them as a unit:
+//!
+//! * **BFS** batches run one bit-parallel
+//!   [`msbfs`](sage_core::algo::msbfs) traversal — up to 64 point queries
+//!   for the PSAM cost of a single edge sweep, with `O(n)` words of mask
+//!   state instead of one frontier per query;
+//! * **Connectivity-membership** batches run one labeling and answer every
+//!   `(u, v)` pair from it;
+//! * **Neighborhood** batches share the dispatch/admission round-trip but
+//!   execute members under individual meter scopes (each probe is `O(deg)`;
+//!   there is no shared traversal to amortize);
+//! * everything else ([`BatchClass::Single`]) arrives as a singleton batch.
+//!
+//! # Attribution
+//!
+//! A shared run executes under **one** [`MeterScope`]; its snapshot is then
+//! split across members **by touched-word shares** — for BFS, the number of
+//! vertices each source reached (each set mask bit is one source touching
+//! one vertex); for connectivity, uniformly (every member consumes the same
+//! labeling). The split is word-exact: members receive the floor share and
+//! the remainder words go to the first members, so the per-query snapshots
+//! still sum to precisely the batch's scoped traffic and the service-wide
+//! reconciliation invariant (`Σ per-query == global delta` in a quiet
+//! process) survives batching.
+//!
+//! Responses are **bitwise-identical** to unbatched execution: BFS answers
+//! are distance arrays (deterministic, unlike parent choices) and
+//! connectivity membership uses the same fixed seed as the unbatched path.
+
+use crate::query::{run_query, BatchClass, Query, Response};
+use crate::queue::Pending;
+use sage_core::algo;
+use sage_graph::Graph;
+use sage_nvram::{meter, MeterScope, MeterSnapshot};
+
+/// A drained set of same-class requests answered by one shared execution.
+pub struct QueryBatch {
+    members: Vec<Pending>,
+    class: BatchClass,
+}
+
+impl QueryBatch {
+    /// Wrap drained requests (all of `class`; arrival order preserved).
+    pub(crate) fn new(members: Vec<Pending>, class: BatchClass) -> Self {
+        debug_assert!(members.iter().all(|p| p.query().batch_class() == class));
+        Self { members, class }
+    }
+
+    /// Number of member queries.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch has no members (never true for scheduler-formed
+    /// batches).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The shared execution class every member belongs to.
+    pub fn class(&self) -> BatchClass {
+        self.class
+    }
+
+    /// Member requests in arrival order.
+    pub fn members(&self) -> &[Pending] {
+        &self.members
+    }
+
+    /// Consume the batch for fulfillment.
+    pub(crate) fn into_members(self) -> Vec<Pending> {
+        self.members
+    }
+}
+
+/// One member's share of a batch execution.
+pub(crate) struct BatchOutcome {
+    pub(crate) response: Response,
+    pub(crate) traffic: MeterSnapshot,
+    /// Wall-clock seconds of the engine run that answered this member: the
+    /// individual run for members executed in isolation, the shared run for
+    /// members answered by one traversal/labeling. Never the whole batch's
+    /// sequential wall time.
+    pub(crate) seconds: f64,
+}
+
+/// Execute every member of `batch`, returning outcomes in member order.
+/// Panics from the engine are contained per execution unit and surface as
+/// [`Response::Failed`]; the calling worker always gets one outcome per
+/// member.
+pub(crate) fn run_batch<G: Graph>(g: &G, batch: &QueryBatch) -> Vec<BatchOutcome> {
+    let members = batch.members();
+    if members.len() == 1 {
+        return vec![run_isolated(g, members[0].query())];
+    }
+    match batch.class() {
+        BatchClass::Bfs => run_bfs_batch(g, members),
+        BatchClass::Connected => run_connected_batch(g, members),
+        // Neighborhood probes (and, defensively, anything else that reaches
+        // here with >1 member) execute individually: exact attribution, no
+        // shared state to split.
+        BatchClass::Neighborhood | BatchClass::Single => {
+            members.iter().map(|p| run_isolated(g, p.query())).collect()
+        }
+    }
+}
+
+/// Run one query under its own scope, containing engine panics.
+fn run_isolated<G: Graph>(g: &G, query: &Query) -> BatchOutcome {
+    let scope = MeterScope::new();
+    let start = std::time::Instant::now();
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope.enter(|| run_query(g, query))
+    }))
+    .unwrap_or_else(failed_response);
+    BatchOutcome {
+        response,
+        traffic: scope.snapshot(),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Up to 64 BFS point queries as one bit-parallel multi-source traversal.
+fn run_bfs_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome> {
+    let sources: Vec<_> = members
+        .iter()
+        .map(|p| match p.query() {
+            Query::Bfs { src } => *src,
+            other => unreachable!("non-BFS query {other:?} in a BFS batch"),
+        })
+        .collect();
+    let scope = MeterScope::new();
+    let start = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope.enter(|| {
+            let ms = algo::msbfs::msbfs_levels(g, &sources);
+            // Unbatched parity: `run_query` reports one aux read per level
+            // word it returns.
+            meter::aux_read((ms.levels.len() * g.num_vertices()) as u64);
+            ms
+        })
+    }));
+    let seconds = start.elapsed().as_secs_f64();
+    match result {
+        Ok(ms) => {
+            // Touched-word shares: vertices reached per source (≥ 1, the
+            // source itself — but guard anyway so a zero-share split stays
+            // well-defined).
+            let shares: Vec<u64> = ms.reached.iter().map(|&r| (r as u64).max(1)).collect();
+            let splits = split_traffic(scope.snapshot(), &shares);
+            ms.levels
+                .into_iter()
+                .zip(ms.reached)
+                .zip(splits)
+                .map(|((levels, reached), traffic)| BatchOutcome {
+                    response: Response::Bfs { levels, reached },
+                    traffic,
+                    seconds,
+                })
+                .collect()
+        }
+        Err(payload) => failed_batch(members.len(), scope, seconds, payload),
+    }
+}
+
+/// Any number of membership probes answered by one connectivity labeling.
+fn run_connected_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome> {
+    let scope = MeterScope::new();
+    let start = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope.enter(|| {
+            // Same fixed seed as the unbatched path, so batched answers are
+            // indistinguishable from unbatched ones.
+            let labels = algo::connectivity::connectivity(g, 0.2, crate::query::QUERY_SEED);
+            let components = algo::connectivity::num_components(&labels);
+            members
+                .iter()
+                .map(|p| match p.query() {
+                    Query::Connected { u, v } => {
+                        meter::aux_read(2);
+                        Response::Connected {
+                            connected: labels[*u as usize] == labels[*v as usize],
+                            components,
+                        }
+                    }
+                    other => unreachable!("non-membership query {other:?} in a Connected batch"),
+                })
+                .collect::<Vec<_>>()
+        })
+    }));
+    let seconds = start.elapsed().as_secs_f64();
+    match result {
+        Ok(responses) => {
+            // Every member consumed the same labeling: uniform shares.
+            let shares = vec![1u64; members.len()];
+            let splits = split_traffic(scope.snapshot(), &shares);
+            responses
+                .into_iter()
+                .zip(splits)
+                .map(|(response, traffic)| BatchOutcome {
+                    response,
+                    traffic,
+                    seconds,
+                })
+                .collect()
+        }
+        Err(payload) => failed_batch(members.len(), scope, seconds, payload),
+    }
+}
+
+/// Best-effort stringification of a panic payload into a `Failed` response.
+fn failed_response(payload: Box<dyn std::any::Any + Send>) -> Response {
+    let reason = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "query panicked".to_string());
+    Response::Failed { reason }
+}
+
+/// A shared run panicked: every member fails, and whatever traffic the run
+/// accrued before dying is still split (evenly) so nothing leaks out of the
+/// per-query accounting.
+fn failed_batch(
+    len: usize,
+    scope: MeterScope,
+    seconds: f64,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Vec<BatchOutcome> {
+    let response = failed_response(payload);
+    let splits = split_traffic(scope.snapshot(), &vec![1u64; len]);
+    splits
+        .into_iter()
+        .map(|traffic| BatchOutcome {
+            response: response.clone(),
+            traffic,
+            seconds,
+        })
+        .collect()
+}
+
+/// Split `total` across members proportionally to `shares`, word-exactly:
+/// the splits always sum to exactly `total`. Whenever a traffic class has at
+/// least one word per member, every member receives at least one word — a
+/// batch member did participate in the shared run, and downstream
+/// invariants ("a BFS query reads the graph") must hold regardless of how
+/// lopsided the shares are. The rest is floor-proportional, with the
+/// sub-one-word remainder handed to the earliest members.
+fn split_traffic(total: MeterSnapshot, shares: &[u64]) -> Vec<MeterSnapshot> {
+    assert!(!shares.is_empty());
+    let shares: Vec<u64> = shares.iter().map(|&s| s.max(1)).collect();
+    let len = shares.len() as u64;
+    let sum: u128 = shares.iter().map(|&s| s as u128).sum();
+    let mut out = vec![MeterSnapshot::default(); shares.len()];
+    let mut split_field = |field: u64, get: fn(&mut MeterSnapshot) -> &mut u64| {
+        // Minimum one word per member when the class can afford it.
+        let base = if field >= len { 1u64 } else { 0 };
+        let spread = field - base * len;
+        let mut given = 0u64;
+        for (o, &s) in out.iter_mut().zip(&shares) {
+            let part = base + ((spread as u128 * s as u128) / sum) as u64;
+            *get(o) = part;
+            given += part;
+        }
+        // Remainder: fewer than `len` words; hand them out one per member
+        // from the front.
+        let mut rem = field - given;
+        for o in out.iter_mut() {
+            if rem == 0 {
+                break;
+            }
+            *get(o) += 1;
+            rem -= 1;
+        }
+        debug_assert_eq!(rem, 0, "remainder exceeds member count");
+    };
+    split_field(total.graph_read, |s| &mut s.graph_read);
+    split_field(total.graph_write, |s| &mut s.graph_write);
+    split_field(total.aux_read, |s| &mut s.aux_read);
+    split_field(total.aux_write, |s| &mut s.aux_write);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(parts: &[MeterSnapshot]) -> MeterSnapshot {
+        parts
+            .iter()
+            .fold(MeterSnapshot::default(), |acc, p| acc.plus(p))
+    }
+
+    #[test]
+    fn split_is_exact_and_proportional() {
+        let total = MeterSnapshot {
+            graph_read: 1_000_003,
+            graph_write: 0,
+            aux_read: 17,
+            aux_write: 999,
+        };
+        let shares = [5, 1, 1, 1];
+        let parts = split_traffic(total, &shares);
+        assert_eq!(sum(&parts), total, "split must conserve every word");
+        assert!(
+            parts[0].graph_read > 3 * parts[1].graph_read,
+            "majority share must dominate: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn every_member_gets_a_word_when_affordable() {
+        // Extreme skew: one member reached the giant component, the other
+        // reached almost nothing — the small member must still be attributed
+        // at least one word of each affordable class.
+        let total = MeterSnapshot {
+            graph_read: 100_000,
+            graph_write: 0,
+            aux_read: 64,
+            aux_write: 2,
+        };
+        let parts = split_traffic(total, &[1_000_000, 1]);
+        assert_eq!(sum(&parts), total);
+        assert!(parts[1].graph_read >= 1);
+        assert!(parts[1].aux_read >= 1);
+    }
+
+    #[test]
+    fn split_survives_zero_shares_and_tiny_totals() {
+        let total = MeterSnapshot {
+            graph_read: 3,
+            graph_write: 1,
+            aux_read: 0,
+            aux_write: 2,
+        };
+        for shares in [vec![0u64, 0, 0, 0, 0], vec![1], vec![7, 3]] {
+            let parts = split_traffic(total, &shares);
+            assert_eq!(parts.len(), shares.len());
+            assert_eq!(sum(&parts), total, "shares {shares:?}");
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_front_members() {
+        let total = MeterSnapshot {
+            graph_read: 10,
+            ..Default::default()
+        };
+        // 10 / 3 = 3 each, remainder 1 → first member gets 4.
+        let parts = split_traffic(total, &[1, 1, 1]);
+        assert_eq!(
+            parts.iter().map(|p| p.graph_read).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+    }
+}

@@ -13,19 +13,30 @@
 //! * [`Query`]/[`Response`] — the typed request surface (BFS, PageRank over
 //!   a vertex subset, k-core, connectivity membership, 1/2-hop
 //!   neighborhoods);
-//! * admission control — each query reserves its estimated `O(n)` DRAM from
-//!   a shared [`admission::dram_estimate`]-based budget before running, so
-//!   aggregate small-memory use stays bounded no matter the offered load;
-//! * per-query attribution — every query executes under its own
-//!   [`sage_nvram::MeterScope`] and a per-worker [`sage_core::QueryArena`],
-//!   so results carry an exact [`MeterSnapshot`](sage_nvram::MeterSnapshot)
-//!   (zero `graph_write` words, per the Sage discipline) and concurrent
-//!   traversals never alias scratch.
+//! * **batched execution** — workers drain compatible queued queries into a
+//!   [`batch::QueryBatch`] and answer them with *one* engine run: up to 64
+//!   BFS point queries share a single bit-parallel
+//!   [`msbfs`](sage_core::algo::msbfs) traversal, and any number of
+//!   connectivity probes share one labeling, so k point lookups cost one
+//!   traversal instead of k (the [`BatchPolicy`] knobs control batch size
+//!   and linger, and incompatible requests keep their FIFO positions);
+//! * admission control — each execution unit reserves its estimated `O(n)`
+//!   DRAM from a shared [`admission::dram_estimate`]/
+//!   [`admission::batch_estimate`]-based budget before running, so
+//!   aggregate small-memory use stays bounded no matter the offered load
+//!   (a batch reserves one set of shared state, not one per member);
+//! * per-query attribution — every execution unit runs under its own
+//!   [`sage_nvram::MeterScope`] and a per-worker [`sage_core::QueryArena`];
+//!   a shared batch run's traffic is split back across members by
+//!   touched-word shares, word-exactly, so results carry a
+//!   [`MeterSnapshot`](sage_nvram::MeterSnapshot) (zero `graph_write`
+//!   words, per the Sage discipline) and per-query sums still reconcile
+//!   with the global meter.
 //!
-//! Parallelism is two-level: serving workers dispatch queries concurrently,
-//! and each query's internal `par_for`/`join` work interleaves on the shared
-//! work-stealing pool, with meter scope and arena following the tasks via
-//! `sage_parallel::context`.
+//! Parallelism is two-level: serving workers dispatch execution units
+//! concurrently, and each unit's internal `par_for`/`join` work interleaves
+//! on the shared work-stealing pool, with meter scope and arena following
+//! the tasks via `sage_parallel::context`.
 //!
 //! ```
 //! use sage_serve::{GraphService, Query, Response, ServiceConfig};
@@ -42,60 +53,63 @@
 //! ```
 
 pub mod admission;
+pub mod batch;
 mod query;
-mod queue;
+pub mod queue;
 
-pub use admission::dram_estimate;
-pub use query::{Query, QueryResult, Response};
-pub use queue::Ticket;
+pub use admission::{batch_estimate, dram_estimate};
+pub use batch::QueryBatch;
+pub use query::{BatchClass, Query, QueryResult, Response};
+pub use queue::{BatchPolicy, Ticket};
 
 use admission::DramBudget;
-use queue::{Pending, RequestQueue, TicketState};
+use queue::{Pending, RequestQueue};
 use sage_core::QueryArena;
 use sage_graph::Graph;
-use sage_nvram::MeterScope;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Tuning knobs for a [`GraphService`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ServiceConfig {
-    /// Serving worker threads (concurrent query dispatchers). Each query's
-    /// internal parallelism additionally fans out on the shared
-    /// work-stealing pool.
+    /// Serving worker threads (concurrent execution-unit dispatchers). Each
+    /// unit's internal parallelism additionally fans out on the shared
+    /// work-stealing pool. `0` = default (4).
     pub workers: usize,
     /// Bounded request-queue depth; producers block when it is full.
+    /// `0` = default (256).
     pub queue_capacity: usize,
-    /// Total DRAM (bytes) that admitted queries may hold simultaneously,
-    /// per the per-class estimates in [`admission::dram_estimate`].
+    /// Total DRAM (bytes) that admitted execution units may hold
+    /// simultaneously, per the estimates in [`admission`].
     /// `0` = auto: four times the largest single-query estimate.
     pub dram_budget_bytes: u64,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        Self {
-            workers: 4,
-            queue_capacity: 256,
-            dram_budget_bytes: 0,
-        }
-    }
+    /// Batch-formation policy: how aggressively workers coalesce compatible
+    /// queued queries into shared executions. The default drains up to 32
+    /// already-queued compatible requests with no linger; set
+    /// `max_batch: 1` to disable batching entirely.
+    pub batch: BatchPolicy,
 }
 
 /// Point-in-time serving statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Queries completed since start.
+    /// Queries completed since start (batch members each count once).
     pub completed: u64,
-    /// Queries currently executing (admitted, not yet finished).
+    /// Execution units (batches or single queries) currently running.
     pub inflight: u64,
-    /// Highest concurrent execution level observed.
+    /// Highest concurrent execution level observed (units, not members —
+    /// bounded by the worker count).
     pub peak_inflight: u64,
     /// Highest simultaneous admitted-DRAM reservation observed (bytes).
     pub peak_inflight_bytes: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: u64,
+    /// Execution units dispatched (each unit is one engine run).
+    pub batches: u64,
+    /// Queries that were answered as part of a multi-member batch.
+    pub batched_queries: u64,
+    /// Largest batch dispatched so far.
+    pub peak_batch: u64,
 }
 
 #[derive(Default)]
@@ -105,20 +119,28 @@ struct StatsInner {
     peak_inflight: AtomicU64,
     inflight_bytes: AtomicU64,
     peak_inflight_bytes: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    peak_batch: AtomicU64,
 }
 
 impl StatsInner {
-    fn on_admit(&self, bytes: u64) {
+    fn on_admit(&self, members: u64, bytes: u64) {
         let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_inflight.fetch_max(now, Ordering::SeqCst);
         let b = self.inflight_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
         self.peak_inflight_bytes.fetch_max(b, Ordering::SeqCst);
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        self.peak_batch.fetch_max(members, Ordering::SeqCst);
+        if members > 1 {
+            self.batched_queries.fetch_add(members, Ordering::SeqCst);
+        }
     }
 
-    fn on_finish(&self, bytes: u64) {
+    fn on_finish(&self, members: u64, bytes: u64) {
         self.inflight.fetch_sub(1, Ordering::SeqCst);
         self.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
-        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.completed.fetch_add(members, Ordering::SeqCst);
     }
 }
 
@@ -127,6 +149,7 @@ struct Shared<G> {
     queue: RequestQueue,
     budget: DramBudget,
     stats: StatsInner,
+    policy: BatchPolicy,
 }
 
 /// A concurrent query service over one shared graph snapshot.
@@ -143,7 +166,7 @@ pub struct GraphService<G: Graph + Send + Sync + 'static> {
 }
 
 impl<G: Graph + Send + Sync + 'static> GraphService<G> {
-    /// Start a service over `graph` with `config` workers/budget.
+    /// Start a service over `graph` with `config` workers/budget/batching.
     pub fn start(graph: G, config: ServiceConfig) -> Self {
         let n = graph.num_vertices();
         let budget_bytes = if config.dram_budget_bytes == 0 {
@@ -151,13 +174,26 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
         } else {
             config.dram_budget_bytes
         };
+        let queue_capacity = if config.queue_capacity == 0 {
+            256
+        } else {
+            config.queue_capacity
+        };
         let shared = Arc::new(Shared {
             graph,
-            queue: RequestQueue::new(config.queue_capacity),
+            queue: RequestQueue::new(queue_capacity),
             budget: DramBudget::new(budget_bytes),
             stats: StatsInner::default(),
+            policy: BatchPolicy {
+                max_batch: config.batch.max_batch.max(1),
+                ..config.batch
+            },
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..if config.workers == 0 {
+            4
+        } else {
+            config.workers
+        })
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -191,13 +227,9 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
     pub fn submit(&self, query: Query) -> Ticket {
         query.validate(self.shared.graph.num_vertices());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let state = Arc::new(TicketState::new());
-        self.shared.queue.push(Pending {
-            id,
-            query,
-            ticket: Arc::clone(&state),
-        });
-        Ticket { state }
+        let (pending, ticket) = Pending::new(id, query);
+        self.shared.queue.push(pending);
+        ticket
     }
 
     /// Convenience: submit and wait.
@@ -214,6 +246,9 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
             peak_inflight: s.peak_inflight.load(Ordering::SeqCst),
             peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::SeqCst),
             queue_depth: self.shared.queue.depth() as u64,
+            batches: s.batches.load(Ordering::SeqCst),
+            batched_queries: s.batched_queries.load(Ordering::SeqCst),
+            peak_batch: s.peak_batch.load(Ordering::SeqCst),
         }
     }
 }
@@ -227,41 +262,36 @@ impl<G: Graph + Send + Sync + 'static> Drop for GraphService<G> {
     }
 }
 
-/// One serving worker: pop → admit → execute under scope + arena → fulfill.
+/// One serving worker: drain a batch → admit → execute under scope(s) +
+/// arena → split attribution → fulfill every member.
 fn worker_loop<G: Graph>(shared: &Shared<G>) {
-    // The arena is per *worker*, reused across that worker's queries: scratch
-    // (chunks, flag buffers, histogram dense arrays) warms up once and is
-    // never shared with a concurrently executing query.
+    // The arena is per *worker*, reused across that worker's batches:
+    // scratch (chunks, flag buffers, histogram dense arrays) warms up once
+    // and is never shared with a concurrently executing unit.
     let arena = QueryArena::new();
     let n = shared.graph.num_vertices();
-    while let Some(pending) = shared.queue.pop() {
-        let estimate = admission::dram_estimate(n, &pending.query);
+    while let Some(batch) = shared.queue.pop_batch(&shared.policy) {
+        let members = batch.len() as u64;
+        let estimate = admission::batch_estimate(n, &batch);
         let grant = shared.budget.acquire(estimate);
-        shared.stats.on_admit(grant);
-        let scope = MeterScope::new();
-        let start = Instant::now();
-        // A panicking query must not kill the worker (the pool would shrink
-        // silently) nor strand its client (no poisoning wakes a parked
-        // Ticket::wait): contain it and fulfill with Response::Failed.
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            scope.enter(|| arena.enter(|| query::run_query(&shared.graph, &pending.query)))
-        }))
-        .unwrap_or_else(|payload| {
-            let reason = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "query panicked".to_string());
-            Response::Failed { reason }
-        });
-        let seconds = start.elapsed().as_secs_f64();
-        shared.stats.on_finish(grant);
+        shared.stats.on_admit(members, grant);
+        // Engine panics are contained inside `run_batch` (per execution
+        // unit), so the worker survives and no ticket is ever stranded.
+        // Each outcome carries the wall time of the engine run that answered
+        // it (the member's own run, or the shared traversal/labeling) — not
+        // the whole batch's sequential wall clock.
+        let outcomes = arena.enter(|| batch::run_batch(&shared.graph, &batch));
+        shared.stats.on_finish(members, grant);
         shared.budget.release(grant);
-        pending.ticket.fulfill(QueryResult {
-            id: pending.id,
-            response,
-            traffic: scope.snapshot(),
-            seconds,
-        });
+        debug_assert_eq!(outcomes.len(), batch.len());
+        for (pending, outcome) in batch.into_members().into_iter().zip(outcomes) {
+            let (id, ticket) = (pending.id, pending.ticket);
+            ticket.fulfill(QueryResult {
+                id,
+                response: outcome.response,
+                traffic: outcome.traffic,
+                seconds: outcome.seconds,
+            });
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Typed query requests and responses served by [`crate::GraphService`].
 
 use sage_core::algo;
-use sage_graph::{Graph, NONE_V, V};
+use sage_graph::{Graph, V};
 use sage_nvram::{meter, MeterSnapshot};
 
 /// Fixed tolerance for the PageRank power iteration; the iteration budget is
@@ -9,13 +9,46 @@ use sage_nvram::{meter, MeterSnapshot};
 const PAGERANK_EPS: f64 = 1e-6;
 
 /// Deterministic seed for per-query randomized algorithms (connectivity's
-/// LDD), so repeated queries over the same snapshot agree.
-const QUERY_SEED: u64 = 0x5A6E_5EED;
+/// LDD), so repeated queries over the same snapshot agree — and so batched
+/// connectivity answers are indistinguishable from unbatched ones.
+pub(crate) const QUERY_SEED: u64 = 0x5A6E_5EED;
+
+/// Which shared execution a query can join: queries of the same class that
+/// are waiting in the queue together are drained into one
+/// [`QueryBatch`](crate::batch::QueryBatch) and answered by a single engine
+/// run over the shared snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchClass {
+    /// BFS point queries: up to [`sage_core::algo::msbfs::MAX_SOURCES`]
+    /// sources share one bit-parallel multi-source traversal.
+    Bfs,
+    /// Connectivity-membership probes: any number share one labeling run.
+    Connected,
+    /// Bounded-radius neighborhood probes: share one snapshot pass (each
+    /// probe is `O(deg)`, so the win is amortized dispatch/admission, not a
+    /// shared traversal).
+    Neighborhood,
+    /// Runs alone — whole-graph analytics whose parameters (iteration
+    /// budgets, report sets) are query-specific.
+    Single,
+}
+
+impl BatchClass {
+    /// Largest batch this class can absorb (the scheduler additionally caps
+    /// at the service's configured `max_batch`).
+    pub fn max_batch(self) -> usize {
+        match self {
+            BatchClass::Bfs => algo::msbfs::MAX_SOURCES,
+            BatchClass::Connected | BatchClass::Neighborhood => usize::MAX,
+            BatchClass::Single => 1,
+        }
+    }
+}
 
 /// A typed request against the shared graph snapshot.
 #[derive(Clone, Debug)]
 pub enum Query {
-    /// Breadth-first search from `src`: full parent array.
+    /// Breadth-first search from `src`: full distance array.
     Bfs {
         /// Source vertex.
         src: V,
@@ -97,16 +130,27 @@ impl Query {
             Query::Neighborhood { .. } => "neighborhood",
         }
     }
+
+    /// The shared execution this query can join (see [`BatchClass`]).
+    pub fn batch_class(&self) -> BatchClass {
+        match self {
+            Query::Bfs { .. } => BatchClass::Bfs,
+            Query::Connected { .. } => BatchClass::Connected,
+            Query::Neighborhood { .. } => BatchClass::Neighborhood,
+            Query::PageRank { .. } | Query::KCore { .. } => BatchClass::Single,
+        }
+    }
 }
 
 /// The answer to one [`Query`].
 #[derive(Clone, Debug)]
 pub enum Response {
-    /// BFS parents (`NONE_V` = unreached) and the number of reached vertices.
+    /// BFS distances (`u64::MAX` = unreached) and the number of reached
+    /// vertices. Distances — unlike parent choices — are deterministic, so a
+    /// batched execution answers bitwise-identically to an unbatched one.
     Bfs {
-        /// Parent of each vertex in the BFS tree; the source is its own
-        /// parent.
-        parents: Vec<V>,
+        /// BFS distance of each vertex from the source (the source is 0).
+        levels: Vec<u64>,
         /// Vertices reachable from the source (including it).
         reached: usize,
     },
@@ -155,7 +199,10 @@ pub struct QueryResult {
     /// Per-query traffic from the worker's [`sage_nvram::MeterScope`] —
     /// independent of every other in-flight query and of `Meter::reset`.
     pub traffic: MeterSnapshot,
-    /// Execution wall-clock seconds (excluding queue wait).
+    /// Wall-clock seconds of the engine run that answered this query
+    /// (excluding queue wait): the query's own run when it executed in
+    /// isolation, or the shared traversal/labeling when it was answered as
+    /// part of a batch.
     pub seconds: f64,
 }
 
@@ -164,10 +211,10 @@ pub struct QueryResult {
 pub(crate) fn run_query<G: Graph>(g: &G, query: &Query) -> Response {
     match query {
         Query::Bfs { src } => {
-            let parents = algo::bfs::bfs(g, *src);
-            let reached = parents.iter().filter(|&&p| p != NONE_V).count();
-            meter::aux_read(parents.len() as u64);
-            Response::Bfs { parents, reached }
+            let (levels, _rounds) = algo::bfs::bfs_levels(g, *src);
+            let reached = levels.iter().filter(|&&l| l != u64::MAX).count();
+            meter::aux_read(levels.len() as u64);
+            Response::Bfs { levels, reached }
         }
         Query::PageRank { iters, vertices } => {
             let pr = algo::pagerank::pagerank(g, PAGERANK_EPS, *iters);

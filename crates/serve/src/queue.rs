@@ -1,21 +1,88 @@
-//! Bounded MPMC request queue and completion tickets.
+//! Bounded MPMC request queue, batch draining, and completion tickets.
 //!
 //! Deliberately a straightforward mutex + condvar queue: request dispatch is
 //! orders of magnitude less frequent than the work-stealing that executes
 //! each query, so the lock is never the bottleneck — and a bounded queue is
 //! the first stage of admission control (producers block when the service is
 //! saturated instead of buffering unboundedly).
+//!
+//! # Batch draining and FIFO fairness
+//!
+//! [`RequestQueue::pop_batch`] forms a [`QueryBatch`](crate::batch) for the
+//! serving workers: it takes the oldest request (which fixes the batch's
+//! [`BatchClass`]) and then *selectively* drains every same-class request
+//! behind it, up to the policy's `max_batch`. Requests of other classes are
+//! left **in their arrival positions** — they are never popped and re-pushed
+//! at the tail, so a stream of batchable queries cannot starve an
+//! incompatible one that arrived earlier (regression-tested in
+//! `tests/service.rs`). If the batch is still short and the policy allows a
+//! linger, the worker waits (releasing the lock) up to `max_linger` for more
+//! compatible arrivals before dispatching.
 
-use crate::query::{Query, QueryResult};
+use crate::query::{BatchClass, Query, QueryResult};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One queued request.
-pub(crate) struct Pending {
+/// Batch-formation policy: how aggressively the scheduler coalesces
+/// compatible queued queries into one shared execution.
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Largest batch a worker may drain (additionally capped by the class's
+    /// own limit, e.g. 64 sources for bit-parallel BFS). `1` disables
+    /// batching entirely.
+    pub max_batch: usize,
+    /// How long a worker may hold an under-full batch open waiting for more
+    /// compatible arrivals. `Duration::ZERO` (the default) dispatches
+    /// immediately with whatever is already queued — backlogged workloads
+    /// still form full batches, and an isolated query never pays extra
+    /// latency.
+    pub max_linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_linger: Duration::ZERO,
+        }
+    }
+}
+
+/// One queued request: the query plus its completion ticket.
+pub struct Pending {
     pub(crate) id: u64,
     pub(crate) query: Query,
     pub(crate) ticket: Arc<TicketState>,
+}
+
+impl Pending {
+    /// Build a free-standing pending request plus the [`Ticket`] that will
+    /// redeem it — the building block for driving a [`RequestQueue`]
+    /// directly (scheduler tests, embedders with their own dispatch loop).
+    /// [`crate::GraphService::submit`] does this internally.
+    pub fn new(id: u64, query: Query) -> (Self, Ticket) {
+        let state = Arc::new(TicketState::new());
+        (
+            Self {
+                id,
+                query,
+                ticket: Arc::clone(&state),
+            },
+            Ticket { state },
+        )
+    }
+
+    /// Submission sequence number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The queued query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
 }
 
 struct QueueInner {
@@ -24,7 +91,7 @@ struct QueueInner {
 }
 
 /// Bounded multi-producer multi-consumer queue.
-pub(crate) struct RequestQueue {
+pub struct RequestQueue {
     inner: Mutex<QueueInner>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -32,7 +99,8 @@ pub(crate) struct RequestQueue {
 }
 
 impl RequestQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A queue admitting at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(QueueInner {
                 items: VecDeque::new(),
@@ -48,7 +116,7 @@ impl RequestQueue {
     ///
     /// # Panics
     /// Panics if the service has been shut down.
-    pub(crate) fn push(&self, pending: Pending) {
+    pub fn push(&self, pending: Pending) {
         let mut inner = self.inner.lock();
         while inner.items.len() >= self.capacity && !inner.closed {
             self.not_full.wait(&mut inner);
@@ -56,13 +124,18 @@ impl RequestQueue {
         assert!(!inner.closed, "submit on a shut-down GraphService");
         inner.items.push_back(pending);
         drop(inner);
-        self.not_empty.notify_one();
+        // notify_all, not notify_one: a worker lingering in `pop_batch` also
+        // waits on `not_empty`, and a single wakeup could land on it, get
+        // ignored (the new item may be incompatible with its batch), and
+        // leave a genuinely idle worker parked while the request stalls for
+        // the whole linger window.
+        self.not_empty.notify_all();
     }
 
-    /// Dequeue a request, blocking while the queue is empty. Returns `None`
-    /// once the queue is closed *and* drained — workers finish every
+    /// Dequeue a single request, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained — workers finish every
     /// accepted request before exiting.
-    pub(crate) fn pop(&self) -> Option<Pending> {
+    pub fn pop(&self) -> Option<Pending> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(p) = inner.items.pop_front() {
@@ -77,17 +150,82 @@ impl RequestQueue {
         }
     }
 
+    /// Dequeue a batch: the oldest request plus every same-class request
+    /// behind it (up to the policy and class caps), leaving incompatible
+    /// requests in their arrival positions. Blocks while the queue is empty;
+    /// returns `None` once closed and drained. The returned batch is never
+    /// empty and preserves arrival order among its members.
+    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<crate::batch::QueryBatch> {
+        let mut inner = self.inner.lock();
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut inner);
+        }
+        let class = inner.items.front().expect("non-empty").query.batch_class();
+        let cap = policy.max_batch.max(1).min(class.max_batch());
+        let mut batch: Vec<Pending> = Vec::new();
+        let deadline = Instant::now() + policy.max_linger;
+        loop {
+            let before = inner.items.len();
+            drain_compatible(&mut inner.items, class, cap, &mut batch);
+            if inner.items.len() < before {
+                self.not_full.notify_all();
+            }
+            if batch.len() >= cap || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Linger (lock released) for more compatible arrivals; any
+            // wakeup — new item, closure, or timeout — loops back to drain.
+            let _ = self.not_empty.wait_for(&mut inner, deadline - now);
+        }
+        debug_assert!(!batch.is_empty(), "head request always joins the batch");
+        Some(crate::batch::QueryBatch::new(batch, class))
+    }
+
     /// Close the queue: wake every producer and consumer.
-    pub(crate) fn close(&self) {
+    pub fn close(&self) {
         self.inner.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Requests currently waiting (observability).
-    pub(crate) fn depth(&self) -> usize {
+    pub fn depth(&self) -> usize {
         self.inner.lock().items.len()
     }
+}
+
+/// Move every `class`-compatible request from `items` into `batch` (front to
+/// back, up to `cap` total members), compacting the survivors **in place**:
+/// an incompatible request keeps its position relative to every other
+/// survivor instead of being re-queued at the tail.
+fn drain_compatible(
+    items: &mut VecDeque<Pending>,
+    class: BatchClass,
+    cap: usize,
+    batch: &mut Vec<Pending>,
+) {
+    if batch.len() >= cap || items.is_empty() {
+        return;
+    }
+    let mut kept: VecDeque<Pending> = VecDeque::with_capacity(items.len());
+    for p in items.drain(..) {
+        if batch.len() < cap && p.query.batch_class() == class {
+            batch.push(p);
+        } else {
+            kept.push_back(p);
+        }
+    }
+    *items = kept;
 }
 
 /// Completion slot shared between a worker and the waiting client.

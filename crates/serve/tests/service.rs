@@ -3,32 +3,28 @@
 //! traffic attribution, and a concurrent-clients stress run.
 
 use sage_core::algo;
-use sage_graph::{gen, Graph, NONE_V, V};
+use sage_graph::{gen, Graph, V};
 use sage_nvram::Meter;
-use sage_serve::{GraphService, Query, Response, ServiceConfig};
+use sage_serve::{BatchPolicy, GraphService, Query, Response, ServiceConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn test_graph() -> sage_graph::Csr {
     gen::rmat(10, 8, gen::RmatParams::default(), 42)
 }
 
-/// Reachable set of a BFS parent array.
-fn visited(parents: &[V]) -> Vec<bool> {
-    parents.iter().map(|&p| p != NONE_V).collect()
-}
-
 #[test]
 fn bfs_query_matches_direct_run() {
     let g = test_graph();
-    let expect = visited(&algo::bfs::bfs(&g, 3));
+    let (expect, _) = algo::bfs::bfs_levels(&g, 3);
     let service = GraphService::start(g, ServiceConfig::default());
     let r = service.query(Query::Bfs { src: 3 });
     match r.response {
-        Response::Bfs { parents, reached } => {
-            // Parent choice is nondeterministic; the reachable set is not.
-            assert_eq!(visited(&parents), expect);
-            assert_eq!(reached, expect.iter().filter(|&&b| b).count());
-            assert_eq!(parents[3], 3, "source is its own parent");
+        Response::Bfs { levels, reached } => {
+            // BFS distances are deterministic (unlike parent choices).
+            assert_eq!(levels, expect);
+            assert_eq!(reached, expect.iter().filter(|&&l| l != u64::MAX).count());
+            assert_eq!(levels[3], 0, "source is at distance zero");
         }
         other => panic!("wrong response variant: {other:?}"),
     }
@@ -144,6 +140,11 @@ fn tiny_dram_budget_serializes_queries() {
             workers: 4,
             queue_capacity: 64,
             dram_budget_bytes: sage_serve::dram_estimate(n, &Query::Bfs { src: 0 }) + 1,
+            // Disable batching: this test is about per-query admission.
+            batch: BatchPolicy {
+                max_batch: 1,
+                ..Default::default()
+            },
         },
     );
     let tickets: Vec<_> = (0..16)
@@ -171,6 +172,7 @@ fn oversized_query_still_runs_alone() {
             workers: 2,
             queue_capacity: 8,
             dram_budget_bytes: 1024,
+            ..Default::default()
         },
     );
     let r = service.query(Query::KCore { vertices: vec![0] });
@@ -340,6 +342,7 @@ fn query_panic_is_contained_and_worker_survives() {
             workers: 1, // one worker: it must survive to serve the follow-up
             queue_capacity: 8,
             dram_budget_bytes: 0,
+            ..Default::default()
         },
     );
     let r = service.query(Query::Neighborhood { src: 13, hops: 1 });
@@ -362,6 +365,7 @@ fn drop_drains_accepted_requests() {
             workers: 1,
             queue_capacity: 64,
             dram_budget_bytes: 0,
+            ..Default::default()
         },
     );
     let tickets: Vec<_> = (0..8)
@@ -372,4 +376,239 @@ fn drop_drains_accepted_requests() {
         let r = t.wait(); // must all have been fulfilled
         assert_eq!(r.traffic.graph_write, 0);
     }
+}
+
+/// Batched execution must be *bitwise-identical* to unbatched execution:
+/// the same mixed workload is pushed through a batching service (deep
+/// backlog, large `max_batch`, a linger so batches actually fill) and a
+/// batching-disabled one, and every response must compare equal.
+#[test]
+fn batched_responses_are_bitwise_identical_to_unbatched() {
+    let g = test_graph();
+    let live: Vec<V> = (0..g.num_vertices() as V)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    let queries: Vec<Query> = (0..48u32)
+        .map(|i| {
+            let pick = |k: u32| live[(k as usize) % live.len()];
+            match i % 3 {
+                0 => Query::Bfs { src: pick(i * 13) },
+                1 => Query::Connected {
+                    u: pick(i),
+                    v: pick(i * 31),
+                },
+                _ => Query::Neighborhood {
+                    src: pick(i * 7),
+                    hops: 1 + (i % 2) as u8,
+                },
+            }
+        })
+        .collect();
+
+    let run = |g: sage_graph::Csr, max_batch: usize| -> Vec<Response> {
+        let service = GraphService::start(
+            g,
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                batch: BatchPolicy {
+                    max_batch,
+                    max_linger: Duration::from_millis(2),
+                },
+                ..Default::default()
+            },
+        );
+        // Submit the whole backlog first so batches can actually form.
+        let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
+        let responses = tickets.into_iter().map(|t| t.wait().response).collect();
+        let stats = service.stats();
+        if max_batch > 1 {
+            assert!(
+                stats.peak_batch > 1,
+                "backlogged workload formed no batches: {stats:?}"
+            );
+        } else {
+            assert_eq!(stats.peak_batch, 1, "batching was supposed to be off");
+        }
+        responses
+    };
+
+    let unbatched = run(test_graph(), 1);
+    let batched = run(g, 64);
+    assert_eq!(unbatched.len(), batched.len());
+    for (i, (u, b)) in unbatched.iter().zip(&batched).enumerate() {
+        match (u, b) {
+            (
+                Response::Bfs {
+                    levels: lu,
+                    reached: ru,
+                },
+                Response::Bfs {
+                    levels: lb,
+                    reached: rb,
+                },
+            ) => {
+                assert_eq!(lu, lb, "query {i}: BFS levels diverged");
+                assert_eq!(ru, rb, "query {i}: BFS reach diverged");
+            }
+            (
+                Response::Connected {
+                    connected: cu,
+                    components: ku,
+                },
+                Response::Connected {
+                    connected: cb,
+                    components: kb,
+                },
+            ) => {
+                assert_eq!(cu, cb, "query {i}: membership diverged");
+                assert_eq!(ku, kb, "query {i}: component count diverged");
+            }
+            (Response::Neighborhood { vertices: vu }, Response::Neighborhood { vertices: vb }) => {
+                assert_eq!(vu, vb, "query {i}: neighborhood diverged");
+            }
+            other => panic!("query {i}: mismatched variants {other:?}"),
+        }
+    }
+}
+
+/// A batch's split traffic must stay internally consistent: zero graph
+/// writes per member, nonzero graph reads for traversal queries, and the
+/// member sum bounded by the global delta (the reconciliation invariant).
+#[test]
+fn batched_traffic_splits_cleanly() {
+    let g = test_graph();
+    let live: Vec<V> = (0..g.num_vertices() as V)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    let before = Meter::global().snapshot();
+    let service = GraphService::start(
+        g,
+        ServiceConfig {
+            workers: 1, // one worker: the backlog drains as maximal batches
+            queue_capacity: 64,
+            batch: BatchPolicy {
+                max_batch: 64,
+                max_linger: Duration::from_millis(2),
+            },
+            ..Default::default()
+        },
+    );
+    let tickets: Vec<_> = (0..40)
+        .map(|i| {
+            service.submit(Query::Bfs {
+                src: live[i * 3 % live.len()],
+            })
+        })
+        .collect();
+    let mut sum = sage_nvram::MeterSnapshot::default();
+    for t in tickets {
+        let r = t.wait();
+        assert_eq!(r.traffic.graph_write, 0, "query #{} wrote the graph", r.id);
+        assert!(
+            r.traffic.graph_read > 0,
+            "query #{} was attributed no graph reads",
+            r.id
+        );
+        sum = sum.plus(&r.traffic);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 40);
+    assert!(stats.peak_batch > 1, "no batch formed: {stats:?}");
+    assert!(stats.batched_queries > 0);
+    let delta = Meter::global().snapshot().since(&before);
+    assert!(
+        sum.graph_read <= delta.graph_read,
+        "split graph reads {} exceed global delta {}",
+        sum.graph_read,
+        delta.graph_read
+    );
+}
+
+/// Regression test for FIFO fairness under batch draining: a query that is
+/// *incompatible* with the batch being formed must keep its arrival
+/// position — the buggy alternative (pop everything, re-push incompatibles
+/// at the tail) lets later arrivals overtake it indefinitely.
+#[test]
+fn incompatible_requests_keep_their_queue_position() {
+    use sage_serve::queue::{Pending, RequestQueue};
+
+    let queue = RequestQueue::new(16);
+    let policy = BatchPolicy {
+        max_batch: 8,
+        max_linger: Duration::ZERO,
+    };
+    let mk = |id: u64, q: Query| {
+        let (p, _t) = Pending::new(id, q);
+        p
+    };
+    // Arrival order: BFS(0), KCore(1), BFS(2), Neighborhood(3), BFS(4).
+    queue.push(mk(0, Query::Bfs { src: 0 }));
+    queue.push(mk(1, Query::KCore { vertices: vec![0] }));
+    queue.push(mk(2, Query::Bfs { src: 1 }));
+    queue.push(mk(3, Query::Neighborhood { src: 0, hops: 1 }));
+    queue.push(mk(4, Query::Bfs { src: 2 }));
+
+    // First drain: the BFS head plus both compatible BFS queries behind it.
+    let batch = queue.pop_batch(&policy).unwrap();
+    assert_eq!(
+        batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![0, 2, 4],
+        "batch must drain all compatible members in arrival order"
+    );
+    assert_eq!(queue.depth(), 2);
+
+    // A new arrival must land *behind* the skipped-over requests.
+    queue.push(mk(5, Query::Bfs { src: 3 }));
+
+    // The k-core query kept the head position it arrived with...
+    let batch = queue.pop_batch(&policy).unwrap();
+    assert_eq!(
+        batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![1],
+        "the incompatible head must be served next, not re-queued at the tail"
+    );
+    // ...followed by the neighborhood probe, still ahead of the late BFS.
+    let batch = queue.pop_batch(&policy).unwrap();
+    assert_eq!(
+        batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![3]
+    );
+    let batch = queue.pop_batch(&policy).unwrap();
+    assert_eq!(
+        batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![5]
+    );
+    assert_eq!(queue.depth(), 0);
+}
+
+/// The batch cap respects both the policy and the class limit, and a
+/// `Single`-class query never shares a batch.
+#[test]
+fn batch_caps_respect_policy_and_class() {
+    use sage_serve::queue::{Pending, RequestQueue};
+
+    let queue = RequestQueue::new(128);
+    let mk = |id: u64, q: Query| Pending::new(id, q).0;
+    for i in 0..10 {
+        queue.push(mk(i, Query::Bfs { src: 0 }));
+    }
+    let batch = queue
+        .pop_batch(&BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::ZERO,
+        })
+        .unwrap();
+    assert_eq!(batch.len(), 4, "policy cap must bound the drain");
+    assert_eq!(queue.depth(), 6);
+
+    // Single-class queries always run alone even under a generous policy.
+    queue.push(mk(100, Query::KCore { vertices: vec![0] }));
+    queue.push(mk(101, Query::KCore { vertices: vec![1] }));
+    // Drain the remaining BFS backlog first.
+    let b = queue.pop_batch(&BatchPolicy::default()).unwrap();
+    assert_eq!(b.len(), 6);
+    let b = queue.pop_batch(&BatchPolicy::default()).unwrap();
+    assert_eq!(b.len(), 1, "Single-class queries must not batch");
+    assert_eq!(b.members()[0].id(), 100);
 }

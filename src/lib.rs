@@ -11,7 +11,7 @@
 //! | scheduler | [`parallel`] | work-stealing pool, `join`, scan/reduce/filter/sort |
 //! | memory | [`nvram`] | read-only mappings, the PSAM [`Meter`], Memory-Mode cache |
 //! | graph | [`graph`] | [`Csr`], [`CompressedCsr`], generators, binary I/O |
-//! | engine | [`core`] | [`edge_map`], graphFilter, bucketing, the 18 [`algo`]s |
+//! | engine | [`core`] | [`edge_map()`], graphFilter, bucketing, the 18 [`algo`]s |
 //! | serving | [`serve`] | [`GraphService`]: concurrent queries over one snapshot |
 //! | comparison | [`baselines`] | GBBS-, Galois-, GridGraph-style comparators |
 //!

@@ -36,6 +36,7 @@ fn concurrent_queries_over_one_nvram_mapping() {
             workers: 4,
             queue_capacity: 128,
             dram_budget_bytes: 0, // auto: 4 × the largest single-query estimate
+            ..Default::default()
         },
     ));
 
@@ -84,8 +85,8 @@ fn concurrent_queries_over_one_nvram_mapping() {
                             assert_eq!(*connected, labels[*u as usize] == labels[*v as usize]);
                             assert_eq!(*components, expected_components);
                         }
-                        (Query::Bfs { src }, Response::Bfs { parents, reached }) => {
-                            assert_eq!(parents[*src as usize], *src);
+                        (Query::Bfs { src }, Response::Bfs { levels, reached }) => {
+                            assert_eq!(levels[*src as usize], 0);
                             assert!(*reached >= 1);
                         }
                         _ => {}

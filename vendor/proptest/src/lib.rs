@@ -324,7 +324,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Accepted by [`vec`] as either an exact length or a length range.
+    /// Accepted by [`vec()`] as either an exact length or a length range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
