@@ -14,10 +14,16 @@
 //!
 //! Repeated records with the same key (experiments re-time a problem several
 //! times) are folded to best-of wall time and worst-of graph writes before
-//! comparison. Additionally, when the fresh report carries the `serve-batch`
-//! experiment, batched qps must be at least 2× unbatched qps — the
-//! within-run speedup contract of batched execution, deliberately compared
-//! inside one report so machine speed cancels out.
+//! comparison. Additionally, three *within-run* ratio contracts are checked
+//! on the fresh report whenever it carries the relevant experiment —
+//! deliberately compared inside one report so machine speed cancels out:
+//!
+//! * `serve-batch`: batched qps ≥ 2× unbatched qps (batched execution must
+//!   keep paying for itself);
+//! * `decode-bw`: `word-hybrid` decode bandwidth ≥ 2× `per-byte` (the
+//!   word-at-a-time kernel + hybrid encoding contract);
+//! * `serve-compressed`: `compressed-batched` qps ≥ 0.5× `csr-batched`
+//!   (serving a compressed snapshot costs at most 2× throughput).
 //!
 //! Environment knobs (for local experimentation, not CI):
 //! `SAGE_BENCH_DIFF_MIN_SECONDS`, `SAGE_BENCH_DIFF_MAX_WALL_REGRESSION`
@@ -33,6 +39,11 @@ pub const DEFAULT_MAX_WALL_REGRESSION: f64 = 0.30;
 pub const MAX_GRAPH_WRITE_REGRESSION: f64 = 0.10;
 /// Required batched/unbatched qps ratio in the `serve-batch` experiment.
 pub const MIN_BATCH_SPEEDUP: f64 = 2.0;
+/// Required `word-hybrid`/`per-byte` decode-bandwidth ratio in `decode-bw`.
+pub const MIN_DECODE_SPEEDUP: f64 = 2.0;
+/// Required `compressed-batched`/`csr-batched` qps ratio in
+/// `serve-compressed`.
+pub const MIN_COMPRESSED_QPS_RATIO: f64 = 0.5;
 
 /// One parsed bench record (the fields the gate cares about).
 #[derive(Clone, Debug)]
@@ -410,28 +421,56 @@ pub fn diff_reports(fresh: &Report, baseline: &Report, config: &DiffConfig) -> V
         "  compared {compared} records ({wall_checked} above the {:.0} ms wall floor)",
         config.min_seconds * 1e3
     );
-    failures.extend(check_batch_speedup(&fresh_map));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-batch",
+        "batched",
+        "unbatched",
+        MIN_BATCH_SPEEDUP,
+    ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "decode-bw",
+        "word-hybrid",
+        "per-byte",
+        MIN_DECODE_SPEEDUP,
+    ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-compressed",
+        "compressed-batched",
+        "csr-batched",
+        MIN_COMPRESSED_QPS_RATIO,
+    ));
     failures
 }
 
-/// Within-run serve-batch contract: batched qps ≥ 2× unbatched qps.
-fn check_batch_speedup(fresh: &BTreeMap<(String, String), DiffRecord>) -> Vec<String> {
+/// A within-run ratio contract: in `experiment`, `num`'s qps must be at
+/// least `min_ratio` × `den`'s qps. No-op when either record is absent
+/// (the experiment was not part of this run).
+fn check_qps_ratio(
+    fresh: &BTreeMap<(String, String), DiffRecord>,
+    experiment: &str,
+    num: &str,
+    den: &str,
+    min_ratio: f64,
+) -> Vec<String> {
     let get = |name: &str| {
         fresh
-            .get(&("serve-batch".to_string(), name.to_string()))
+            .get(&(experiment.to_string(), name.to_string()))
             .and_then(|r| r.qps)
     };
-    match (get("batched"), get("unbatched")) {
-        (Some(batched), Some(unbatched)) => {
-            let ratio = batched / unbatched.max(1e-9);
+    match (get(num), get(den)) {
+        (Some(a), Some(b)) => {
+            let ratio = a / b.max(1e-9);
             println!(
-                "  serve-batch: batched {batched:.1} qps vs unbatched {unbatched:.1} qps \
-                 ({ratio:.2}x, gate >= {MIN_BATCH_SPEEDUP:.1}x)"
+                "  {experiment}: {num} {a:.1} qps vs {den} {b:.1} qps \
+                 ({ratio:.2}x, gate >= {min_ratio:.1}x)"
             );
-            if ratio < MIN_BATCH_SPEEDUP {
+            if ratio < min_ratio {
                 vec![format!(
-                    "serve-batch: batched qps is only {ratio:.2}x unbatched \
-                     (required >= {MIN_BATCH_SPEEDUP:.1}x)"
+                    "{experiment}: {num} qps is only {ratio:.2}x {den} \
+                     (required >= {min_ratio:.1}x)"
                 )]
             } else {
                 Vec::new()
@@ -564,6 +603,53 @@ mod tests {
         let fails = diff_reports(&bad, &base, &DiffConfig::default());
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("serve-batch"));
+    }
+
+    #[test]
+    fn decode_speedup_gate() {
+        let base = report(&[]);
+        let good = report(&[
+            ("decode-bw", "per-byte", 0.001, 0, Some(1.0e8)),
+            ("decode-bw", "word-at-a-time", 0.001, 0, Some(1.8e8)),
+            ("decode-bw", "word-hybrid", 0.001, 0, Some(2.5e8)),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = report(&[
+            ("decode-bw", "per-byte", 0.001, 0, Some(1.0e8)),
+            ("decode-bw", "word-hybrid", 0.001, 0, Some(1.5e8)),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("decode-bw"));
+    }
+
+    #[test]
+    fn compressed_serving_gate() {
+        let base = report(&[]);
+        let good = report(&[
+            ("serve-compressed", "csr-batched", 0.2, 0, Some(1000.0)),
+            (
+                "serve-compressed",
+                "compressed-batched",
+                0.2,
+                0,
+                Some(600.0),
+            ),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = report(&[
+            ("serve-compressed", "csr-batched", 0.2, 0, Some(1000.0)),
+            (
+                "serve-compressed",
+                "compressed-batched",
+                0.2,
+                0,
+                Some(400.0),
+            ),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("compressed-batched"));
     }
 
     #[test]

@@ -821,6 +821,364 @@ pub fn serve_batch() {
     );
 }
 
+/// Build a [`crate::report::CompressionStats`] describing `comp` relative
+/// to its source CSR.
+fn compression_stats(
+    csr: &sage_graph::Csr,
+    comp: &sage_graph::CompressedCsr,
+) -> crate::report::CompressionStats {
+    crate::report::CompressionStats {
+        encoded_bytes: comp.size_bytes(),
+        ratio: comp.size_bytes() as f64 / csr.size_bytes() as f64,
+        bytes_per_edge: comp.size_bytes() as f64 / comp.num_edges().max(1) as f64,
+        hybrid_cutoff: comp.hybrid_cutoff(),
+        hybrid_vertices: comp.hybrid_vertices(),
+    }
+}
+
+/// Decode bandwidth: full-graph adjacency decode (edges/second) through the
+/// per-byte reference decoder, the word-at-a-time kernel, and the kernel
+/// plus hybrid raw encoding, on a web-shaped input (the regime §4.2.1's
+/// compression targets). Each configuration is timed over adaptively many
+/// passes; the per-pass checksums must agree bitwise across all three.
+/// Emits schema-v3 records whose `qps` is edges decoded per second — the
+/// `bench_diff` gate asserts `word-hybrid` ≥ 2× `per-byte`.
+pub fn decode_bw() {
+    use sage_graph::compressed::HYBRID_DISABLED;
+    use sage_graph::CompressedCsr;
+    use std::time::Instant;
+
+    crate::report::set_experiment("decode-bw");
+    let scale = Suite::base_scale();
+    // Edge factor 96 ≈ ClueWeb-class density (the paper's flagship web
+    // input averages ~76 neighbors symmetrized, and rmat dedup at small
+    // scales roughly halves the requested factor): dense neighbor lists
+    // are the regime byte compression targets, and what the decode
+    // kernels are sized for.
+    let csr = sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1);
+    let m = csr.num_edges();
+    let plain = CompressedCsr::from_csr_with(&csr, 64, HYBRID_DISABLED);
+    // Speed-tuned serving profile: cutoff = half the block size, so
+    // everything past mid-degree decodes raw while the long byte-coded
+    // tail still shrinks the snapshot (the default cutoff is
+    // compression-first and keeps hubs byte-coded; see
+    // `DEFAULT_HYBRID_CUTOFF`).
+    let hybrid = CompressedCsr::from_csr_with(&csr, 64, 32);
+    println!(
+        "\n== decode-bw: web-rmat-2^{scale} ({} edges), {} -> {} bytes \
+         (hybrid cutoff {}, {} hybrid vertices) ==",
+        m,
+        csr.size_bytes(),
+        hybrid.size_bytes(),
+        hybrid.hybrid_cutoff(),
+        hybrid.hybrid_vertices(),
+    );
+
+    // Hand-timed (not `crate::timed`) so one record covers many passes:
+    // each decoder doubles its pass count until a batch is long enough to
+    // time reliably, then the rounds are *interleaved* — every round times
+    // all three decoders once, so a progressive slowdown (thermal, noisy
+    // neighbor) degrades the rows together instead of whichever happens to
+    // be measured last — and the best (minimum) per-pass time survives,
+    // filtering transient bursts that would jitter the within-run speedup
+    // gate. Traffic is metered over a single pass (identical across
+    // passes).
+    type Decode = fn(&CompressedCsr) -> u64;
+    let decoders: [(&'static str, &CompressedCsr, Decode); 3] = [
+        ("per-byte", &plain, |g| g.decode_checksum_per_byte()),
+        ("word-at-a-time", &plain, |g| g.decode_checksum()),
+        ("word-hybrid", &hybrid, |g| g.decode_checksum()),
+    ];
+    let mut rows = Vec::new();
+    for (name, comp, decode) in decoders {
+        let before = sage_nvram::Meter::global().snapshot();
+        let checksum = decode(comp);
+        let traffic = sage_nvram::Meter::global().snapshot().since(&before);
+        assert_eq!(traffic.graph_write, 0, "decode wrote the graph");
+        let mut passes = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..passes {
+                assert_eq!(decode(comp), checksum, "unstable decode");
+            }
+            if t0.elapsed().as_secs_f64() >= 0.05 {
+                break;
+            }
+            passes *= 2;
+        }
+        rows.push((name, comp, decode, checksum, traffic, passes, f64::INFINITY));
+    }
+    for _ in 0..8 {
+        for (_, comp, decode, checksum, _, passes, best) in rows.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..*passes {
+                assert_eq!(decode(comp), *checksum, "unstable decode");
+            }
+            *best = best.min(t0.elapsed().as_secs_f64() / *passes as f64);
+        }
+    }
+    let mut results = Vec::new();
+    for (name, comp, _, checksum, traffic, _, per_pass) in rows {
+        let rate = m as f64 / per_pass.max(1e-9);
+        let stats = crate::report::LatencyStats {
+            queries: m,
+            clients: 1,
+            qps: rate,
+            p50: per_pass,
+            p99: per_pass,
+        };
+        crate::report::record_compression(
+            name,
+            per_pass,
+            traffic,
+            Some(stats),
+            compression_stats(&csr, comp),
+        );
+        results.push((checksum, rate));
+    }
+    let (sum_byte, bw_byte) = results[0];
+    let (sum_word, bw_word) = results[1];
+    let (sum_hyb, bw_hyb) = results[2];
+    assert_eq!(sum_byte, sum_word, "word decode disagrees with per-byte");
+    assert_eq!(sum_byte, sum_hyb, "hybrid decode changes the edge set");
+
+    print_table(
+        "decode-bw: full-graph decode bandwidth",
+        &["edges/s", "speedup vs per-byte"],
+        &[
+            (
+                "per-byte".into(),
+                vec![format!("{bw_byte:.3e}"), "1.00x".into()],
+            ),
+            (
+                "word-at-a-time".into(),
+                vec![
+                    format!("{bw_word:.3e}"),
+                    format!("{:.2}x", bw_word / bw_byte),
+                ],
+            ),
+            (
+                "word-hybrid".into(),
+                vec![format!("{bw_hyb:.3e}"), format!("{:.2}x", bw_hyb / bw_byte)],
+            ),
+        ],
+    );
+    println!(
+        "word-hybrid/per-byte: {:.2}x (gate: >= 2x, enforced by bench_diff)",
+        bw_hyb / bw_byte
+    );
+}
+
+/// Serving over a compressed snapshot: the `serve-batch` batched BFS
+/// workload is replayed against a plain-CSR service and a
+/// [`sage_graph::CompressedCsr`] service over the *same* web-shaped
+/// snapshot. Responses must match bitwise and every served query must keep
+/// `graph_write == 0`; the `bench_diff` gate asserts compressed qps ≥ 0.5×
+/// the CSR qps (decode overhead bounded, in exchange for the size ratio
+/// reported in the schema-v3 compression fields).
+pub fn serve_compressed() {
+    use sage_serve::{BatchPolicy, GraphService, Query, Response, ServiceConfig, Ticket};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    crate::report::set_experiment("serve-compressed");
+    let scale = Suite::base_scale();
+    let clients = 4usize;
+    let per_client = 64usize;
+    let batch_size = 32usize;
+    // Same ClueWeb-class density as `decode-bw`, but a cutoff that leans
+    // toward compression (cutoff = block size): serving is where the
+    // smaller snapshot pays off, and the qps gate against plain CSR has
+    // ample headroom even with hubs byte-coded.
+    let csr = sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1);
+    let comp = sage_graph::CompressedCsr::from_csr_with(&csr, 64, 64);
+    let cstats = compression_stats(&csr, &comp);
+    let n = csr.num_vertices();
+    let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| csr.degree(v) > 0).collect());
+    println!(
+        "\n== serve-compressed: web-rmat-2^{scale} ({n} vertices, ratio {:.2}), \
+         {clients} clients x {per_client} batched BFS point queries ==",
+        cstats.ratio
+    );
+
+    // One driver for both representations: GraphService is generic over
+    // `Graph`, so the compressed snapshot drops in unchanged.
+    fn drive<G: Graph + Send + Sync + 'static>(
+        g: G,
+        live: &Arc<Vec<V>>,
+        clients: usize,
+        per_client: usize,
+        batch_size: usize,
+    ) -> (
+        crate::report::LatencyStats,
+        sage_nvram::MeterSnapshot,
+        Vec<Response>,
+    ) {
+        let service = Arc::new(GraphService::start(
+            g,
+            ServiceConfig {
+                queue_capacity: clients * per_client,
+                batch: BatchPolicy {
+                    max_batch: batch_size,
+                    max_linger: Duration::from_micros(200),
+                },
+                ..Default::default()
+            },
+        ));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let live = Arc::clone(live);
+                std::thread::spawn(move || {
+                    let pick = |k: usize| live[k % live.len()];
+                    let submitted: Vec<(Instant, Ticket)> = (0..per_client)
+                        .map(|i| {
+                            let q = Query::Bfs {
+                                src: pick(c * 131 + i * 13),
+                            };
+                            (Instant::now(), service.submit(q))
+                        })
+                        .collect();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut traffic = sage_nvram::MeterSnapshot::default();
+                    let mut responses = Vec::with_capacity(per_client);
+                    for (at, ticket) in submitted {
+                        let r = ticket.wait();
+                        latencies.push(at.elapsed().as_secs_f64());
+                        assert_eq!(r.traffic.graph_write, 0, "NVRAM write in a served query");
+                        traffic = traffic.plus(&r.traffic);
+                        responses.push(r.response);
+                    }
+                    (c, latencies, traffic, responses)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        let mut traffic = sage_nvram::MeterSnapshot::default();
+        let mut responses: Vec<(usize, Vec<Response>)> = Vec::new();
+        for h in handles {
+            let (c, l, t, r) = h.join().expect("client thread");
+            latencies.extend(l);
+            traffic = traffic.plus(&t);
+            responses.push((c, r));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let svc = service.stats();
+        assert!(
+            svc.peak_batch > 1,
+            "backlogged workload formed no batches (peak {})",
+            svc.peak_batch
+        );
+        // Stable client order so the two representations' response vectors
+        // line up for the bitwise comparison.
+        responses.sort_by_key(|&(c, _)| c);
+        let flat = responses.into_iter().flat_map(|(_, r)| r).collect();
+        (
+            crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed),
+            traffic,
+            flat,
+        )
+    }
+
+    // Best-of-rounds, like `decode-bw`: on a shared core a background burst
+    // in a single round must not decide the within-run qps-ratio gate. The
+    // graph is rebuilt per round (deterministic seed), and every round must
+    // answer identically.
+    fn drive_best<G: Graph + Send + Sync + 'static>(
+        mk: impl Fn() -> G,
+        live: &Arc<Vec<V>>,
+        clients: usize,
+        per_client: usize,
+        batch_size: usize,
+    ) -> (
+        crate::report::LatencyStats,
+        sage_nvram::MeterSnapshot,
+        Vec<Response>,
+    ) {
+        let mut best: Option<(
+            crate::report::LatencyStats,
+            sage_nvram::MeterSnapshot,
+            Vec<Response>,
+        )> = None;
+        for _ in 0..3 {
+            let round = drive(mk(), live, clients, per_client, batch_size);
+            best = match best {
+                Some(b) => {
+                    assert_eq!(b.2, round.2, "round-to-round answers diverged");
+                    Some(if round.0.qps > b.0.qps { round } else { b })
+                }
+                None => Some(round),
+            };
+        }
+        best.expect("at least one round")
+    }
+
+    let (csr_stats, csr_traffic, csr_responses) = drive_best(
+        || sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1),
+        &live,
+        clients,
+        per_client,
+        batch_size,
+    );
+    crate::report::record_latency(
+        "csr-batched",
+        csr_stats.queries as f64 / csr_stats.qps.max(1e-9),
+        csr_traffic,
+        csr_stats,
+    );
+    let (comp_stats, comp_traffic, comp_responses) = drive_best(
+        || sage_graph::CompressedCsr::from_csr_with(&csr, 64, 64),
+        &live,
+        clients,
+        per_client,
+        batch_size,
+    );
+    crate::report::record_compression(
+        "compressed-batched",
+        comp_stats.queries as f64 / comp_stats.qps.max(1e-9),
+        comp_traffic,
+        Some(comp_stats),
+        cstats,
+    );
+    assert_eq!(
+        csr_responses, comp_responses,
+        "compressed serving changed an answer"
+    );
+
+    print_table(
+        "serve-compressed: batched BFS qps",
+        &["qps", "p50 ms", "p99 ms", "graph-read words"],
+        &[
+            (
+                "csr-batched".into(),
+                vec![
+                    format!("{:.1}", csr_stats.qps),
+                    format!("{:.3}", csr_stats.p50 * 1e3),
+                    format!("{:.3}", csr_stats.p99 * 1e3),
+                    format!("{}", csr_traffic.graph_read),
+                ],
+            ),
+            (
+                "compressed-batched".into(),
+                vec![
+                    format!("{:.1}", comp_stats.qps),
+                    format!("{:.3}", comp_stats.p50 * 1e3),
+                    format!("{:.3}", comp_stats.p99 * 1e3),
+                    format!("{}", comp_traffic.graph_read),
+                ],
+            ),
+        ],
+    );
+    println!(
+        "compressed/csr qps ratio: {:.2}x (gate: >= 0.5x, enforced by bench_diff); \
+         size ratio {:.2} ({:.2} bytes/edge)",
+        comp_stats.qps / csr_stats.qps.max(1e-9),
+        cstats.ratio,
+        cstats.bytes_per_edge,
+    );
+}
+
 /// Run everything (the `all` subcommand).
 pub fn all() {
     table2();

@@ -3,14 +3,17 @@
 //! ```text
 //! sage-bench <experiment>... [SAGE_SCALE=17] [SAGE_THREADS=N]
 //!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa
-//!   serve serve-batch all
+//!   serve serve-batch decode-bw serve-compressed all
 //! ```
 //!
 //! Several experiments may be named in one invocation; they run in order and
 //! share one JSON report. `serve` is the multi-query serving
 //! throughput/latency experiment and `serve-batch` the batched-vs-unbatched
 //! point-query comparison (neither is a paper figure); their JSON records
-//! carry the schema-v2 p50/p99/qps fields.
+//! carry the schema-v2 p50/p99/qps fields. `decode-bw` measures compressed
+//! adjacency decode bandwidth (per-byte vs word-at-a-time vs hybrid) and
+//! `serve-compressed` replays the batched point-query workload over a
+//! compressed snapshot; both emit the schema-v3 compression fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
@@ -51,11 +54,14 @@ fn main() {
             "numa" => sage_bench::experiments::numa(),
             "serve" => sage_bench::experiments::serve(),
             "serve-batch" => sage_bench::experiments::serve_batch(),
+            "decode-bw" => sage_bench::experiments::decode_bw(),
+            "serve-compressed" => sage_bench::experiments::serve_compressed(),
             "all" => sage_bench::experiments::all(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 eprintln!(
-                    "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch all"
+                    "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch \
+                     decode-bw serve-compressed all"
                 );
                 std::process::exit(2);
             }

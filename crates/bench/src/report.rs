@@ -8,14 +8,17 @@
 //! `BENCH_SCALE8.json` this way.
 //!
 //! The JSON is hand-rolled (the container has no serde): a flat schema of
-//! one object per record, stable across PRs. Schema v2 adds *optional*
+//! one object per record, stable across PRs. Schema v2 added *optional*
 //! latency-distribution fields to a record (present only for throughput
-//! experiments such as `serve`); every v1 field is unchanged, so v1
+//! experiments such as `serve`); schema v3 adds optional *compression*
+//! fields (present only for records describing an encoded graph, e.g. in
+//! `decode-bw` / `serve-compressed`) so bytes-per-edge rides alongside qps
+//! in the perf trajectory. Every earlier field is unchanged, so v1/v2
 //! consumers keep working:
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "scale": 8,
 //!   "threads": 2,
 //!   "records": [
@@ -24,7 +27,11 @@
 //!     {"experiment": "serve", "name": "mixed", "seconds": 0.120000,
 //!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3,
 //!      "queries": 64, "clients": 4, "qps": 533.3,
-//!      "p50_seconds": 0.001, "p99_seconds": 0.004}
+//!      "p50_seconds": 0.001, "p99_seconds": 0.004},
+//!     {"experiment": "decode-bw", "name": "encoding", "seconds": 0.0,
+//!      "graph_read": 0, "graph_write": 0, "aux_read": 0, "aux_write": 0,
+//!      "encoded_bytes": 123456, "compression_ratio": 0.61,
+//!      "bytes_per_edge": 2.4, "hybrid_cutoff": 128, "hybrid_vertices": 17}
 //!   ]
 //! }
 //! ```
@@ -47,6 +54,21 @@ pub struct LatencyStats {
     pub p50: f64,
     /// 99th-percentile per-query latency (seconds).
     pub p99: f64,
+}
+
+/// Size/encoding description of a compressed graph (schema v3).
+#[derive(Clone, Copy, Debug)]
+pub struct CompressionStats {
+    /// Total bytes of the encoded representation (all arrays).
+    pub encoded_bytes: usize,
+    /// `encoded / uncompressed-CSR` size ratio (< 1 means it shrank).
+    pub ratio: f64,
+    /// Encoded bytes per directed edge.
+    pub bytes_per_edge: f64,
+    /// Hybrid degree cutoff in force (`u32::MAX` = disabled).
+    pub hybrid_cutoff: u32,
+    /// Vertices stored in the raw hybrid encoding.
+    pub hybrid_vertices: usize,
 }
 
 impl LatencyStats {
@@ -79,6 +101,8 @@ pub struct Record {
     pub traffic: MeterSnapshot,
     /// Latency distribution, for throughput experiments only (schema v2).
     pub latency: Option<LatencyStats>,
+    /// Encoding stats, for compressed-graph experiments only (schema v3).
+    pub compression: Option<CompressionStats>,
 }
 
 static CURRENT: Mutex<Option<String>> = Mutex::new(None);
@@ -91,7 +115,7 @@ pub fn set_experiment(label: &str) {
 
 /// Append one record to the sink (called by [`crate::timed`]).
 pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
-    record_inner(name, seconds, traffic, None);
+    record_inner(name, seconds, traffic, None, None);
 }
 
 /// Append one throughput record with its latency distribution (schema v2).
@@ -101,7 +125,19 @@ pub fn record_latency(
     traffic: MeterSnapshot,
     latency: LatencyStats,
 ) {
-    record_inner(name, seconds, traffic, Some(latency));
+    record_inner(name, seconds, traffic, Some(latency), None);
+}
+
+/// Append a record describing an encoded graph (schema v3). `latency` may
+/// carry a decode/serve rate in its `qps` field for `bench_diff` gating.
+pub fn record_compression(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: Option<LatencyStats>,
+    compression: CompressionStats,
+) {
+    record_inner(name, seconds, traffic, latency, Some(compression));
 }
 
 fn record_inner(
@@ -109,6 +145,7 @@ fn record_inner(
     seconds: f64,
     traffic: MeterSnapshot,
     latency: Option<LatencyStats>,
+    compression: Option<CompressionStats>,
 ) {
     let experiment = CURRENT
         .lock()
@@ -121,6 +158,7 @@ fn record_inner(
         seconds,
         traffic,
         latency,
+        compression,
     });
 }
 
@@ -148,7 +186,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
     let records = RECORDS.lock().unwrap();
     let mut out = String::with_capacity(128 + records.len() * 160);
     out.push_str(&format!(
-        "{{\n  \"schema\": 2,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
+        "{{\n  \"schema\": 3,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
     ));
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -170,6 +208,14 @@ pub fn to_json(scale: u32, threads: usize) -> String {
                 ", \"queries\": {}, \"clients\": {}, \"qps\": {:.2}, \
                  \"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}",
                 l.queries, l.clients, l.qps, l.p50, l.p99,
+            ));
+        }
+        if let Some(c) = &r.compression {
+            out.push_str(&format!(
+                ", \"encoded_bytes\": {}, \"compression_ratio\": {:.4}, \
+                 \"bytes_per_edge\": {:.4}, \"hybrid_cutoff\": {}, \
+                 \"hybrid_vertices\": {}",
+                c.encoded_bytes, c.ratio, c.bytes_per_edge, c.hybrid_cutoff, c.hybrid_vertices,
             ));
         }
         out.push('}');
@@ -214,8 +260,21 @@ mod tests {
                 p99: 0.004,
             },
         );
+        record_compression(
+            "encoding",
+            0.0,
+            MeterSnapshot::default(),
+            None,
+            CompressionStats {
+                encoded_bytes: 123456,
+                ratio: 0.61,
+                bytes_per_edge: 2.4,
+                hybrid_cutoff: 128,
+                hybrid_vertices: 17,
+            },
+        );
         let json = to_json(8, 2);
-        assert!(json.starts_with("{\n  \"schema\": 2,"));
+        assert!(json.starts_with("{\n  \"schema\": 3,"));
         assert!(json.contains("\"scale\": 8"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains(
@@ -225,6 +284,11 @@ mod tests {
         assert!(json.contains(
             "\"queries\": 64, \"clients\": 4, \"qps\": 256.00, \
              \"p50_seconds\": 0.001000, \"p99_seconds\": 0.004000"
+        ));
+        assert!(json.contains(
+            "\"encoded_bytes\": 123456, \"compression_ratio\": 0.6100, \
+             \"bytes_per_edge\": 2.4000, \"hybrid_cutoff\": 128, \
+             \"hybrid_vertices\": 17"
         ));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(

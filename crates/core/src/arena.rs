@@ -39,6 +39,15 @@ pub(crate) const CHUNK_RETAIN_CAP: usize = 1 << 15;
 /// Maximum dense flag buffers retained per pool (each is `O(n)` bytes).
 const FLAGS_RETAIN: usize = 8;
 
+/// Maximum block-decode scratch buffers retained per pool. One buffer is
+/// live per executing task group, so `O(P)` covers every traversal shape.
+const EDGES_RETAIN: usize = 16;
+
+/// Largest per-buffer capacity (entries) the edge-decode pool will retain:
+/// one decoded block is `block_size` entries, far below this; outsized
+/// buffers (giant-block graphs) are shrunk on release like chunks.
+pub(crate) const EDGES_RETAIN_CAP: usize = 1 << 14;
+
 /// Maximum recycled histograms retained per pool (dense scratch is `O(n)`).
 const HIST_RETAIN: usize = 4;
 
@@ -50,6 +59,10 @@ pub(crate) struct ScratchPools {
     flags: Mutex<Vec<Vec<bool>>>,
     /// Peeling histograms with reusable dense scratch.
     histograms: Mutex<Vec<Histogram>>,
+    /// Block-decode scratch: a compressed adjacency block is decoded into
+    /// one of these `(neighbor, weight)` buffers once, then probed as a
+    /// plain slice — instead of re-walking encoded bytes per probe.
+    edges: Mutex<Vec<Vec<(V, u32)>>>,
 }
 
 impl ScratchPools {
@@ -58,6 +71,7 @@ impl ScratchPools {
             chunks: Mutex::new(Vec::new()),
             flags: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
+            edges: Mutex::new(Vec::new()),
         }
     }
 
@@ -134,6 +148,31 @@ impl ScratchPools {
         }
     }
 
+    /// Fetch an empty block-decode buffer with room for `capacity` edges.
+    fn fetch_edges(&self, capacity: usize) -> Vec<(V, u32)> {
+        let mut buf = self.edges.lock().pop().unwrap_or_default();
+        buf.clear();
+        if buf.capacity() < capacity {
+            buf.reserve_exact(capacity);
+        }
+        buf
+    }
+
+    /// Return a block-decode buffer (bounded count, outsized ones shrunk).
+    fn release_edges(&self, mut buf: Vec<(V, u32)>) {
+        if self.edges.lock().len() >= EDGES_RETAIN {
+            return;
+        }
+        if buf.capacity() > EDGES_RETAIN_CAP {
+            buf.clear();
+            buf.shrink_to(EDGES_RETAIN_CAP);
+        }
+        let mut guard = self.edges.lock();
+        if guard.len() < EDGES_RETAIN {
+            guard.push(buf);
+        }
+    }
+
     /// Total bytes currently parked in the chunk freelist (observability).
     pub(crate) fn retained_chunk_bytes(&self) -> usize {
         self.chunks
@@ -184,6 +223,16 @@ pub(crate) fn fetch_flags(n: usize, value: bool) -> Vec<bool> {
 /// Release a dense flag buffer to the current pools.
 pub(crate) fn release_flags(flags: Vec<bool>) {
     with_pools(|p| p.release_flags(flags))
+}
+
+/// Fetch a block-decode scratch buffer from the current pools.
+pub(crate) fn fetch_edges(capacity: usize) -> Vec<(V, u32)> {
+    with_pools(|p| p.fetch_edges(capacity))
+}
+
+/// Release a block-decode scratch buffer to the current pools.
+pub(crate) fn release_edges(buf: Vec<(V, u32)>) {
+    with_pools(|p| p.release_edges(buf))
 }
 
 /// Fetch a (possibly recycled) histogram aimed at an `m`-edge workload.
@@ -251,6 +300,11 @@ impl QueryArena {
     pub fn retained_counts(&self) -> (usize, usize, usize) {
         self.pools.retained_counts()
     }
+
+    /// Number of retained block-decode scratch buffers.
+    pub fn retained_edge_buffers(&self) -> usize {
+        self.pools.edges.lock().len()
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +344,32 @@ mod tests {
         });
         assert_eq!(a.retained_counts().0, 1);
         assert_eq!(b.retained_counts().0, 0);
+    }
+
+    #[test]
+    fn edge_scratch_recycles_bounded() {
+        let arena = QueryArena::new();
+        arena.enter(|| {
+            let buf = fetch_edges(256);
+            assert!(buf.capacity() >= 256);
+            release_edges(buf);
+            // Outsized buffers come back shrunk to the retention cap.
+            let big = fetch_edges(4 * EDGES_RETAIN_CAP);
+            release_edges(big);
+            // Over-releasing never parks more than EDGES_RETAIN buffers.
+            for _ in 0..4 * EDGES_RETAIN {
+                release_edges(Vec::with_capacity(64));
+            }
+        });
+        assert!(arena.retained_edge_buffers() <= EDGES_RETAIN);
+        let bytes: usize = arena
+            .pools
+            .edges
+            .lock()
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<(V, u32)>())
+            .sum();
+        assert!(bytes <= EDGES_RETAIN * EDGES_RETAIN_CAP * std::mem::size_of::<(V, u32)>());
     }
 
     #[test]

@@ -137,8 +137,17 @@ pub fn edge_map<G: Graph, F: EdgeMapFn>(
 }
 
 /// Dense (pull) traversal: scan the in-edges of every still-eligible vertex.
+///
+/// Graphs without O(1) random access (compressed) decode each adjacency
+/// block *once* into pooled [`arena`] scratch and probe the decoded slice,
+/// instead of interleaving varint decoding with the per-edge `cond` probe —
+/// early exit stays block-granular either way (§4.2.3). Random-access
+/// graphs stream directly; buffering would only add a copy. The pool round
+/// trip costs two mutex ops, so only multi-block vertices take it.
 fn edge_map_dense<G: Graph, F: EdgeMapFn>(g: &G, flags: &[bool], f: &F) -> VertexSubset {
     let n = g.num_vertices();
+    let bs = g.block_size();
+    let buffered = !g.supports_random_access();
     let out: Vec<bool> = par::par_map(n, |di| {
         let d = di as V;
         if !f.cond(d) {
@@ -146,13 +155,36 @@ fn edge_map_dense<G: Graph, F: EdgeMapFn>(g: &G, flags: &[bool], f: &F) -> Verte
         }
         let mut added = false;
         let mut processed = 0u64;
-        g.for_each_edge_while(d, |s, w| {
-            processed += 1;
-            if flags[s as usize] && f.update(s, d, w) {
-                added = true;
+        if buffered && g.degree(d) > bs {
+            let mut buf = arena::fetch_edges(bs);
+            let mut go = true;
+            for b in 0..g.num_blocks_of(d) {
+                if !go {
+                    break;
+                }
+                buf.clear();
+                g.decode_block(d, b, |_, s, w| buf.push((s, w)));
+                for &(s, w) in buf.iter() {
+                    processed += 1;
+                    if flags[s as usize] && f.update(s, d, w) {
+                        added = true;
+                    }
+                    if !f.cond(d) {
+                        go = false;
+                        break;
+                    }
+                }
             }
-            f.cond(d)
-        });
+            arena::release_edges(buf);
+        } else {
+            g.for_each_edge_while(d, |s, w| {
+                processed += 1;
+                if flags[s as usize] && f.update(s, d, w) {
+                    added = true;
+                }
+                f.cond(d)
+            });
+        }
         meter::aux_read(processed + 1);
         if added {
             meter::aux_write(1);
@@ -331,7 +363,11 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
         block_deg.partition_point(|&x| x < target)
     };
 
-    // Lines 19-23: process groups; per-group chunk vectors.
+    // Lines 19-23: process groups; per-group chunk vectors. On compressed
+    // graphs each block is decoded once into per-query arena scratch (one
+    // buffer per group, fetched up front) and the update/cond pass runs
+    // over the decoded slice.
+    let buffered = !g.supports_random_access();
     let group_results: Vec<Vec<Vec<V>>> = {
         let blocks_ref: &[(u32, u32)] = &blocks;
         par::par_map_grain(num_groups, 1, |gi| {
@@ -342,6 +378,7 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
                 group_start(gi + 1)
             };
             let mut chunks: Vec<Vec<V>> = Vec::new();
+            let mut dbuf = buffered.then(|| arena::fetch_edges(bs.min(arena::EDGES_RETAIN_CAP)));
             let mut processed = 0u64;
             let mut hits = 0u64;
             for &(i, b) in &blocks_ref[jlo..jhi] {
@@ -355,13 +392,31 @@ pub fn edge_map_chunked<G: Graph, F: EdgeMapFn>(g: &G, ids: &[V], f: &F) -> Vec<
                     chunks.push(arena::fetch_chunk(chunk_size.max(need)));
                 }
                 let chunk = chunks.last_mut().unwrap();
-                g.decode_block(u, b as usize, |_, d, w| {
-                    processed += 1;
-                    if f.cond(d) && f.update_atomic(u, d, w) {
-                        chunk.push(d);
-                        hits += 1;
+                match dbuf.as_mut() {
+                    Some(buf) => {
+                        buf.clear();
+                        g.decode_block(u, b as usize, |_, d, w| buf.push((d, w)));
+                        for &(d, w) in buf.iter() {
+                            processed += 1;
+                            if f.cond(d) && f.update_atomic(u, d, w) {
+                                chunk.push(d);
+                                hits += 1;
+                            }
+                        }
                     }
-                });
+                    None => {
+                        g.decode_block(u, b as usize, |_, d, w| {
+                            processed += 1;
+                            if f.cond(d) && f.update_atomic(u, d, w) {
+                                chunk.push(d);
+                                hits += 1;
+                            }
+                        });
+                    }
+                }
+            }
+            if let Some(buf) = dbuf {
+                arena::release_edges(buf);
             }
             meter::aux_read(processed);
             meter::aux_write(hits);
@@ -504,6 +559,21 @@ mod tests {
         let csr = gen::rmat(9, 12, gen::RmatParams::web(), 5);
         let g = sage_graph::CompressedCsr::from_csr(&csr, 64);
         check_all_variants_agree(&g, 1);
+    }
+
+    #[test]
+    fn compressed_traversals_use_arena_decode_scratch() {
+        // Every edge_map direction over a compressed graph must agree with
+        // the CSR reference while drawing its block-decode buffers from the
+        // installed arena (and returning them: the pool ends non-empty).
+        let arena = crate::arena::QueryArena::new();
+        let csr = gen::rmat(9, 12, gen::RmatParams::web(), 5);
+        let g = sage_graph::CompressedCsr::from_csr(&csr, 64);
+        arena.enter(|| check_all_variants_agree(&g, 0));
+        assert!(
+            arena.retained_edge_buffers() >= 1,
+            "block decode must round-trip through the arena pool"
+        );
     }
 
     #[test]

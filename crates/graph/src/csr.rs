@@ -214,6 +214,11 @@ impl Graph for Csr {
     }
 
     #[inline]
+    fn size_bytes(&self) -> usize {
+        Csr::size_bytes(self)
+    }
+
+    #[inline]
     fn for_each_edge<F: FnMut(V, u32)>(&self, v: V, mut f: F) {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;

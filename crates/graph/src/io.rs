@@ -6,7 +6,7 @@
 //! of the paper's fsdax + mmap loading path (§5.1.2): build once, then map
 //! read-only and run with *zero* copies into DRAM.
 
-use crate::compressed::CompressedCsr;
+use crate::compressed::{CompressedCsr, HYBRID_DISABLED};
 use crate::csr::{Csr, Storage};
 use crate::{Graph, V};
 use sage_nvram::NvRegion;
@@ -40,8 +40,9 @@ fn write_header(
     m: u64,
     block_size: u64,
     aux: u64,
+    extra: u64,
 ) -> io::Result<()> {
-    for v in [MAGIC, flags, n, m, block_size, aux, 0, 0] {
+    for v in [MAGIC, flags, n, m, block_size, aux, extra, 0] {
         out.write_all(&v.to_le_bytes())?;
     }
     Ok(())
@@ -74,7 +75,7 @@ pub fn write_csr(g: &Csr, path: &Path) -> io::Result<()> {
     let m = g.num_edges() as u64;
     let flags = if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
         | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
-    write_header(&mut out, flags, n, m, g.block_size() as u64, 0)?;
+    write_header(&mut out, flags, n, m, g.block_size() as u64, 0, 0)?;
     write_u64s(&mut out, g.offsets())?;
     let edges: Vec<V> = {
         let mut e = Vec::with_capacity(m as usize);
@@ -109,6 +110,13 @@ pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
     let flags = FLAG_COMPRESSED
         | if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
         | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
+    // Header word 6 carries the hybrid degree cutoff; 0 means "none", so
+    // files written before the hybrid encoding existed load unchanged.
+    let cutoff_word = if g.hybrid_cutoff() == HYBRID_DISABLED {
+        0
+    } else {
+        g.hybrid_cutoff() as u64
+    };
     write_header(
         &mut out,
         flags,
@@ -116,6 +124,7 @@ pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
         g.num_edges() as u64,
         g.block_size() as u64,
         data.len() as u64,
+        cutoff_word,
     )?;
     write_u64s(&mut out, voffsets)?;
     write_u32s(&mut out, degrees)?;
@@ -131,6 +140,7 @@ struct Header {
     m: usize,
     block_size: usize,
     aux: u64,
+    extra: u64,
 }
 
 fn read_header(bytes: &[u8]) -> io::Result<Header> {
@@ -153,6 +163,7 @@ fn read_header(bytes: &[u8]) -> io::Result<Header> {
         m: word(3) as usize,
         block_size: word(4) as usize,
         aux: word(5),
+        extra: word(6),
     };
     // Cheap sanity limits so corrupt sizes fail before any arithmetic.
     if h.n as u64 > bytes.len() as u64 || h.m as u64 > bytes.len() as u64 {
@@ -294,7 +305,30 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
             Storage::from(data.to_vec()),
         ),
     };
-    let mut g = CompressedCsr::from_parts(vo, de, da, h.m, weighted, h.block_size.max(64));
+    let hybrid_cutoff = match h.extra {
+        0 => HYBRID_DISABLED,
+        c if c <= u32::MAX as u64 => c as u32,
+        c => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("hybrid cutoff {c} exceeds u32"),
+            ))
+        }
+    };
+    let mut g = CompressedCsr::from_parts(
+        vo,
+        de,
+        da,
+        h.m,
+        weighted,
+        h.block_size.max(64),
+        hybrid_cutoff,
+    );
+    // Full structural validation with the strict (checked) decoder: the
+    // engine's hot-path decoders are unchecked for speed, so malformed byte
+    // streams must be rejected here, before the graph is ever traversed.
+    g.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if h.flags & FLAG_SYMMETRIC != 0 {
         g.mark_symmetric();
     }
@@ -517,6 +551,51 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         assert!(load_csr(&path, Placement::Nvram).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hybrid_cutoff_roundtrips() {
+        // A star forces one raw hybrid region; the cutoff must survive the
+        // header (word 6) and the loaded graph must decode identically.
+        let g = gen::star(600);
+        let c = CompressedCsr::from_csr_with(&g, 64, 64);
+        assert_eq!(c.hybrid_vertices(), 1);
+        let path = tmp("hyb");
+        write_compressed(&c, &path).unwrap();
+        let back = load_compressed(&path, Placement::Nvram).unwrap();
+        assert_eq!(back.hybrid_cutoff(), 64);
+        assert_eq!(back.hybrid_vertices(), 1);
+        graphs_equal(&c, &back);
+        std::fs::remove_file(&path).unwrap();
+        // Pure-varint files store 0 and load with the hybrid disabled.
+        let pure = CompressedCsr::from_csr_with(&g, 64, crate::compressed::HYBRID_DISABLED);
+        let path = tmp("hyb-off");
+        write_compressed(&pure, &path).unwrap();
+        let back = load_compressed(&path, Placement::Dram).unwrap();
+        assert_eq!(back.hybrid_cutoff(), crate::compressed::HYBRID_DISABLED);
+        graphs_equal(&pure, &back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_rejected() {
+        let g = gen::rmat(8, 8, gen::RmatParams::web(), 9);
+        let c = CompressedCsr::from_csr(&g, 64);
+        let path = tmp("corrupt");
+        write_compressed(&c, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Overwrite the start of the encoded data stream (vertex 0's region,
+        // after header + voffsets + degrees + pad) with continuation bytes:
+        // its first varint now runs past every bound the decoder trusts.
+        let n = c.num_vertices();
+        let data_at = (HEADER_BYTES + (n + 1) * 8 + n * 4).div_ceil(8) * 8;
+        for b in &mut bytes[data_at..data_at + 4] {
+            *b = 0x80;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_compressed(&path, Placement::Nvram).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -114,6 +114,15 @@ pub trait Graph: Sync {
         let n = self.num_vertices().max(1);
         self.num_edges().div_ceil(n).max(1)
     }
+
+    /// Total bytes of the representation's arrays — offsets and degrees plus
+    /// the (possibly compressed) edge data. The serving layer folds this
+    /// into admission estimates and bytes-per-edge reporting. The default is
+    /// the uncompressed-CSR footprint; representations that know their exact
+    /// size override it.
+    fn size_bytes(&self) -> usize {
+        (self.num_vertices() + 1) * 8 + self.num_edges() * 4
+    }
 }
 
 #[cfg(test)]

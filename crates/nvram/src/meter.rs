@@ -66,12 +66,25 @@ impl Shard {
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    /// Const-initialized (sentinel = unassigned) so the hot-path load skips
+    /// the lazy-init machinery a computed initializer would add to every
+    /// metered access; round-robin assignment happens on a thread's first
+    /// report instead.
+    static MY_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 #[inline]
 fn shard() -> usize {
-    MY_SHARD.with(|s| *s)
+    MY_SHARD.with(|c| {
+        let s = c.get();
+        if s != usize::MAX {
+            s
+        } else {
+            let s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            c.set(s);
+            s
+        }
+    })
 }
 
 /// Raw traffic counters, in machine words (sharded per thread; see

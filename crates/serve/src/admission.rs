@@ -13,9 +13,14 @@
 use crate::batch::QueryBatch;
 use crate::query::{BatchClass, Query};
 use parking_lot::{Condvar, Mutex};
+use sage_graph::Graph;
 
 /// Bytes per word in the estimates (the PSAM meters in 8-byte words).
 const WORD: u64 = 8;
+
+/// Decode-scratch buffers a traversal can hold live at once — mirrors the
+/// retention bound of `sage-core`'s per-query arena edge pool.
+const DECODE_BUFFERS: u64 = 16;
 
 /// Estimated peak DRAM of one query, in bytes, for a graph of `n` vertices.
 ///
@@ -74,6 +79,34 @@ pub fn batch_estimate(n: usize, batch: &QueryBatch) -> u64 {
                 + k * 64
         }
     }
+}
+
+/// DRAM surcharge for serving a representation without O(1) random access:
+/// compressed traversals decode adjacency blocks into pooled `(V, weight)`
+/// buffers, up to `DECODE_BUFFERS` of `block_size` entries each. The
+/// estimate is derived from the representation itself — capped at a small
+/// share of [`Graph::size_bytes`], since scratch can never usefully exceed
+/// the encoded graph. Zero for random-access (plain CSR) graphs.
+pub fn decode_scratch_estimate<G: Graph>(g: &G) -> u64 {
+    if g.supports_random_access() {
+        return 0;
+    }
+    let per_buffer = (g.block_size() as u64) * 8;
+    (DECODE_BUFFERS * per_buffer)
+        .min(g.size_bytes() as u64 / 8)
+        .max(per_buffer)
+}
+
+/// [`dram_estimate`] plus the representation-dependent decode-scratch
+/// surcharge — what the serving workers actually acquire.
+pub fn dram_estimate_for<G: Graph>(g: &G, query: &Query) -> u64 {
+    dram_estimate(g.num_vertices(), query) + decode_scratch_estimate(g)
+}
+
+/// [`batch_estimate`] plus the representation-dependent decode-scratch
+/// surcharge — what the serving workers actually acquire.
+pub fn batch_estimate_for<G: Graph>(g: &G, batch: &QueryBatch) -> u64 {
+    batch_estimate(g.num_vertices(), batch) + decode_scratch_estimate(g)
 }
 
 /// The largest single-query estimate for a graph of `n` vertices; the
@@ -239,5 +272,24 @@ mod tests {
         let q = Query::Bfs { src: 0 };
         assert!(dram_estimate(2000, &q) > dram_estimate(1000, &q));
         assert!(max_estimate(1000) >= dram_estimate(1000, &q));
+    }
+
+    #[test]
+    fn compressed_graphs_pay_a_decode_scratch_surcharge() {
+        use sage_graph::{gen, CompressedCsr};
+        let csr = gen::rmat(9, 8, gen::RmatParams::default(), 17);
+        let comp = CompressedCsr::from_csr(&csr, 64);
+        assert_eq!(decode_scratch_estimate(&csr), 0, "CSR streams in place");
+        let surcharge = decode_scratch_estimate(&comp);
+        assert!(surcharge > 0, "compressed decode needs scratch");
+        assert!(
+            surcharge <= Graph::size_bytes(&comp) as u64,
+            "scratch bounded by the encoded graph"
+        );
+        let q = Query::Bfs { src: 0 };
+        assert_eq!(
+            dram_estimate_for(&comp, &q),
+            dram_estimate(comp.num_vertices(), &q) + surcharge
+        );
     }
 }

@@ -57,7 +57,7 @@ pub mod batch;
 mod query;
 pub mod queue;
 
-pub use admission::{batch_estimate, dram_estimate};
+pub use admission::{batch_estimate, batch_estimate_for, dram_estimate, dram_estimate_for};
 pub use batch::QueryBatch;
 pub use query::{BatchClass, Query, QueryResult, Response};
 pub use queue::{BatchPolicy, Ticket};
@@ -269,10 +269,11 @@ fn worker_loop<G: Graph>(shared: &Shared<G>) {
     // scratch (chunks, flag buffers, histogram dense arrays) warms up once
     // and is never shared with a concurrently executing unit.
     let arena = QueryArena::new();
-    let n = shared.graph.num_vertices();
     while let Some(batch) = shared.queue.pop_batch(&shared.policy) {
         let members = batch.len() as u64;
-        let estimate = admission::batch_estimate(n, &batch);
+        // The estimate is representation-aware: compressed snapshots add a
+        // decode-scratch surcharge derived from `Graph::size_bytes`.
+        let estimate = admission::batch_estimate_for(&shared.graph, &batch);
         let grant = shared.budget.acquire(estimate);
         shared.stats.on_admit(members, grant);
         // Engine panics are contained inside `run_batch` (per execution

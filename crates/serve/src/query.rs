@@ -143,7 +143,10 @@ impl Query {
 }
 
 /// The answer to one [`Query`].
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is derived so tests can assert *bitwise* response equality —
+/// batched vs unbatched, compressed vs plain CSR (rank floats included).
+#[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// BFS distances (`u64::MAX` = unreached) and the number of reached
     /// vertices. Distances — unlike parent choices — are deterministic, so a

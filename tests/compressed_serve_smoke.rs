@@ -1,0 +1,103 @@
+//! Facade-level smoke test for the compressed serving path (the PR's
+//! acceptance assertions live here): persist a byte-compressed snapshot,
+//! map it back read-only as emulated NVRAM, serve every query class over it
+//! through [`GraphService`], and check the two end-to-end contracts —
+//! zero NVRAM graph writes per served query, and batched BFS answers
+//! bitwise identical to unbatched ones.
+
+use sage::graph::io::{load_compressed, write_compressed, Placement};
+use sage::serve::BatchPolicy;
+use sage::{gen, CompressedCsr, Graph, GraphService, Query, Response, ServiceConfig, Ticket};
+use std::time::Duration;
+
+fn start_service(path: &std::path::Path, max_batch: usize) -> GraphService<CompressedCsr> {
+    let g = load_compressed(path, Placement::Nvram).expect("map compressed graph");
+    GraphService::start(
+        g,
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch: BatchPolicy {
+                max_batch,
+                max_linger: Duration::from_micros(100),
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn compressed_snapshot_serves_every_query_class_without_nvram_writes() {
+    let path = std::env::temp_dir().join(format!("sage-comp-serve-{}", std::process::id()));
+
+    // Offline phase: build a web-shaped input (the regime compression
+    // targets), compress with the default hybrid cutoff, persist.
+    let csr = gen::rmat(10, 16, gen::RmatParams::web(), 0xC0DE);
+    let comp = CompressedCsr::from_csr(&csr, 64);
+    assert!(
+        comp.size_bytes() < csr.size_bytes(),
+        "compression must shrink a web-shaped graph"
+    );
+    write_compressed(&comp, &path).expect("persist compressed graph");
+    drop((csr, comp));
+
+    // Online phase: serve one of each query class over the mapping.
+    let service = start_service(&path, 32);
+    let n = service.graph().num_vertices();
+    assert!(!service.graph().supports_random_access());
+    let queries = [
+        Query::Bfs { src: 0 },
+        Query::PageRank {
+            iters: 5,
+            vertices: vec![0, (n - 1) as sage::V],
+        },
+        Query::KCore { vertices: vec![0] },
+        Query::Connected {
+            u: 0,
+            v: (n - 1) as sage::V,
+        },
+        Query::Neighborhood { src: 0, hops: 2 },
+    ];
+    for q in queries {
+        let r = service.query(q);
+        assert_eq!(
+            r.traffic.graph_write, 0,
+            "compressed decode must never write the graph"
+        );
+        assert!(r.traffic.graph_read > 0, "decode must be metered");
+        assert!(!matches!(r.response, Response::Failed { .. }));
+    }
+    drop(service);
+
+    // Batched vs unbatched BFS over the same snapshot: bitwise identical.
+    let sources: Vec<sage::V> = (0..16).map(|i| (i * 37) % n as sage::V).collect();
+    let mut answers = Vec::new();
+    for max_batch in [1usize, 32] {
+        let service = start_service(&path, max_batch);
+        let tickets: Vec<Ticket> = sources
+            .iter()
+            .map(|&src| service.submit(Query::Bfs { src }))
+            .collect();
+        let responses: Vec<Response> = tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.wait();
+                assert_eq!(r.traffic.graph_write, 0);
+                r.response
+            })
+            .collect();
+        if max_batch > 1 {
+            assert!(
+                service.stats().peak_batch > 1,
+                "backlogged BFS sources must form a batch"
+            );
+        }
+        answers.push(responses);
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "batched BFS must answer bitwise identically to unbatched"
+    );
+
+    std::fs::remove_file(&path).expect("cleanup");
+}
