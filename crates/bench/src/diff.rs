@@ -23,7 +23,10 @@
 //! * `decode-bw`: `word-hybrid` decode bandwidth ≥ 2× `per-byte` (the
 //!   word-at-a-time kernel + hybrid encoding contract);
 //! * `serve-compressed`: `compressed-batched` qps ≥ 0.5× `csr-batched`
-//!   (serving a compressed snapshot costs at most 2× throughput).
+//!   (serving a compressed snapshot costs at most 2× throughput);
+//! * `serve-sharded`: `sharded-4` qps ≥ 0.8× `monolithic` (scatter-gather
+//!   dispatch over four shards must stay within 20% of the single-CSR
+//!   service).
 //!
 //! Environment knobs (for local experimentation, not CI):
 //! `SAGE_BENCH_DIFF_MIN_SECONDS`, `SAGE_BENCH_DIFF_MAX_WALL_REGRESSION`
@@ -44,6 +47,8 @@ pub const MIN_DECODE_SPEEDUP: f64 = 2.0;
 /// Required `compressed-batched`/`csr-batched` qps ratio in
 /// `serve-compressed`.
 pub const MIN_COMPRESSED_QPS_RATIO: f64 = 0.5;
+/// Required `sharded-4`/`monolithic` qps ratio in `serve-sharded`.
+pub const MIN_SHARDED_QPS_RATIO: f64 = 0.8;
 
 /// One parsed bench record (the fields the gate cares about).
 #[derive(Clone, Debug)]
@@ -442,6 +447,13 @@ pub fn diff_reports(fresh: &Report, baseline: &Report, config: &DiffConfig) -> V
         "csr-batched",
         MIN_COMPRESSED_QPS_RATIO,
     ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-sharded",
+        "sharded-4",
+        "monolithic",
+        MIN_SHARDED_QPS_RATIO,
+    ));
     failures
 }
 
@@ -650,6 +662,23 @@ mod tests {
         let fails = diff_reports(&bad, &base, &DiffConfig::default());
         assert_eq!(fails.len(), 1, "{fails:?}");
         assert!(fails[0].contains("compressed-batched"));
+    }
+
+    #[test]
+    fn sharded_serving_gate() {
+        let base = report(&[]);
+        let good = report(&[
+            ("serve-sharded", "monolithic", 0.2, 0, Some(1000.0)),
+            ("serve-sharded", "sharded-4", 0.2, 0, Some(900.0)),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = report(&[
+            ("serve-sharded", "monolithic", 0.2, 0, Some(1000.0)),
+            ("serve-sharded", "sharded-4", 0.2, 0, Some(700.0)),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("sharded-4"));
     }
 
     #[test]

@@ -1179,6 +1179,299 @@ pub fn serve_compressed() {
     );
 }
 
+/// Serving over a partitioned snapshot: the batched-BFS workload of
+/// `serve-compressed` is replayed against the monolithic
+/// [`sage_serve::GraphService`] and a [`sage_serve::ShardedService`] at
+/// shard counts 1, 2, and 4 over the *same* web-shaped snapshot. Every
+/// configuration must answer bitwise-identically; each round of each
+/// sharded drive additionally reconciles attribution word-exactly against
+/// the global meter: the sum over queries of attributed traffic (residual +
+/// per-shard) equals the global meter delta across the drive. The
+/// `bench_diff` gate asserts sharded-4 qps ≥ 0.8× monolithic qps.
+pub fn serve_sharded() {
+    use sage_graph::{Sharded, ShardedCsr};
+    use sage_nvram::{Meter, MeterSnapshot};
+    use sage_serve::{
+        BatchPolicy, GraphService, Query, Response, ServiceConfig, ShardedService, Ticket,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    crate::report::set_experiment("serve-sharded");
+    let scale = Suite::base_scale();
+    let clients = 4usize;
+    let per_client = 64usize;
+    let batch_size = 32usize;
+    let csr = sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1);
+    let n = csr.num_vertices();
+    let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| csr.degree(v) > 0).collect());
+    println!(
+        "\n== serve-sharded: web-rmat-2^{scale} ({n} vertices), \
+         {clients} clients x {per_client} batched BFS point queries ==",
+    );
+
+    /// The two service types behind one driver.
+    trait Svc: Send + Sync + 'static {
+        fn submit(&self, q: Query) -> Ticket;
+        fn peak_batch(&self) -> u64;
+        /// Shard count, 0 for the monolithic service (no per-shard stats).
+        fn shards(&self) -> usize;
+    }
+    impl<G: Graph + Send + Sync + 'static> Svc for GraphService<G> {
+        fn submit(&self, q: Query) -> Ticket {
+            GraphService::submit(self, q)
+        }
+        fn peak_batch(&self) -> u64 {
+            self.stats().peak_batch
+        }
+        fn shards(&self) -> usize {
+            0
+        }
+    }
+    impl Svc for ShardedService {
+        fn submit(&self, q: Query) -> Ticket {
+            ShardedService::submit(self, q)
+        }
+        fn peak_batch(&self) -> u64 {
+            self.stats().peak_batch
+        }
+        fn shards(&self) -> usize {
+            self.graph().num_shards()
+        }
+    }
+
+    struct DriveOut {
+        stats: crate::report::LatencyStats,
+        traffic: MeterSnapshot,
+        per_shard: Vec<MeterSnapshot>,
+        responses: Vec<Response>,
+    }
+
+    fn drive<S: Svc>(
+        service: S,
+        live: &Arc<Vec<V>>,
+        clients: usize,
+        per_client: usize,
+    ) -> DriveOut {
+        let shards = service.shards();
+        let service = Arc::new(service);
+        // Workers are idle here and only they meter during the drive, so the
+        // global delta across it is exactly the served queries' traffic.
+        let before = Meter::global().snapshot();
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let live = Arc::clone(live);
+                std::thread::spawn(move || {
+                    let pick = |k: usize| live[k % live.len()];
+                    let submitted: Vec<(Instant, Ticket)> = (0..per_client)
+                        .map(|i| {
+                            let q = Query::Bfs {
+                                src: pick(c * 131 + i * 13),
+                            };
+                            (Instant::now(), service.submit(q))
+                        })
+                        .collect();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut traffic = MeterSnapshot::default();
+                    let mut per_shard = Vec::new();
+                    let mut responses = Vec::with_capacity(per_client);
+                    for (at, ticket) in submitted {
+                        let r = ticket.wait();
+                        latencies.push(at.elapsed().as_secs_f64());
+                        assert_eq!(r.traffic.graph_write, 0, "NVRAM write in a served query");
+                        traffic = traffic.plus(&r.traffic);
+                        if per_shard.len() < r.per_shard.len() {
+                            per_shard.resize(r.per_shard.len(), MeterSnapshot::default());
+                        }
+                        for (acc, s) in per_shard.iter_mut().zip(&r.per_shard) {
+                            *acc = acc.plus(s);
+                        }
+                        responses.push(r.response);
+                    }
+                    (c, latencies, traffic, per_shard, responses)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::new();
+        let mut traffic = MeterSnapshot::default();
+        let mut per_shard = vec![MeterSnapshot::default(); shards];
+        let mut responses: Vec<(usize, Vec<Response>)> = Vec::new();
+        for h in handles {
+            let (c, l, t, ps, r) = h.join().expect("client thread");
+            latencies.extend(l);
+            traffic = traffic.plus(&t);
+            for (acc, s) in per_shard.iter_mut().zip(&ps) {
+                *acc = acc.plus(s);
+            }
+            responses.push((c, r));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let delta = Meter::global().snapshot().since(&before);
+        assert!(
+            service.peak_batch() > 1,
+            "backlogged workload formed no batches (peak {})",
+            service.peak_batch()
+        );
+        if shards > 0 {
+            // The sharding attribution invariant, checked against ground
+            // truth: residual + per-shard scopes account for every word the
+            // global meter saw during the drive.
+            assert_eq!(
+                traffic, delta,
+                "attributed traffic diverged from the global meter delta"
+            );
+            let shard_sum = per_shard
+                .iter()
+                .fold(MeterSnapshot::default(), |acc, s| acc.plus(s));
+            assert!(
+                shard_sum.graph_read <= delta.graph_read
+                    && shard_sum.aux_read <= delta.aux_read
+                    && shard_sum.aux_write <= delta.aux_write,
+                "per-shard attribution exceeds the global delta"
+            );
+        }
+        // Stable client order so configurations' response vectors line up
+        // for the bitwise comparison.
+        responses.sort_by_key(|&(c, _)| c);
+        DriveOut {
+            stats: crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed),
+            traffic,
+            per_shard,
+            responses: responses.into_iter().flat_map(|(_, r)| r).collect(),
+        }
+    }
+
+    // Best-of-rounds, like `serve-compressed`: a background burst in one
+    // round must not decide the within-run qps-ratio gate; every round must
+    // answer identically.
+    fn drive_best<S: Svc>(
+        mk: impl Fn() -> S,
+        live: &Arc<Vec<V>>,
+        clients: usize,
+        per_client: usize,
+    ) -> DriveOut {
+        let mut best: Option<DriveOut> = None;
+        for _ in 0..3 {
+            let round = drive(mk(), live, clients, per_client);
+            best = match best {
+                Some(b) => {
+                    assert_eq!(
+                        b.responses, round.responses,
+                        "round-to-round answers diverged"
+                    );
+                    Some(if round.stats.qps > b.stats.qps {
+                        round
+                    } else {
+                        b
+                    })
+                }
+                None => Some(round),
+            };
+        }
+        best.expect("at least one round")
+    }
+
+    let config = |queue: usize| ServiceConfig {
+        queue_capacity: queue,
+        batch: BatchPolicy {
+            max_batch: batch_size,
+            max_linger: Duration::from_micros(200),
+        },
+        ..Default::default()
+    };
+    let mk_csr = || sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1);
+
+    let mono = drive_best(
+        || GraphService::start(mk_csr(), config(clients * per_client)),
+        &live,
+        clients,
+        per_client,
+    );
+    crate::report::record_latency(
+        "monolithic",
+        mono.stats.queries as f64 / mono.stats.qps.max(1e-9),
+        mono.traffic,
+        mono.stats,
+    );
+
+    let mut rows = vec![(
+        "monolithic".to_string(),
+        vec![
+            format!("{:.1}", mono.stats.qps),
+            format!("{:.3}", mono.stats.p50 * 1e3),
+            format!("{:.3}", mono.stats.p99 * 1e3),
+            format!("{}", mono.traffic.graph_read),
+            "-".to_string(),
+        ],
+    )];
+    let mut sharded4_qps = 0.0f64;
+    for k in [1usize, 2, 4] {
+        let out = drive_best(
+            || ShardedService::start(ShardedCsr::from_csr(&csr, k), config(clients * per_client)),
+            &live,
+            clients,
+            per_client,
+        );
+        assert_eq!(
+            mono.responses, out.responses,
+            "sharded serving (k={k}) changed an answer"
+        );
+        let name: &'static str = match k {
+            1 => "sharded-1",
+            2 => "sharded-2",
+            _ => "sharded-4",
+        };
+        if k == 4 {
+            sharded4_qps = out.stats.qps;
+        }
+        let shard_sum = out
+            .per_shard
+            .iter()
+            .fold(MeterSnapshot::default(), |acc, s| acc.plus(s));
+        rows.push((
+            name.to_string(),
+            vec![
+                format!("{:.1}", out.stats.qps),
+                format!("{:.3}", out.stats.p50 * 1e3),
+                format!("{:.3}", out.stats.p99 * 1e3),
+                format!("{}", out.traffic.graph_read),
+                format!(
+                    "{:.0}%",
+                    100.0 * shard_sum.graph_read as f64 / out.traffic.graph_read.max(1) as f64
+                ),
+            ],
+        ));
+        crate::report::record_sharded(
+            name,
+            out.stats.queries as f64 / out.stats.qps.max(1e-9),
+            out.traffic,
+            out.stats,
+            crate::report::ShardStats {
+                shards: k,
+                per_shard: out.per_shard,
+            },
+        );
+    }
+
+    print_table(
+        "serve-sharded: batched BFS qps",
+        &[
+            "qps",
+            "p50 ms",
+            "p99 ms",
+            "graph-read words",
+            "shard-attributed",
+        ],
+        &rows,
+    );
+    println!(
+        "sharded-4/monolithic qps ratio: {:.2}x (gate: >= 0.8x, enforced by bench_diff)",
+        sharded4_qps / mono.stats.qps.max(1e-9),
+    );
+}
+
 /// Run everything (the `all` subcommand).
 pub fn all() {
     table2();

@@ -3,7 +3,7 @@
 //! ```text
 //! sage-bench <experiment>... [SAGE_SCALE=17] [SAGE_THREADS=N]
 //!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa
-//!   serve serve-batch decode-bw serve-compressed all
+//!   serve serve-batch decode-bw serve-compressed serve-sharded all
 //! ```
 //!
 //! Several experiments may be named in one invocation; they run in order and
@@ -14,6 +14,9 @@
 //! adjacency decode bandwidth (per-byte vs word-at-a-time vs hybrid) and
 //! `serve-compressed` replays the batched point-query workload over a
 //! compressed snapshot; both emit the schema-v3 compression fields.
+//! `serve-sharded` replays it over a partitioned snapshot at shard counts
+//! 1/2/4 against the monolithic service, emitting the schema-v4 per-shard
+//! fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
@@ -56,12 +59,13 @@ fn main() {
             "serve-batch" => sage_bench::experiments::serve_batch(),
             "decode-bw" => sage_bench::experiments::decode_bw(),
             "serve-compressed" => sage_bench::experiments::serve_compressed(),
+            "serve-sharded" => sage_bench::experiments::serve_sharded(),
             "all" => sage_bench::experiments::all(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 eprintln!(
                     "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch \
-                     decode-bw serve-compressed all"
+                     decode-bw serve-compressed serve-sharded all"
                 );
                 std::process::exit(2);
             }

@@ -10,15 +10,16 @@
 //! The JSON is hand-rolled (the container has no serde): a flat schema of
 //! one object per record, stable across PRs. Schema v2 added *optional*
 //! latency-distribution fields to a record (present only for throughput
-//! experiments such as `serve`); schema v3 adds optional *compression*
-//! fields (present only for records describing an encoded graph, e.g. in
-//! `decode-bw` / `serve-compressed`) so bytes-per-edge rides alongside qps
-//! in the perf trajectory. Every earlier field is unchanged, so v1/v2
-//! consumers keep working:
+//! experiments such as `serve`); schema v3 added optional *compression*
+//! fields (records describing an encoded graph, e.g. in `decode-bw` /
+//! `serve-compressed`); schema v4 adds optional *shard* fields (records of
+//! a sharded-snapshot serving run, e.g. in `serve-sharded`) carrying the
+//! shard count and each shard's aggregate attributed traffic. Every earlier
+//! field is unchanged, so v1/v2/v3 consumers keep working:
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "scale": 8,
 //!   "threads": 2,
 //!   "records": [
@@ -31,7 +32,14 @@
 //!     {"experiment": "decode-bw", "name": "encoding", "seconds": 0.0,
 //!      "graph_read": 0, "graph_write": 0, "aux_read": 0, "aux_write": 0,
 //!      "encoded_bytes": 123456, "compression_ratio": 0.61,
-//!      "bytes_per_edge": 2.4, "hybrid_cutoff": 128, "hybrid_vertices": 17}
+//!      "bytes_per_edge": 2.4, "hybrid_cutoff": 128, "hybrid_vertices": 17},
+//!     {"experiment": "serve-sharded", "name": "sharded-4", "seconds": 0.1,
+//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3,
+//!      "queries": 64, "clients": 4, "qps": 533.3,
+//!      "p50_seconds": 0.001, "p99_seconds": 0.004,
+//!      "shards": 4,
+//!      "per_shard": [{"graph_read": 3, "graph_write": 0,
+//!                     "aux_read": 1, "aux_write": 1}]}
 //!   ]
 //! }
 //! ```
@@ -71,6 +79,16 @@ pub struct CompressionStats {
     pub hybrid_vertices: usize,
 }
 
+/// Per-shard serving breakdown of a sharded-snapshot run (schema v4).
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shards serving the snapshot.
+    pub shards: usize,
+    /// Aggregate traffic attributed to each shard's meter scope, summed
+    /// over every query of the run (`per_shard[s]` is shard `s`'s total).
+    pub per_shard: Vec<MeterSnapshot>,
+}
+
 impl LatencyStats {
     /// Compute stats from client-observed per-query latencies (seconds).
     /// `elapsed` is the whole run's wall-clock time.
@@ -103,6 +121,8 @@ pub struct Record {
     pub latency: Option<LatencyStats>,
     /// Encoding stats, for compressed-graph experiments only (schema v3).
     pub compression: Option<CompressionStats>,
+    /// Shard breakdown, for sharded-serving experiments only (schema v4).
+    pub shard: Option<ShardStats>,
 }
 
 static CURRENT: Mutex<Option<String>> = Mutex::new(None);
@@ -115,7 +135,7 @@ pub fn set_experiment(label: &str) {
 
 /// Append one record to the sink (called by [`crate::timed`]).
 pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
-    record_inner(name, seconds, traffic, None, None);
+    record_inner(name, seconds, traffic, None, None, None);
 }
 
 /// Append one throughput record with its latency distribution (schema v2).
@@ -125,7 +145,7 @@ pub fn record_latency(
     traffic: MeterSnapshot,
     latency: LatencyStats,
 ) {
-    record_inner(name, seconds, traffic, Some(latency), None);
+    record_inner(name, seconds, traffic, Some(latency), None, None);
 }
 
 /// Append a record describing an encoded graph (schema v3). `latency` may
@@ -137,7 +157,19 @@ pub fn record_compression(
     latency: Option<LatencyStats>,
     compression: CompressionStats,
 ) {
-    record_inner(name, seconds, traffic, latency, Some(compression));
+    record_inner(name, seconds, traffic, latency, Some(compression), None);
+}
+
+/// Append a record of a sharded-snapshot serving run (schema v4), carrying
+/// both the throughput distribution and the per-shard traffic breakdown.
+pub fn record_sharded(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: LatencyStats,
+    shard: ShardStats,
+) {
+    record_inner(name, seconds, traffic, Some(latency), None, Some(shard));
 }
 
 fn record_inner(
@@ -146,6 +178,7 @@ fn record_inner(
     traffic: MeterSnapshot,
     latency: Option<LatencyStats>,
     compression: Option<CompressionStats>,
+    shard: Option<ShardStats>,
 ) {
     let experiment = CURRENT
         .lock()
@@ -159,6 +192,7 @@ fn record_inner(
         traffic,
         latency,
         compression,
+        shard,
     });
 }
 
@@ -186,7 +220,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
     let records = RECORDS.lock().unwrap();
     let mut out = String::with_capacity(128 + records.len() * 160);
     out.push_str(&format!(
-        "{{\n  \"schema\": 3,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
+        "{{\n  \"schema\": 4,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
     ));
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -217,6 +251,20 @@ pub fn to_json(scale: u32, threads: usize) -> String {
                  \"hybrid_vertices\": {}",
                 c.encoded_bytes, c.ratio, c.bytes_per_edge, c.hybrid_cutoff, c.hybrid_vertices,
             ));
+        }
+        if let Some(s) = &r.shard {
+            out.push_str(&format!(", \"shards\": {}, \"per_shard\": [", s.shards));
+            for (j, t) in s.per_shard.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"graph_read\": {}, \"graph_write\": {}, \
+                     \"aux_read\": {}, \"aux_write\": {}}}",
+                    t.graph_read, t.graph_write, t.aux_read, t.aux_write,
+                ));
+            }
+            out.push(']');
         }
         out.push('}');
     }
@@ -273,8 +321,42 @@ mod tests {
                 hybrid_vertices: 17,
             },
         );
+        record_sharded(
+            "sharded-4",
+            0.1,
+            MeterSnapshot {
+                graph_read: 10,
+                graph_write: 0,
+                aux_read: 5,
+                aux_write: 3,
+            },
+            LatencyStats {
+                queries: 64,
+                clients: 4,
+                qps: 640.0,
+                p50: 0.001,
+                p99: 0.004,
+            },
+            ShardStats {
+                shards: 4,
+                per_shard: vec![
+                    MeterSnapshot {
+                        graph_read: 3,
+                        graph_write: 0,
+                        aux_read: 1,
+                        aux_write: 1,
+                    },
+                    MeterSnapshot {
+                        graph_read: 4,
+                        graph_write: 0,
+                        aux_read: 2,
+                        aux_write: 1,
+                    },
+                ],
+            },
+        );
         let json = to_json(8, 2);
-        assert!(json.starts_with("{\n  \"schema\": 3,"));
+        assert!(json.starts_with("{\n  \"schema\": 4,"));
         assert!(json.contains("\"scale\": 8"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains(
@@ -289,6 +371,11 @@ mod tests {
             "\"encoded_bytes\": 123456, \"compression_ratio\": 0.6100, \
              \"bytes_per_edge\": 2.4000, \"hybrid_cutoff\": 128, \
              \"hybrid_vertices\": 17"
+        ));
+        assert!(json.contains(
+            "\"shards\": 4, \"per_shard\": [\
+             {\"graph_read\": 3, \"graph_write\": 0, \"aux_read\": 1, \"aux_write\": 1}, \
+             {\"graph_read\": 4, \"graph_write\": 0, \"aux_read\": 2, \"aux_write\": 1}]"
         ));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(

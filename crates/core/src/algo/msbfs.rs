@@ -69,13 +69,13 @@ pub struct MsBfsOutcome {
 /// destination has already seen. The first edge call that deposits bits into
 /// an empty `next[d]` claims `d` for the output frontier, so the frontier
 /// stays duplicate-free without a separate parent CAS.
-struct MsBfsFn<'a> {
-    cur: &'a [AtomicU64],
-    next: &'a [AtomicU64],
-    seen: &'a [AtomicU64],
+pub(crate) struct MsBfsFn<'a> {
+    pub(crate) cur: &'a [AtomicU64],
+    pub(crate) next: &'a [AtomicU64],
+    pub(crate) seen: &'a [AtomicU64],
     /// Mask of all participating sources; vertices that have seen every
     /// source are skipped via `cond`.
-    full: u64,
+    pub(crate) full: u64,
 }
 
 impl EdgeMapFn for MsBfsFn<'_> {
@@ -207,8 +207,8 @@ pub struct MsLevels {
 /// Distance payload: scatters each arrival round into per-source level
 /// arrays through raw pointers (sound because a `(source, vertex)` pair is
 /// visited exactly once).
-struct LevelsSink {
-    ptrs: Vec<par::SendPtr<u64>>,
+pub(crate) struct LevelsSink {
+    pub(crate) ptrs: Vec<par::SendPtr<u64>>,
 }
 
 impl MsBfsVisit for LevelsSink {

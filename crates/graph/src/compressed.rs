@@ -651,17 +651,25 @@ impl CompressedCsr {
     /// mapped graph to the engine, so the unchecked hot-path decoders only
     /// ever see well-formed bytes.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_with_target(self.num_vertices())
+    }
+
+    /// [`CompressedCsr::validate`] with an explicit edge-target id space:
+    /// shard files of a partitioned snapshot store *local* vertex regions
+    /// whose neighbors are *global* ids, so their targets are bounded by the
+    /// global vertex count rather than this graph's own.
+    pub fn validate_with_target(&self, target_n: usize) -> Result<(), String> {
         let n = self.num_vertices();
+        assert!(target_n >= n, "target id space smaller than the graph");
         let errors: Vec<Option<String>> =
-            par::par_map_grain(n, 64, |vi| self.validate_vertex(vi as V).err());
+            par::par_map_grain(n, 64, |vi| self.validate_vertex(vi as V, target_n).err());
         match errors.into_iter().flatten().next() {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
 
-    fn validate_vertex(&self, v: V) -> Result<(), String> {
-        let n = self.num_vertices();
+    fn validate_vertex(&self, v: V, n: usize) -> Result<(), String> {
         let deg = self.degree(v);
         let region = self.region(v);
         if deg == 0 {

@@ -8,6 +8,7 @@
 
 use crate::compressed::{CompressedCsr, HYBRID_DISABLED};
 use crate::csr::{Csr, Storage};
+use crate::sharded::{ShardRepr, Sharded, ShardedCsr};
 use crate::{Graph, V};
 use sage_nvram::NvRegion;
 use std::fs::File;
@@ -21,6 +22,11 @@ const FLAG_COMPRESSED: u64 = 2;
 /// `edgeMap` direction available. Files written before this flag existed
 /// load as asymmetric, which is always safe (sparse-only traversal).
 const FLAG_SYMMETRIC: u64 = 4;
+/// The file is a shard *manifest*: its payload is the `k+1`-entry shard
+/// boundary table, and the shards themselves live in sibling
+/// `<path>.shard<i>` files, each a self-contained graph file mapped as its
+/// own `NvRegion`.
+const FLAG_SHARDED: u64 = 8;
 const HEADER_BYTES: usize = 64;
 
 /// Where to place a loaded graph.
@@ -33,6 +39,11 @@ pub enum Placement {
     Nvram,
 }
 
+/// Header word 7 (`target`) is the size of the edge-target id space when it
+/// differs from `n`: a shard file stores *local* vertex rows whose neighbors
+/// are *global* ids bounded by the snapshot's vertex count. 0 means "same as
+/// `n`", so every pre-sharding file loads unchanged.
+#[allow(clippy::too_many_arguments)]
 fn write_header(
     out: &mut impl Write,
     flags: u64,
@@ -41,8 +52,9 @@ fn write_header(
     block_size: u64,
     aux: u64,
     extra: u64,
+    target: u64,
 ) -> io::Result<()> {
-    for v in [MAGIC, flags, n, m, block_size, aux, extra, 0] {
+    for v in [MAGIC, flags, n, m, block_size, aux, extra, target] {
         out.write_all(&v.to_le_bytes())?;
     }
     Ok(())
@@ -70,12 +82,16 @@ fn pad_to_8(out: &mut impl Write, written: usize) -> io::Result<usize> {
 
 /// Write an uncompressed CSR graph to `path` in the binary format.
 pub fn write_csr(g: &Csr, path: &Path) -> io::Result<()> {
+    write_csr_with_target(g, path, 0)
+}
+
+fn write_csr_with_target(g: &Csr, path: &Path, target: u64) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let n = g.num_vertices() as u64;
     let m = g.num_edges() as u64;
     let flags = if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
         | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
-    write_header(&mut out, flags, n, m, g.block_size() as u64, 0, 0)?;
+    write_header(&mut out, flags, n, m, g.block_size() as u64, 0, 0, target)?;
     write_u64s(&mut out, g.offsets())?;
     let edges: Vec<V> = {
         let mut e = Vec::with_capacity(m as usize);
@@ -104,6 +120,10 @@ pub fn write_csr(g: &Csr, path: &Path) -> io::Result<()> {
 
 /// Write a compressed graph to `path` in the binary format.
 pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
+    write_compressed_with_target(g, path, 0)
+}
+
+fn write_compressed_with_target(g: &CompressedCsr, path: &Path, target: u64) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
     let (voffsets, degrees, data) = g.parts();
     let n = g.num_vertices() as u64;
@@ -125,6 +145,7 @@ pub fn write_compressed(g: &CompressedCsr, path: &Path) -> io::Result<()> {
         g.block_size() as u64,
         data.len() as u64,
         cutoff_word,
+        target,
     )?;
     write_u64s(&mut out, voffsets)?;
     write_u32s(&mut out, degrees)?;
@@ -141,6 +162,9 @@ struct Header {
     block_size: usize,
     aux: u64,
     extra: u64,
+    /// Edge-target id space; equals `n` for monolithic files, the *global*
+    /// vertex count for shard files (header word 7; 0 decodes to `n`).
+    target: usize,
 }
 
 fn read_header(bytes: &[u8]) -> io::Result<Header> {
@@ -157,16 +181,31 @@ fn read_header(bytes: &[u8]) -> io::Result<Header> {
             "bad magic; not a sage graph file",
         ));
     }
+    let n = word(2) as usize;
     let h = Header {
         flags: word(1),
-        n: word(2) as usize,
+        n,
         m: word(3) as usize,
         block_size: word(4) as usize,
         aux: word(5),
         extra: word(6),
+        target: match word(7) as usize {
+            0 => n,
+            t if t >= n => t,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "target id space smaller than vertex count",
+                ))
+            }
+        },
     };
-    // Cheap sanity limits so corrupt sizes fail before any arithmetic.
-    if h.n as u64 > bytes.len() as u64 || h.m as u64 > bytes.len() as u64 {
+    // Cheap sanity limits so corrupt sizes fail before any arithmetic. A
+    // shard manifest is exempt: it stores only the boundary table, not the
+    // n- and m-sized arrays its header describes.
+    if h.flags & FLAG_SHARDED == 0
+        && (h.n as u64 > bytes.len() as u64 || h.m as u64 > bytes.len() as u64)
+    {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "header sizes exceed file size",
@@ -185,10 +224,10 @@ fn read_header(bytes: &[u8]) -> io::Result<Header> {
 pub fn load_csr(path: &Path, placement: Placement) -> io::Result<Csr> {
     let region = NvRegion::open(path)?;
     let h = read_header(region.bytes())?;
-    if h.flags & FLAG_COMPRESSED != 0 {
+    if h.flags & (FLAG_COMPRESSED | FLAG_SHARDED) != 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "file holds a compressed graph",
+            "file holds a compressed or sharded graph",
         ));
     }
     let weighted = h.flags & FLAG_WEIGHTED != 0;
@@ -228,7 +267,7 @@ pub fn load_csr(path: &Path, placement: Placement) -> io::Result<Csr> {
             "offset table not monotone",
         ));
     }
-    if edges.iter().any(|&v| v as usize >= h.n) {
+    if edges.iter().any(|&v| v as usize >= h.target) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "edge target out of range",
@@ -257,10 +296,10 @@ pub fn load_csr(path: &Path, placement: Placement) -> io::Result<Csr> {
 pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<CompressedCsr> {
     let region = NvRegion::open(path)?;
     let h = read_header(region.bytes())?;
-    if h.flags & FLAG_COMPRESSED == 0 {
+    if h.flags & FLAG_COMPRESSED == 0 || h.flags & FLAG_SHARDED != 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "file holds an uncompressed graph",
+            "file does not hold a monolithic compressed graph",
         ));
     }
     let weighted = h.flags & FLAG_WEIGHTED != 0;
@@ -327,12 +366,148 @@ pub fn load_compressed(path: &Path, placement: Placement) -> io::Result<Compress
     // Full structural validation with the strict (checked) decoder: the
     // engine's hot-path decoders are unchecked for speed, so malformed byte
     // streams must be rejected here, before the graph is ever traversed.
-    g.validate()
+    // Shard files bound their (global) edge targets by `h.target`.
+    g.validate_with_target(h.target)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if h.flags & FLAG_SYMMETRIC != 0 {
         g.mark_symmetric();
     }
     Ok(g)
+}
+
+/// The file backing shard `i` of the manifest at `path`.
+pub fn shard_path(path: &Path, i: usize) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".shard{i}"));
+    std::path::PathBuf::from(os)
+}
+
+/// Write a sharded snapshot: a manifest at `path` (header + the `k+1`-entry
+/// shard boundary table) plus one self-contained graph file per shard at
+/// [`shard_path`]`(path, i)`. Each shard file records the *global* vertex
+/// count in header word 7 so its (global) edge targets validate on load,
+/// and is mapped as its own [`NvRegion`] by [`load_sharded`].
+pub fn write_sharded(g: &ShardedCsr, path: &Path) -> io::Result<()> {
+    let k = g.num_shards();
+    let n = g.num_vertices() as u64;
+    let flags = FLAG_SHARDED
+        | if g.is_weighted() { FLAG_WEIGHTED } else { 0 }
+        | if g.is_symmetric() { FLAG_SYMMETRIC } else { 0 };
+    let mut out = BufWriter::new(File::create(path)?);
+    write_header(
+        &mut out,
+        flags,
+        n,
+        g.num_edges() as u64,
+        g.block_size() as u64,
+        k as u64,
+        0,
+        0,
+    )?;
+    write_u64s(&mut out, g.starts())?;
+    out.flush()?;
+    for s in 0..k {
+        let p = shard_path(path, s);
+        match g.shard(s) {
+            ShardRepr::Plain(c) => write_csr_with_target(c, &p, n)?,
+            ShardRepr::Compressed(c) => write_compressed_with_target(c, &p, n)?,
+        }
+    }
+    Ok(())
+}
+
+/// Load a sharded snapshot written by [`write_sharded`]. Every shard file
+/// becomes its own mapping (or heap copy, under [`Placement::Dram`]); plain
+/// and compressed shards may mix freely — each file's own header says which
+/// it is.
+pub fn load_sharded(path: &Path, placement: Placement) -> io::Result<ShardedCsr> {
+    let region = NvRegion::open(path)?;
+    let h = read_header(region.bytes())?;
+    if h.flags & FLAG_SHARDED == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "file is not a shard manifest",
+        ));
+    }
+    let k = h.aux as usize;
+    if k == 0 || region.len() < HEADER_BYTES + (k + 1) * 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shard manifest truncated or empty",
+        ));
+    }
+    let starts = region.slice::<u64>(HEADER_BYTES, k + 1)?.to_vec();
+    if starts[0] != 0
+        || *starts.last().unwrap() != h.n as u64
+        || starts.windows(2).any(|w| w[0] >= w[1])
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shard boundary table corrupt",
+        ));
+    }
+    let weighted = h.flags & FLAG_WEIGHTED != 0;
+    let mut shards = Vec::with_capacity(k);
+    let mut m_sum = 0usize;
+    for s in 0..k {
+        let p = shard_path(path, s);
+        let sh = load_shard(&p, placement, h.n)?;
+        let want_n = (starts[s + 1] - starts[s]) as usize;
+        if sh.num_vertices() != want_n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shard {s} holds {} vertices, manifest says {want_n}",
+                    sh.num_vertices()
+                ),
+            ));
+        }
+        if sh.is_weighted() != weighted {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shard {s} weightedness disagrees with the manifest"),
+            ));
+        }
+        m_sum += sh.num_edges();
+        shards.push(sh);
+    }
+    if m_sum != h.m {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("shard edge counts sum to {m_sum}, manifest says {}", h.m),
+        ));
+    }
+    Ok(ShardedCsr::from_shard_parts(
+        shards,
+        starts,
+        h.m,
+        h.block_size.max(64),
+        weighted,
+        h.flags & FLAG_SYMMETRIC != 0,
+    ))
+}
+
+/// Load one shard file, whichever representation its header declares, and
+/// check that it was written against the expected global id space.
+fn load_shard(path: &Path, placement: Placement, global_n: usize) -> io::Result<ShardRepr> {
+    let header: Header = {
+        let region = NvRegion::open(path)?;
+        read_header(region.bytes())?
+    };
+    if header.target != global_n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "shard targets id space {} but the manifest covers {global_n} vertices",
+                header.target
+            ),
+        ));
+    }
+    if header.flags & FLAG_COMPRESSED != 0 {
+        Ok(ShardRepr::Compressed(load_compressed(path, placement)?))
+    } else {
+        Ok(ShardRepr::Plain(load_csr(path, placement)?))
+    }
 }
 
 /// Write the Ligra `AdjacencyGraph` text format.
@@ -596,6 +771,77 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = load_compressed(&path, Placement::Nvram).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_roundtrip_plain_and_compressed() {
+        let g = gen::rmat(9, 8, gen::RmatParams::web(), 17);
+        for (name, sharded) in [
+            ("shard-plain", ShardedCsr::from_csr(&g, 3)),
+            ("shard-comp", ShardedCsr::from_csr_compressed(&g, 3, 64, 64)),
+        ] {
+            let path = tmp(name);
+            write_sharded(&sharded, &path).unwrap();
+            let nv = load_sharded(&path, Placement::Nvram).unwrap();
+            assert!(nv.on_nvram());
+            assert_eq!(nv.num_shards(), sharded.num_shards());
+            assert_eq!(nv.starts(), sharded.starts());
+            assert!(nv.is_symmetric());
+            graphs_equal(&g, &nv);
+            let dram = load_sharded(&path, Placement::Dram).unwrap();
+            assert!(!dram.on_nvram());
+            graphs_equal(&g, &dram);
+            for s in 0..sharded.num_shards() {
+                std::fs::remove_file(shard_path(&path, s)).unwrap();
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_weighted_roundtrip() {
+        let list = gen::rmat_edges(8, 8, gen::RmatParams::default(), 14).with_random_weights(9);
+        let g = crate::build_csr(list, crate::BuildOptions::default());
+        let sharded = ShardedCsr::from_csr(&g, 4);
+        let path = tmp("shard-w");
+        write_sharded(&sharded, &path).unwrap();
+        let back = load_sharded(&path, Placement::Nvram).unwrap();
+        assert!(back.is_weighted());
+        graphs_equal(&g, &back);
+        for s in 0..sharded.num_shards() {
+            std::fs::remove_file(shard_path(&path, s)).unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_corruption_rejected() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 8);
+        let sharded = ShardedCsr::from_csr(&g, 2);
+        let path = tmp("shard-bad");
+        write_sharded(&sharded, &path).unwrap();
+        // A missing shard file fails the load.
+        let s1 = shard_path(&path, 1);
+        let bytes = std::fs::read(&s1).unwrap();
+        std::fs::remove_file(&s1).unwrap();
+        assert!(load_sharded(&path, Placement::Nvram).is_err());
+        // A shard written against the wrong global id space is rejected:
+        // re-point shard 1 at a monolithic file (target word 0 -> local n).
+        match sharded.shard(1) {
+            ShardRepr::Plain(c) => write_csr(c, &s1).unwrap(),
+            ShardRepr::Compressed(_) => unreachable!(),
+        }
+        let err = load_sharded(&path, Placement::Nvram).unwrap_err();
+        assert!(err.to_string().contains("id space"), "{err}");
+        std::fs::write(&s1, &bytes).unwrap();
+        // The manifest itself rejects monolithic loaders, and vice versa.
+        assert!(load_csr(&path, Placement::Nvram).is_err());
+        assert!(load_compressed(&path, Placement::Nvram).is_err());
+        assert!(load_sharded(&s1, Placement::Nvram).is_err());
+        for s in 0..sharded.num_shards() {
+            std::fs::remove_file(shard_path(&path, s)).unwrap();
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

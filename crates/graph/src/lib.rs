@@ -25,11 +25,13 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod reorder;
+pub mod sharded;
 pub mod stats;
 
 pub use builder::{build_csr, BuildOptions, EdgeList};
 pub use compressed::CompressedCsr;
 pub use csr::{Csr, Storage};
+pub use sharded::{ShardRepr, Sharded, ShardedCsr};
 
 /// Vertex identifier. The paper's largest graph has 3.5 B vertices; at the
 /// laptop scale of this reproduction `u32` ids halve memory traffic, exactly

@@ -13,7 +13,7 @@
 use crate::batch::QueryBatch;
 use crate::query::{BatchClass, Query};
 use parking_lot::{Condvar, Mutex};
-use sage_graph::Graph;
+use sage_graph::{Graph, Sharded, ShardedCsr};
 
 /// Bytes per word in the estimates (the PSAM meters in 8-byte words).
 const WORD: u64 = 8;
@@ -107,6 +107,86 @@ pub fn dram_estimate_for<G: Graph>(g: &G, query: &Query) -> u64 {
 /// surcharge — what the serving workers actually acquire.
 pub fn batch_estimate_for<G: Graph>(g: &G, batch: &QueryBatch) -> u64 {
     batch_estimate(g.num_vertices(), batch) + decode_scratch_estimate(g)
+}
+
+/// Estimated peak DRAM of one execution unit on a **sharded** snapshot —
+/// what [`crate::ShardedService`]'s workers acquire.
+///
+/// Two ways this differs from the monolithic [`batch_estimate_for`]:
+///
+/// * the DRAM terms track the scatter-gather state shapes: a BFS unit keeps
+///   the three global `O(n)` mask arrays plus per-shard frontier slices
+///   whose *total* is `O(n)` (they partition the vertex set), and a
+///   connectivity unit keeps one union-find forest **per shard** plus the
+///   merged forest and the label array;
+/// * the decode-scratch surcharge is summed over the **distinct shards the
+///   unit actually touches** — once per unit, never once per member (a
+///   batch of `k` 1-hop probes in one compressed shard decodes in that
+///   shard's scratch alone, not `k × num_shards` buffer sets). See
+///   [`sharded_scratch_estimate`].
+pub fn sharded_batch_estimate_for(g: &ShardedCsr, batch: &QueryBatch) -> u64 {
+    let n = g.num_vertices() as u64;
+    let k = batch.len() as u64;
+    let members = batch.members();
+    let base = match batch.class() {
+        // 3 global mask arrays + per-shard frontiers totalling ~2n (old +
+        // next across all shards), plus k level outputs.
+        BatchClass::Bfs => (5 * n + k * n) * WORD,
+        // One union-find forest per shard + the merged forest + labels.
+        BatchClass::Connected => (g.num_shards() as u64 + 2) * n * WORD + k * 64,
+        // Sequential member execution: peak = the largest member. A 1-hop
+        // probe's frontier lives inside one shard, so its O(n) bound shrinks
+        // to the owning shard's vertex range.
+        BatchClass::Neighborhood | BatchClass::Single => {
+            members
+                .iter()
+                .map(|p| match p.query() {
+                    Query::Neighborhood { src, hops: 1 } => {
+                        let range = g.shard_range(g.shard_of(*src));
+                        (range.end - range.start) as u64 * WORD / 4 + 4096
+                    }
+                    q => dram_estimate(n as usize, q),
+                })
+                .max()
+                .unwrap_or(0)
+                + k * 64
+        }
+    };
+    base + sharded_scratch_estimate(g, batch)
+}
+
+/// Decode-scratch surcharge for one execution unit on a sharded snapshot:
+/// the sum of [`decode_scratch_estimate`] over the **distinct** shards the
+/// unit will touch, each charged exactly once.
+///
+/// Whole-graph units (BFS traversals, connectivity labelings, analytics,
+/// 2-hop probes) touch every shard; a 1-hop neighborhood probe touches only
+/// the shard owning its center. Charging per *distinct shard* rather than
+/// per *member × shard* is what keeps a batch of `k` single-shard probes
+/// from reserving `k × num_shards` buffer sets it can never use.
+pub fn sharded_scratch_estimate(g: &ShardedCsr, batch: &QueryBatch) -> u64 {
+    let mut touched = vec![false; g.num_shards()];
+    match batch.class() {
+        BatchClass::Neighborhood => {
+            for p in batch.members() {
+                match p.query() {
+                    Query::Neighborhood { src, hops: 1 } => {
+                        touched[g.shard_of(*src)] = true;
+                    }
+                    // A 2-hop frontier can land anywhere.
+                    _ => touched.iter_mut().for_each(|t| *t = true),
+                }
+            }
+        }
+        // Traversals, labelings, and whole-graph analytics sweep every shard.
+        _ => touched.iter_mut().for_each(|t| *t = true),
+    }
+    touched
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t)
+        .map(|(s, _)| decode_scratch_estimate(g.shard(s)))
+        .sum()
 }
 
 /// The largest single-query estimate for a graph of `n` vertices; the
@@ -272,6 +352,52 @@ mod tests {
         let q = Query::Bfs { src: 0 };
         assert!(dram_estimate(2000, &q) > dram_estimate(1000, &q));
         assert!(max_estimate(1000) >= dram_estimate(1000, &q));
+    }
+
+    /// Regression (admission double-charging): a batch's decode-scratch
+    /// surcharge is the sum over the *distinct shards it touches*, charged
+    /// once per unit — not `members × shards` and not `1-hop probe ×
+    /// untouched shards`.
+    #[test]
+    fn sharded_scratch_charged_once_per_touched_shard() {
+        use crate::batch::QueryBatch;
+        use crate::queue::Pending;
+        use sage_graph::{gen, ShardedCsr};
+
+        let csr = gen::rmat(9, 8, gen::RmatParams::default(), 23);
+        let g = ShardedCsr::from_csr_compressed(&csr, 4, 64, u32::MAX);
+        let per_shard: Vec<u64> = (0..g.num_shards())
+            .map(|s| decode_scratch_estimate(g.shard(s)))
+            .collect();
+        assert!(per_shard.iter().all(|&b| b > 0), "compressed shards decode");
+
+        // Eight 1-hop probes all centred in shard 0: exactly shard 0's
+        // scratch, once — not 8×, not spread over all four shards.
+        let src = g.shard_range(0).start;
+        let members: Vec<Pending> = (0..8)
+            .map(|i| Pending::new(i, Query::Neighborhood { src, hops: 1 }).0)
+            .collect();
+        let batch = QueryBatch::new(members, BatchClass::Neighborhood);
+        assert_eq!(sharded_scratch_estimate(&g, &batch), per_shard[0]);
+
+        // A whole-graph unit charges every shard — once each.
+        let members = vec![Pending::new(0, Query::Bfs { src: 0 }).0];
+        let bfs = QueryBatch::new(members, BatchClass::Bfs);
+        assert_eq!(
+            sharded_scratch_estimate(&g, &bfs),
+            per_shard.iter().sum::<u64>()
+        );
+
+        // Plain shards need no decode scratch at all.
+        let plain = ShardedCsr::from_csr(&csr, 4);
+        assert_eq!(sharded_scratch_estimate(&plain, &bfs), 0);
+
+        // And the full estimate embeds the scratch term exactly once.
+        let members = vec![Pending::new(0, Query::Neighborhood { src, hops: 1 }).0];
+        let one = QueryBatch::new(members, BatchClass::Neighborhood);
+        let with = sharded_batch_estimate_for(&g, &one);
+        let without = sharded_batch_estimate_for(&plain, &one);
+        assert_eq!(with - without, per_shard[0]);
     }
 
     #[test]

@@ -82,6 +82,9 @@ impl QueryBatch {
 pub(crate) struct BatchOutcome {
     pub(crate) response: Response,
     pub(crate) traffic: MeterSnapshot,
+    /// Per-shard breakdown of `traffic` (sharded engines only; empty for
+    /// monolithic execution and failed units).
+    pub(crate) per_shard: Vec<MeterSnapshot>,
     /// Wall-clock seconds of the engine run that answered this member: the
     /// individual run for members executed in isolation, the shared run for
     /// members answered by one traversal/labeling. Never the whole batch's
@@ -121,6 +124,7 @@ fn run_isolated<G: Graph>(g: &G, query: &Query) -> BatchOutcome {
     BatchOutcome {
         response,
         traffic: scope.snapshot(),
+        per_shard: Vec::new(),
         seconds: start.elapsed().as_secs_f64(),
     }
 }
@@ -160,6 +164,7 @@ fn run_bfs_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome> {
                 .map(|((levels, reached), traffic)| BatchOutcome {
                     response: Response::Bfs { levels, reached },
                     traffic,
+                    per_shard: Vec::new(),
                     seconds,
                 })
                 .collect()
@@ -205,6 +210,7 @@ fn run_connected_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome
                 .map(|(response, traffic)| BatchOutcome {
                     response,
                     traffic,
+                    per_shard: Vec::new(),
                     seconds,
                 })
                 .collect()
@@ -214,7 +220,7 @@ fn run_connected_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome
 }
 
 /// Best-effort stringification of a panic payload into a `Failed` response.
-fn failed_response(payload: Box<dyn std::any::Any + Send>) -> Response {
+pub(crate) fn failed_response(payload: Box<dyn std::any::Any + Send>) -> Response {
     let reason = payload
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
@@ -239,6 +245,7 @@ fn failed_batch(
         .map(|traffic| BatchOutcome {
             response: response.clone(),
             traffic,
+            per_shard: Vec::new(),
             seconds,
         })
         .collect()
@@ -251,7 +258,7 @@ fn failed_batch(
 /// invariants ("a BFS query reads the graph") must hold regardless of how
 /// lopsided the shares are. The rest is floor-proportional, with the
 /// sub-one-word remainder handed to the earliest members.
-fn split_traffic(total: MeterSnapshot, shares: &[u64]) -> Vec<MeterSnapshot> {
+pub(crate) fn split_traffic(total: MeterSnapshot, shares: &[u64]) -> Vec<MeterSnapshot> {
     assert!(!shares.is_empty());
     let shares: Vec<u64> = shares.iter().map(|&s| s.max(1)).collect();
     let len = shares.len() as u64;

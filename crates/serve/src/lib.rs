@@ -56,11 +56,13 @@ pub mod admission;
 pub mod batch;
 mod query;
 pub mod queue;
+pub mod sharded;
 
 pub use admission::{batch_estimate, batch_estimate_for, dram_estimate, dram_estimate_for};
 pub use batch::QueryBatch;
 pub use query::{BatchClass, Query, QueryResult, Response};
 pub use queue::{BatchPolicy, Ticket};
+pub use sharded::ShardedService;
 
 use admission::DramBudget;
 use queue::{Pending, RequestQueue};
@@ -144,31 +146,39 @@ impl StatsInner {
     }
 }
 
-struct Shared<G> {
-    graph: G,
+/// The execution back end a service routes batches to. One implementation
+/// serves a monolithic snapshot ([`GraphService`]), another scatter-gathers
+/// over a partitioned one ([`ShardedService`]); the queue, admission,
+/// worker, and attribution machinery in [`ServiceCore`] is shared verbatim.
+pub(crate) trait Engine: Send + Sync + 'static {
+    /// Vertex count of the served snapshot (query validation bound).
+    fn num_vertices(&self) -> usize;
+    /// DRAM bytes one execution unit of `batch` should reserve.
+    fn estimate(&self, batch: &QueryBatch) -> u64;
+    /// Execute every member of `batch`, one outcome per member, in order.
+    fn run(&self, batch: &QueryBatch) -> Vec<batch::BatchOutcome>;
+}
+
+struct Shared<E> {
+    engine: E,
     queue: RequestQueue,
     budget: DramBudget,
     stats: StatsInner,
     policy: BatchPolicy,
 }
 
-/// A concurrent query service over one shared graph snapshot.
-///
-/// Load the graph once (ideally via `sage_graph::io::load_csr` with
-/// `Placement::Nvram`, so it is physically read-only), start the service,
-/// then submit typed queries from any number of client threads. Dropping the
-/// service closes the queue, drains every accepted request, and joins the
-/// workers.
-pub struct GraphService<G: Graph + Send + Sync + 'static> {
-    shared: Arc<Shared<G>>,
+/// Engine-generic service chassis: bounded queue, FIFO DRAM admission,
+/// serving workers, ticket fulfillment. [`GraphService`] and
+/// [`ShardedService`] are thin typed fronts over this.
+pub(crate) struct ServiceCore<E: Engine> {
+    shared: Arc<Shared<E>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     next_id: AtomicU64,
 }
 
-impl<G: Graph + Send + Sync + 'static> GraphService<G> {
-    /// Start a service over `graph` with `config` workers/budget/batching.
-    pub fn start(graph: G, config: ServiceConfig) -> Self {
-        let n = graph.num_vertices();
+impl<E: Engine> ServiceCore<E> {
+    pub(crate) fn start(engine: E, config: ServiceConfig) -> Self {
+        let n = engine.num_vertices();
         let budget_bytes = if config.dram_budget_bytes == 0 {
             4 * admission::max_estimate(n)
         } else {
@@ -180,7 +190,7 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
             config.queue_capacity
         };
         let shared = Arc::new(Shared {
-            graph,
+            engine,
             queue: RequestQueue::new(queue_capacity),
             budget: DramBudget::new(budget_bytes),
             stats: StatsInner::default(),
@@ -209,36 +219,23 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
         }
     }
 
-    /// The served graph snapshot.
-    pub fn graph(&self) -> &G {
-        &self.shared.graph
+    pub(crate) fn engine(&self) -> &E {
+        &self.shared.engine
     }
 
-    /// Total admitted-DRAM budget in bytes.
-    pub fn dram_budget_bytes(&self) -> u64 {
+    pub(crate) fn dram_budget_bytes(&self) -> u64 {
         self.shared.budget.capacity()
     }
 
-    /// Enqueue `query`; blocks only if the request queue is full. The
-    /// returned [`Ticket`] redeems the result.
-    ///
-    /// # Panics
-    /// Panics if the query references out-of-range vertices.
-    pub fn submit(&self, query: Query) -> Ticket {
-        query.validate(self.shared.graph.num_vertices());
+    pub(crate) fn submit(&self, query: Query) -> Ticket {
+        query.validate(self.shared.engine.num_vertices());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (pending, ticket) = Pending::new(id, query);
         self.shared.queue.push(pending);
         ticket
     }
 
-    /// Convenience: submit and wait.
-    pub fn query(&self, query: Query) -> QueryResult {
-        self.submit(query).wait()
-    }
-
-    /// Current serving statistics.
-    pub fn stats(&self) -> ServiceStats {
+    pub(crate) fn stats(&self) -> ServiceStats {
         let s = &self.shared.stats;
         ServiceStats {
             completed: s.completed.load(Ordering::SeqCst),
@@ -253,7 +250,7 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
     }
 }
 
-impl<G: Graph + Send + Sync + 'static> Drop for GraphService<G> {
+impl<E: Engine> Drop for ServiceCore<E> {
     fn drop(&mut self) {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
@@ -262,26 +259,92 @@ impl<G: Graph + Send + Sync + 'static> Drop for GraphService<G> {
     }
 }
 
+/// The monolithic engine: one graph, the classic `run_batch` execution.
+struct MonoEngine<G>(G);
+
+impl<G: Graph + Send + Sync + 'static> Engine for MonoEngine<G> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    fn estimate(&self, batch: &QueryBatch) -> u64 {
+        // Representation-aware: compressed snapshots add a decode-scratch
+        // surcharge derived from `Graph::size_bytes`.
+        admission::batch_estimate_for(&self.0, batch)
+    }
+
+    fn run(&self, batch: &QueryBatch) -> Vec<batch::BatchOutcome> {
+        batch::run_batch(&self.0, batch)
+    }
+}
+
+/// A concurrent query service over one shared graph snapshot.
+///
+/// Load the graph once (ideally via `sage_graph::io::load_csr` with
+/// `Placement::Nvram`, so it is physically read-only), start the service,
+/// then submit typed queries from any number of client threads. Dropping the
+/// service closes the queue, drains every accepted request, and joins the
+/// workers.
+pub struct GraphService<G: Graph + Send + Sync + 'static> {
+    core: ServiceCore<MonoEngine<G>>,
+}
+
+impl<G: Graph + Send + Sync + 'static> GraphService<G> {
+    /// Start a service over `graph` with `config` workers/budget/batching.
+    pub fn start(graph: G, config: ServiceConfig) -> Self {
+        Self {
+            core: ServiceCore::start(MonoEngine(graph), config),
+        }
+    }
+
+    /// The served graph snapshot.
+    pub fn graph(&self) -> &G {
+        &self.core.engine().0
+    }
+
+    /// Total admitted-DRAM budget in bytes.
+    pub fn dram_budget_bytes(&self) -> u64 {
+        self.core.dram_budget_bytes()
+    }
+
+    /// Enqueue `query`; blocks only if the request queue is full. The
+    /// returned [`Ticket`] redeems the result.
+    ///
+    /// # Panics
+    /// Panics if the query references out-of-range vertices.
+    pub fn submit(&self, query: Query) -> Ticket {
+        self.core.submit(query)
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, query: Query) -> QueryResult {
+        self.submit(query).wait()
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.stats()
+    }
+}
+
 /// One serving worker: drain a batch → admit → execute under scope(s) +
 /// arena → split attribution → fulfill every member.
-fn worker_loop<G: Graph>(shared: &Shared<G>) {
+fn worker_loop<E: Engine>(shared: &Shared<E>) {
     // The arena is per *worker*, reused across that worker's batches:
     // scratch (chunks, flag buffers, histogram dense arrays) warms up once
     // and is never shared with a concurrently executing unit.
     let arena = QueryArena::new();
     while let Some(batch) = shared.queue.pop_batch(&shared.policy) {
         let members = batch.len() as u64;
-        // The estimate is representation-aware: compressed snapshots add a
-        // decode-scratch surcharge derived from `Graph::size_bytes`.
-        let estimate = admission::batch_estimate_for(&shared.graph, &batch);
+        let estimate = shared.engine.estimate(&batch);
         let grant = shared.budget.acquire(estimate);
         shared.stats.on_admit(members, grant);
-        // Engine panics are contained inside `run_batch` (per execution
-        // unit), so the worker survives and no ticket is ever stranded.
-        // Each outcome carries the wall time of the engine run that answered
-        // it (the member's own run, or the shared traversal/labeling) — not
-        // the whole batch's sequential wall clock.
-        let outcomes = arena.enter(|| batch::run_batch(&shared.graph, &batch));
+        // Engine panics are contained inside the engine's `run` (per
+        // execution unit), so the worker survives and no ticket is ever
+        // stranded. Each outcome carries the wall time of the engine run
+        // that answered it (the member's own run, or the shared
+        // traversal/labeling) — not the whole batch's sequential wall clock.
+        let outcomes = arena.enter(|| shared.engine.run(&batch));
         shared.stats.on_finish(members, grant);
         shared.budget.release(grant);
         debug_assert_eq!(outcomes.len(), batch.len());
@@ -291,6 +354,7 @@ fn worker_loop<G: Graph>(shared: &Shared<G>) {
                 id,
                 response: outcome.response,
                 traffic: outcome.traffic,
+                per_shard: outcome.per_shard,
                 seconds: outcome.seconds,
             });
         }

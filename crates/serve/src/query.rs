@@ -202,6 +202,13 @@ pub struct QueryResult {
     /// Per-query traffic from the worker's [`sage_nvram::MeterScope`] —
     /// independent of every other in-flight query and of `Meter::reset`.
     pub traffic: MeterSnapshot,
+    /// Per-shard breakdown of `traffic` when the query was served by a
+    /// sharded snapshot (`per_shard[s]` is the share of this query's traffic
+    /// attributed to shard `s`'s meter scope; summed over shards it never
+    /// exceeds `traffic`, the difference being residual work — seeding,
+    /// handoff, gather — done outside any shard). Empty for monolithic
+    /// services and for failed executions.
+    pub per_shard: Vec<MeterSnapshot>,
     /// Wall-clock seconds of the engine run that answered this query
     /// (excluding queue wait): the query's own run when it executed in
     /// isolation, or the shared traversal/labeling when it was answered as

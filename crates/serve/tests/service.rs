@@ -582,6 +582,78 @@ fn incompatible_requests_keep_their_queue_position() {
     assert_eq!(queue.depth(), 0);
 }
 
+/// Regression test for the lingering drain: a `pop_batch` under a non-zero
+/// `max_linger` keeps absorbing *late-arriving* compatible requests into the
+/// forming batch, but (a) never grows past `max_batch` — it returns as soon
+/// as the cap is hit instead of sleeping out the linger window — and (b)
+/// leaves incompatible arrivals in their FIFO positions for the next drain.
+#[test]
+fn lingering_pop_respects_cap_and_fifo_order() {
+    use sage_serve::queue::{Pending, RequestQueue};
+    use std::sync::Arc;
+
+    let queue = Arc::new(RequestQueue::new(32));
+    let policy = BatchPolicy {
+        max_batch: 4,
+        // Generous on purpose: if the cap did not short-circuit the linger,
+        // the elapsed-time assertion below would trip.
+        max_linger: Duration::from_secs(5),
+    };
+    let mk = |id: u64, q: Query| Pending::new(id, q).0;
+
+    // Only the head is waiting when the consumer starts lingering.
+    queue.push(mk(0, Query::Bfs { src: 0 }));
+    let producer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            // Trickle in arrivals mid-linger: three compatible BFS queries
+            // interleaved with incompatible probes. The fourth BFS (id 6)
+            // lands after the cap is already reachable.
+            for (id, q) in [
+                (1, Query::Connected { u: 0, v: 1 }),
+                (2, Query::Bfs { src: 1 }),
+                (3, Query::Neighborhood { src: 0, hops: 1 }),
+                (4, Query::Bfs { src: 2 }),
+                (5, Query::Bfs { src: 3 }),
+                (6, Query::Bfs { src: 4 }),
+            ] {
+                std::thread::sleep(Duration::from_millis(5));
+                queue.push(mk(id, q));
+            }
+        })
+    };
+
+    let start = std::time::Instant::now();
+    let batch = queue.pop_batch(&policy).unwrap();
+    let elapsed = start.elapsed();
+    producer.join().unwrap();
+
+    // The linger gathered exactly max_batch compatible members, in arrival
+    // order, skipping the interleaved incompatible requests.
+    assert_eq!(
+        batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![0, 2, 4, 5],
+        "lingering drain must absorb late compatible arrivals up to the cap"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "hitting max_batch must end the linger early, waited {elapsed:?}"
+    );
+
+    // Incompatible mid-linger arrivals kept their FIFO positions; the
+    // over-cap BFS queues behind them.
+    let zero = BatchPolicy {
+        max_batch: 8,
+        max_linger: Duration::ZERO,
+    };
+    let ids =
+        |b: sage_serve::batch::QueryBatch| b.members().iter().map(|p| p.id()).collect::<Vec<_>>();
+    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![1]);
+    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![3]);
+    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![6]);
+    assert_eq!(queue.depth(), 0);
+}
+
 /// The batch cap respects both the policy and the class limit, and a
 /// `Single`-class query never shares a batch.
 #[test]

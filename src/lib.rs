@@ -55,7 +55,10 @@ pub use sage_core::{
     edge_map, EdgeMapFn, EdgeMapOpts, GraphFilter, QueryArena, SparseImpl, Strategy, VertexSubset,
 };
 pub use sage_graph::{
-    build_csr, BuildOptions, CompressedCsr, Csr, EdgeList, Graph, Storage, NONE_V, V,
+    build_csr, BuildOptions, CompressedCsr, Csr, EdgeList, Graph, ShardRepr, Sharded, ShardedCsr,
+    Storage, NONE_V, V,
 };
 pub use sage_nvram::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot, NvRegion, NvSlice};
-pub use sage_serve::{GraphService, Query, QueryResult, Response, ServiceConfig, Ticket};
+pub use sage_serve::{
+    GraphService, Query, QueryResult, Response, ServiceConfig, ShardedService, Ticket,
+};
