@@ -25,6 +25,8 @@ pub fn bfs<G: Graph>(g: &G, src: V) -> Vec<V> {
             let u = fr[i];
             let mut out = Vec::new();
             g.for_each_edge(u, |v, _| {
+                // ORDERING: AcqRel success / Acquire failure — parent-claim
+                // CAS: Release publishes the claim, Acquire orders losers.
                 if parent_ref[v as usize]
                     .compare_exchange(u64::MAX, u as u64, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
@@ -70,6 +72,8 @@ pub fn sssp<G: Graph>(g: &G, src: V) -> Vec<u64> {
                 let mut cur = dist_ref[v as usize].load(Ordering::Relaxed);
                 let mut improved = false;
                 while nd < cur {
+                    // ORDERING: AcqRel success / Acquire failure — claim
+                    // semantics, as in sage-core's `atomic_min`.
                     match dist_ref[v as usize].compare_exchange_weak(
                         cur,
                         nd,
@@ -83,6 +87,8 @@ pub fn sssp<G: Graph>(g: &G, src: V) -> Vec<u64> {
                         Err(now) => cur = now,
                     }
                 }
+                // ORDERING: AcqRel — per-round emission token; Release
+                // publishes the improved value before the token is taken.
                 if improved && !claimed_ref[v as usize].swap(true, Ordering::AcqRel) {
                     out.push(v);
                 }
@@ -115,6 +121,8 @@ pub fn connectivity<G: Graph>(g: &G) -> Vec<V> {
                 let mut cur = label_ref[v as usize].load(Ordering::Relaxed);
                 let mut improved = false;
                 while lu < cur {
+                    // ORDERING: AcqRel success / Acquire failure — claim
+                    // semantics, as in sage-core's `atomic_min`.
                     match label_ref[v as usize].compare_exchange_weak(
                         cur,
                         lu,
@@ -128,6 +136,8 @@ pub fn connectivity<G: Graph>(g: &G) -> Vec<V> {
                         Err(now) => cur = now,
                     }
                 }
+                // ORDERING: AcqRel — per-round emission token; Release
+                // publishes the improved value before the token is taken.
                 if improved && !claimed_ref[v as usize].swap(true, Ordering::AcqRel) {
                     out.push(v);
                 }
@@ -165,6 +175,8 @@ pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> (Vec<f64>, usize
                 let mut cur = a.load(Ordering::Relaxed);
                 loop {
                     let next = f64::from_bits(cur) + share;
+                    // ORDERING: AcqRel success / Acquire failure — bit-cast
+                    // accumulate; see sage-core's `atomic_add_f64`.
                     match a.compare_exchange_weak(
                         cur,
                         next.to_bits(),
@@ -222,6 +234,9 @@ pub fn kcore_single<G: Graph>(g: &G, k: u32) -> Vec<bool> {
             let mut out = Vec::new();
             g.for_each_edge(v, |u, _| {
                 if alive_ref[u as usize].load(Ordering::Relaxed) {
+                    // ORDERING: AcqRel — degree count-to-threshold handoff;
+                    // the thread that decrements through `k` is ordered
+                    // after every earlier decrement.
                     let old = deg_ref[u as usize].fetch_sub(1, Ordering::AcqRel);
                     if old == k as u64 {
                         out.push(u);

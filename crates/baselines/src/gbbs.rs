@@ -69,19 +69,13 @@ impl MutableGraph {
     /// (pull) `edge_map` direction traverse invalid in-edges.
     pub fn pack_edges(&mut self, pred: impl Fn(V, V) -> bool + Sync) -> usize {
         self.symmetric = false;
-        let counts: Vec<usize> = {
-            let adj = &mut self.adj;
-            let ptr = par::SendPtr(adj.as_mut_ptr());
-            par::par_map(adj.len(), |vi| {
-                // SAFETY: one task per vertex list.
-                let list = unsafe { &mut *ptr.add(vi) };
-                list.retain(|&u| pred(vi as V, u));
-                // Rewriting the list is a write to the (large-memory) graph.
-                meter::graph_write(list.len() as u64);
-                list.len()
-            })
-        };
-        self.m = counts.iter().sum();
+        par::par_for_slices(&mut self.adj, |vi, list| {
+            list.retain(|&u| pred(vi as V, u));
+            // Rewriting the list is a write to the (large-memory) graph.
+            meter::graph_write(list.len() as u64);
+        });
+        let adj = &self.adj;
+        self.m = par::reduce_add(0, adj.len(), |vi| adj[vi].len() as u64) as usize;
         self.m
     }
 

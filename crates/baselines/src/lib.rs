@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Comparator systems for the Sage evaluation.
 //!
 //! The paper measures Sage against three families of systems; each is

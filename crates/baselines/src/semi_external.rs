@@ -167,6 +167,9 @@ impl GridEngine {
                     return; // GridGraph's block skipping
                 }
                 let r = self.stream_block(bi, bj, |u, v| {
+                    // ORDERING: AcqRel success / Acquire failure —
+                    // parent-claim CAS: Release publishes the claim,
+                    // Acquire orders losers after it.
                     if frontier_ref[u as usize]
                         && parent_ref[v as usize]
                             .compare_exchange(
@@ -220,6 +223,8 @@ impl GridEngine {
                     let lu = label_ref[u as usize].load(Ordering::Relaxed);
                     let mut cur = label_ref[v as usize].load(Ordering::Relaxed);
                     while lu < cur {
+                        // ORDERING: AcqRel success / Acquire failure — claim
+                        // semantics, as in sage-core's `atomic_min`.
                         match label_ref[v as usize].compare_exchange_weak(
                             cur,
                             lu,
@@ -263,6 +268,8 @@ impl GridEngine {
                 let mut cur = a.load(Ordering::Relaxed);
                 loop {
                     let next = f64::from_bits(cur) + share;
+                    // ORDERING: AcqRel success / Acquire failure — bit-cast
+                    // accumulate; see sage-core's `atomic_add_f64`.
                     match a.compare_exchange_weak(
                         cur,
                         next.to_bits(),

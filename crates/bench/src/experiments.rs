@@ -627,6 +627,7 @@ pub fn serve() {
         .map(|c| {
             let service = Arc::clone(&service);
             let live = Arc::clone(&live);
+            // sage-lint: allow(thread-spawn) -- open-loop load generator simulating concurrent clients
             std::thread::spawn(move || {
                 let pick = |k: usize| live[k % live.len()];
                 let mut latencies = Vec::with_capacity(per_client);
@@ -748,6 +749,7 @@ pub fn serve_batch() {
             .map(|c| {
                 let service = Arc::clone(&service);
                 let live = Arc::clone(&live);
+                // sage-lint: allow(thread-spawn) -- open-loop load generator simulating concurrent clients
                 std::thread::spawn(move || {
                     // Submit the whole backlog first (an open-loop client),
                     // so the scheduler has material to form batches from,
@@ -1030,6 +1032,7 @@ pub fn serve_compressed() {
             .map(|c| {
                 let service = Arc::clone(&service);
                 let live = Arc::clone(live);
+                // sage-lint: allow(thread-spawn) -- open-loop load generator simulating concurrent clients
                 std::thread::spawn(move || {
                     let pick = |k: usize| live[k % live.len()];
                     let submitted: Vec<(Instant, Ticket)> = (0..per_client)
@@ -1263,6 +1266,7 @@ pub fn serve_sharded() {
             .map(|c| {
                 let service = Arc::clone(&service);
                 let live = Arc::clone(live);
+                // sage-lint: allow(thread-spawn) -- open-loop load generator simulating concurrent clients
                 std::thread::spawn(move || {
                     let pick = |k: usize| live[k % live.len()];
                     let submitted: Vec<(Instant, Ticket)> = (0..per_client)

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Shared infrastructure for the experiment harness: the synthetic workload
 //! suite (Table 2 substitutes), problem runners, and table formatting.
 

@@ -32,6 +32,9 @@ impl EdgeMapFn for BfFn<'_> {
         let nd = self.dist[s as usize].load(Ordering::Relaxed) + w as u64;
         if atomic_min(&self.dist[d as usize], nd) {
             // First improver in this round emits d exactly once.
+            // ORDERING: AcqRel — emission token: Release publishes the
+            // improved distance before the token, Acquire orders the winner
+            // after prior claimants.
             return !self.claimed[d as usize].swap(true, Ordering::AcqRel);
         }
         false

@@ -43,6 +43,8 @@ impl EdgeMapFn for SigmaFn<'_> {
         }
         let add = f64::from_bits(self.sigma[s as usize].load(Ordering::Relaxed));
         atomic_add_f64(&self.sigma[d as usize], add);
+        // ORDERING: AcqRel success / Acquire failure — level-claim CAS:
+        // Release publishes the sigma contribution, Acquire orders losers.
         self.level[d as usize]
             .compare_exchange(u64::MAX, self.round, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()

@@ -66,6 +66,9 @@ pub fn coloring<G: Graph>(g: &G, seed: u64) -> Vec<u32> {
             let rv = rank(g, seed, v);
             let mut ready = Vec::new();
             g.for_each_edge(v, |u, _| {
+                // ORDERING: AcqRel on the count — count-to-zero handoff:
+                // Release publishes this thread's color write, the final
+                // decrementer's Acquire orders it after all predecessors.
                 if rank(g, seed, u) < rv
                     && colors_ref[u as usize].load(Ordering::Relaxed) == UNCOLORED
                     && counts_ref[u as usize].fetch_sub(1, Ordering::AcqRel) == 1

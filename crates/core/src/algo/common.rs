@@ -7,6 +7,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub fn atomic_min(a: &AtomicU64, val: u64) -> bool {
     let mut cur = a.load(Ordering::Relaxed);
     while val < cur {
+        // ORDERING: AcqRel success / Acquire failure — callers treat a
+        // winning write as a claim (e.g. "first improver emits the
+        // vertex"), so the write is published with Release and losers are
+        // ordered after winners with Acquire.
         match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => return true,
             Err(now) => cur = now,
@@ -20,6 +24,8 @@ pub fn atomic_min(a: &AtomicU64, val: u64) -> bool {
 pub fn atomic_max(a: &AtomicU64, val: u64) -> bool {
     let mut cur = a.load(Ordering::Relaxed);
     while val > cur {
+        // ORDERING: AcqRel success / Acquire failure — claim semantics as
+        // in `atomic_min` above.
         match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => return true,
             Err(now) => cur = now,
@@ -34,6 +40,9 @@ pub fn atomic_add_f64(a: &AtomicU64, delta: f64) {
     let mut cur = a.load(Ordering::Relaxed);
     loop {
         let next = f64::from_bits(cur) + delta;
+        // ORDERING: AcqRel success / Acquire failure — accumulation needs
+        // only per-variable CAS atomicity (rounds are join-separated);
+        // AcqRel keeps racing contributions conservatively published.
         match a.compare_exchange_weak(cur, next.to_bits(), Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => return,
             Err(now) => cur = now,

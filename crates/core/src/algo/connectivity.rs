@@ -64,8 +64,8 @@ fn connectivity_rec<G: Graph>(g: &G, beta: f64, seed: u64, depth: usize) -> Vec<
     {
         let dp = par::SendPtr(dense_of.as_mut_ptr());
         let centers_ref: &[V] = &centers;
+        // SAFETY: centers are distinct indices, so writes are disjoint.
         par::par_for(0, centers.len(), |i| unsafe {
-            // SAFETY: centers are distinct indices.
             *dp.add(centers_ref[i] as usize) = i as u32;
         });
     }

@@ -42,6 +42,8 @@ impl EdgeMapFn for LddFn<'_> {
 
     fn update_atomic(&self, s: V, d: V, _w: u32) -> bool {
         let c = self.cluster[s as usize].load(Ordering::Relaxed);
+        // ORDERING: AcqRel success / Acquire failure — cluster-claim CAS:
+        // Release publishes the claim, Acquire orders losers after it.
         if self.cluster[d as usize]
             .compare_exchange(UNCLAIMED, c, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -88,6 +90,8 @@ pub fn ldd<G: Graph>(g: &G, beta: f64, seed: u64) -> LddResult {
                 .iter()
                 .copied()
                 .filter(|&v| {
+                    // ORDERING: AcqRel success / Acquire failure —
+                    // center-claim CAS, same protocol as `update_atomic`.
                     cluster[v as usize]
                         .compare_exchange(UNCLAIMED, v as u64, Ordering::AcqRel, Ordering::Acquire)
                         .map(|_| {

@@ -44,6 +44,7 @@ impl EdgeMapFn for WidestFn<'_> {
         let nw = self.candidate(s, w);
         if atomic_max(&self.width[d as usize], nw) {
             match self.claimed {
+                // ORDERING: AcqRel — emission token, as in Bellman-Ford.
                 Some(c) => !c[d as usize].swap(true, Ordering::AcqRel),
                 None => true,
             }

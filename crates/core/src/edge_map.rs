@@ -472,6 +472,8 @@ impl EdgeMapFn for ClaimFn<'_> {
     }
 
     fn update_atomic(&self, s: V, d: V, _w: u32) -> bool {
+        // ORDERING: AcqRel success / Acquire failure — parent-claim CAS:
+        // Release publishes the claim, Acquire orders losers after it.
         self.parents[d as usize]
             .compare_exchange(UNVISITED, s as u64, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()

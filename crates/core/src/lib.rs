@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! The Sage engine: semi-asymmetric parallel graph algorithms (VLDB'20).
 //!
 //! Sage processes graphs under the Parallel Semi-Asymmetric Model: the graph

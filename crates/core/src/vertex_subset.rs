@@ -144,8 +144,8 @@ impl VertexSubset {
             let mut flags = arena::fetch_flags(self.n, false);
             let fp = par::SendPtr(flags.as_mut_ptr());
             let ids_ref: &[V] = ids;
+            // SAFETY: ids are unique, so writes are disjoint.
             par::par_for(0, ids_ref.len(), |i| unsafe {
-                // SAFETY: ids are unique, so writes are disjoint.
                 *fp.add(ids_ref[i] as usize) = true;
             });
             meter::aux_write(self.n as u64 / 64 + 1 + count as u64);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Graph substrate for the Sage reproduction.
 //!
 //! Provides the two on-NVRAM graph representations the paper uses (§2, §5.1.3):

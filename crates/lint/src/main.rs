@@ -1,0 +1,71 @@
+//! The `sage-lint` binary: scan the workspace, print violations, exit
+//! nonzero if any remain. See the library docs for the rule catalog.
+//!
+//! Usage:
+//!
+//! ```text
+//! sage-lint [--root <dir>] [--quiet]
+//! ```
+//!
+//! `--root` defaults to the current directory (which is the workspace root
+//! under `cargo run -p sage-lint`); `--quiet` suppresses the summary line
+//! on success.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("sage-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: sage-lint [--root <dir>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sage-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "sage-lint: `{}` does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = match sage_lint::scan_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sage-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (path, v) in &report.violations {
+        println!("{path}:{}: [{}] {}", v.line, v.rule, v.msg);
+    }
+    if report.violations.is_empty() {
+        if !quiet {
+            eprintln!("sage-lint: clean — {} files, 0 violations", report.files);
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sage-lint: {} violation(s) in {} file(s) scanned",
+            report.violations.len(),
+            report.files
+        );
+        ExitCode::FAILURE
+    }
+}

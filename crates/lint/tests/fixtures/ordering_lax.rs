@@ -1,0 +1,18 @@
+// Golden fixture for the lax rule set (any path outside the strict
+// atomics list, e.g. `crates/serve/src/...`): Relaxed needs no comment,
+// anything stronger does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn relaxed_is_free(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}
+
+pub fn seqcst_needs_a_comment(x: &AtomicU64) {
+    x.store(1, Ordering::SeqCst);
+}
+
+pub fn release_with_comment(x: &AtomicU64) {
+    // ORDERING: Release — publishes the payload before the flag.
+    x.store(1, Ordering::Release);
+}

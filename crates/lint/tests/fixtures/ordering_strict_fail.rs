@@ -1,0 +1,12 @@
+// Golden fixture: strict-path ordering violations. Scanned under the
+// virtual path `crates/parallel/src/worker.rs` (strict set, but NOT a
+// fence-protocol file, so the bare fence is flagged too).
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+pub fn unjustified(x: &AtomicU64) -> u64 {
+    let a = x.load(Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+    a
+}

@@ -1,0 +1,20 @@
+// Golden fixture for the strict-atomics rule set. Scanned under the virtual
+// path `crates/parallel/src/pool.rs`, where *every* ordering — Relaxed
+// included — needs an `// ORDERING:` comment, and `fence(SeqCst)` rides the
+// module-level FENCE PROTOCOL comment below.
+//
+// # FENCE PROTOCOL (fixture)
+//
+// The SeqCst fences below pair stores with flag re-checks.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+pub fn all_justified(x: &AtomicU64) -> u64 {
+    // ORDERING: Relaxed — statistics only; no cross-thread edge needed.
+    let a = x.load(Ordering::Relaxed);
+    // ORDERING: AcqRel success / Acquire failure — claim CAS; one comment
+    // covers both orderings because they sit in one statement.
+    let _ = x.compare_exchange(a, a + 1, Ordering::AcqRel, Ordering::Acquire);
+    fence(Ordering::SeqCst);
+    x.load(Ordering::Acquire) // ORDERING: Acquire — pairs with the CAS above.
+}

@@ -1,0 +1,14 @@
+// Golden fixture: malformed pragmas are themselves violations and do NOT
+// suppress anything. Scanned under a virtual non-parallel path.
+
+pub fn missing_reason() {
+    // sage-lint: allow(thread-spawn)
+    let h = std::thread::spawn(|| 1);
+    let _ = h.join();
+}
+
+pub fn unknown_rule() {
+    // sage-lint: allow(no-such-rule) -- because
+    let h = std::thread::spawn(|| 1);
+    let _ = h.join();
+}

@@ -1,0 +1,13 @@
+// Golden fixture: well-formed pragmas in both positions suppress the
+// thread-spawn rule. Scanned under a virtual non-parallel path.
+
+pub fn above_form() {
+    // sage-lint: allow(thread-spawn) -- load generator simulating clients
+    let h = std::thread::spawn(|| 1);
+    let _ = h.join();
+}
+
+pub fn trailing_form() {
+    let h = std::thread::spawn(|| 1); // sage-lint: allow(thread-spawn) -- harness
+    let _ = h.join();
+}

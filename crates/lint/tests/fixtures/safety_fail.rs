@@ -1,0 +1,14 @@
+// Golden fixture: three naked `unsafe` sites, no justification anywhere.
+// tests/fixtures.rs asserts one `safety-comment` violation per site.
+
+pub fn naked_block(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub unsafe fn naked_unsafe_fn(p: *const u32) -> u32 {
+    *p
+}
+
+unsafe impl Sync for Wrapper {}
+
+pub struct Wrapper(pub *const u32);

@@ -1,0 +1,29 @@
+// Golden fixture: every `unsafe` here carries a justification in one of the
+// accepted shapes. Scanned under a virtual path by tests/fixtures.rs; this
+// file is never compiled.
+
+pub fn block_with_trailing_comment(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn block_with_comment_above(p: *const u32) -> u32 {
+    // SAFETY: the comment block immediately above the statement
+    // also counts, even when the statement spans lines.
+    unsafe { *p }
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn doc_section_covers_the_fn(p: *const u32) -> u32 {
+    // SAFETY: forwarded contract — see `# Safety` above.
+    unsafe { *p }
+}
+
+// SAFETY: the type holds no thread-affine state.
+unsafe impl Sync for Wrapper {}
+
+pub struct Wrapper(pub *const u32);

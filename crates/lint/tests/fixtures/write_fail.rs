@@ -1,0 +1,14 @@
+// Golden fixture: one violation per write-discipline rule. Scanned under a
+// virtual path outside `crates/nvram`.
+
+static mut GLOBAL: u64 = 0;
+
+pub fn writes_the_graph(n: u64) {
+    meter::graph_write(n);
+}
+
+pub const PROT: i32 = PROT_WRITE;
+
+pub fn launders(s: &NvSlice) -> *mut u8 {
+    s.as_ptr() as *mut u8
+}

@@ -1,0 +1,16 @@
+// Golden fixture: write-discipline near-misses that must NOT be flagged.
+// Scanned under a virtual path outside `crates/nvram`.
+
+// Defining (not calling) a function named `graph_write` is fine.
+pub fn graph_write(_n: u64) {}
+
+// An NVRAM view type on a read-only line is fine.
+pub fn reads(s: &NvSlice) -> *const u8 {
+    s.as_ptr()
+}
+
+// A write idiom with no NVRAM type on the line is fine (other lints — the
+// safety pass, `forbid(unsafe_code)` — govern raw pointers generally).
+pub fn local_scratch(v: &mut Vec<u8>) -> *mut u8 {
+    v.as_mut_ptr()
+}

@@ -1,0 +1,25 @@
+//! The lint applied to its own workspace, in-process: the tree the crate
+//! ships in must scan clean. This is the same check `tests/lint_gate.rs`
+//! runs through the binary; having it here too means `cargo test -p
+//! sage-lint` is self-contained.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = sage_lint::scan_tree(&root).expect("scan");
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|(p, v)| format!("{p}:{}: [{}] {}", v.line, v.rule, v.msg))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "sage-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+    // Sanity: the walk actually visited the workspace (sources + manifests).
+    assert!(report.files > 50, "only scanned {} files", report.files);
+}

@@ -19,10 +19,17 @@ pub struct TrackingAlloc;
 
 #[inline]
 fn add(bytes: usize) {
+    // ORDERING: Relaxed — pure statistics counters: no other memory is
+    // published through them, and the harness reads them from the same
+    // thread after the measured phase (whose fork-join barrier orders any
+    // cross-thread increments).
     let cur = CURRENT.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
     // Update the peak with a CAS loop; contention is rare.
+    // ORDERING: Relaxed — monotonic max; the CAS retry loop only needs the
+    // atomicity of each exchange, not inter-variable ordering.
     let mut peak = PEAK.load(Ordering::Relaxed);
     while cur > peak {
+        // ORDERING: Relaxed — see the peak-loop note above.
         match PEAK.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => break,
             Err(p) => peak = p,
@@ -32,12 +39,17 @@ fn add(bytes: usize) {
 
 #[inline]
 fn sub(bytes: usize) {
+    // ORDERING: Relaxed — statistics counter; see `add`.
     CURRENT.fetch_sub(bytes as u64, Ordering::Relaxed);
 }
 
 // SAFETY: delegates to System and only adds counter bookkeeping.
 unsafe impl GlobalAlloc for TrackingAlloc {
+    // SAFETY: all four methods forward verbatim to `System` and only add
+    // counter bookkeeping, so `System`'s contract is preserved unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim to System; our caller's obligations
+        // (valid layout) are exactly System's.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             add(layout.size());
@@ -45,12 +57,17 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         p
     }
 
+    // SAFETY: see the note on `alloc` above.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim to System; `ptr`/`layout` validity is
+        // our caller's obligation, unchanged.
         unsafe { System.dealloc(ptr, layout) };
         sub(layout.size());
     }
 
+    // SAFETY: see the note on `alloc` above.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim to System, as in `alloc`.
         let p = unsafe { System.alloc_zeroed(layout) };
         if !p.is_null() {
             add(layout.size());
@@ -58,7 +75,9 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         p
     }
 
+    // SAFETY: see the note on `alloc` above.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim to System, as in `alloc`.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             sub(layout.size());
@@ -71,16 +90,20 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 /// Bytes currently allocated (only meaningful when [`TrackingAlloc`] is the
 /// process global allocator).
 pub fn current_bytes() -> u64 {
+    // ORDERING: Relaxed — statistics read; see `add`.
     CURRENT.load(Ordering::Relaxed)
 }
 
 /// High-water mark since the last [`reset_peak`].
 pub fn peak_bytes() -> u64 {
+    // ORDERING: Relaxed — statistics read; see `add`.
     PEAK.load(Ordering::Relaxed)
 }
 
 /// Reset the high-water mark to the current usage.
 pub fn reset_peak() {
+    // ORDERING: Relaxed — bracketing call made on the measuring thread
+    // between phases; see `add`.
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 

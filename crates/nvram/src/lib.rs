@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! NVRAM emulation substrate for the Parallel Semi-Asymmetric Model (PSAM).
 //!
 //! The paper evaluates Sage on Optane DC Persistent Memory configured in

@@ -80,6 +80,8 @@ fn shard() -> usize {
         if s != usize::MAX {
             s
         } else {
+            // ORDERING: Relaxed — round-robin shard assignment; only the
+            // RMW's uniqueness matters, no data is published through it.
             let s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
             c.set(s);
             s
@@ -168,10 +170,14 @@ impl Meter {
     pub fn snapshot(&self) -> MeterSnapshot {
         let mut s = MeterSnapshot::default();
         for shard in &self.shards {
+            // ORDERING: Relaxed (all four) — traffic counters are advisory
+            // statistics: a snapshot taken while workers run is inherently
+            // approximate, and phase-accurate readings (the PSAM assertions)
+            // happen after a fork-join barrier that supplies the ordering.
             s.graph_read += shard.graph_read.load(Ordering::Relaxed);
-            s.graph_write += shard.graph_write.load(Ordering::Relaxed);
-            s.aux_read += shard.aux_read.load(Ordering::Relaxed);
-            s.aux_write += shard.aux_write.load(Ordering::Relaxed);
+            s.graph_write += shard.graph_write.load(Ordering::Relaxed); // ORDERING: as above
+            s.aux_read += shard.aux_read.load(Ordering::Relaxed); // ORDERING: as above
+            s.aux_write += shard.aux_write.load(Ordering::Relaxed); // ORDERING: as above
         }
         s
     }
@@ -187,10 +193,12 @@ impl Meter {
     /// slips in between.
     pub fn reset(&self) {
         for shard in &self.shards {
+            // ORDERING: Relaxed (all four) — harness-only quiescent reset,
+            // documented above as never racing a metered computation.
             shard.graph_read.store(0, Ordering::Relaxed);
-            shard.graph_write.store(0, Ordering::Relaxed);
-            shard.aux_read.store(0, Ordering::Relaxed);
-            shard.aux_write.store(0, Ordering::Relaxed);
+            shard.graph_write.store(0, Ordering::Relaxed); // ORDERING: as above
+            shard.aux_read.store(0, Ordering::Relaxed); // ORDERING: as above
+            shard.aux_write.store(0, Ordering::Relaxed); // ORDERING: as above
         }
     }
 }
@@ -254,6 +262,8 @@ fn scoped_add(shard_idx: usize, pick: impl Fn(&Shard) -> &AtomicU64, words: u64)
     sage_parallel::context::with(sage_parallel::context::SLOT_METER, |slot| {
         if let Some(any) = slot {
             if let Some(m) = any.downcast_ref::<Meter>() {
+                // ORDERING: Relaxed — statistics accumulation; readers are
+                // phase-separated by the scope's end (a fork-join barrier).
                 pick(&m.shards[shard_idx]).fetch_add(words, Ordering::Relaxed);
             }
         }
@@ -264,6 +274,7 @@ fn scoped_add(shard_idx: usize, pick: impl Fn(&Shard) -> &AtomicU64, words: u64)
 #[inline]
 pub fn graph_read(words: u64) {
     let s = shard();
+    // ORDERING: Relaxed — statistics accumulation; see `Meter::snapshot`.
     GLOBAL.shards[s]
         .graph_read
         .fetch_add(words, Ordering::Relaxed);
@@ -274,6 +285,7 @@ pub fn graph_read(words: u64) {
 #[inline]
 pub fn graph_write(words: u64) {
     let s = shard();
+    // ORDERING: Relaxed — statistics accumulation; see `Meter::snapshot`.
     GLOBAL.shards[s]
         .graph_write
         .fetch_add(words, Ordering::Relaxed);
@@ -284,6 +296,7 @@ pub fn graph_write(words: u64) {
 #[inline]
 pub fn aux_read(words: u64) {
     let s = shard();
+    // ORDERING: Relaxed — statistics accumulation; see `Meter::snapshot`.
     GLOBAL.shards[s]
         .aux_read
         .fetch_add(words, Ordering::Relaxed);
@@ -294,6 +307,7 @@ pub fn aux_read(words: u64) {
 #[inline]
 pub fn aux_write(words: u64) {
     let s = shard();
+    // ORDERING: Relaxed — statistics accumulation; see `Meter::snapshot`.
     GLOBAL.shards[s]
         .aux_write
         .fetch_add(words, Ordering::Relaxed);

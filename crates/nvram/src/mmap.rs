@@ -39,6 +39,7 @@ pub struct MmapFile {
 
 // SAFETY: the mapping is immutable for its entire lifetime.
 unsafe impl Send for MmapFile {}
+// SAFETY: same argument as Send — concurrent reads of immutable memory.
 unsafe impl Sync for MmapFile {}
 
 impl MmapFile {
@@ -69,6 +70,8 @@ impl MmapFile {
         }
         // Hint the kernel we will touch the whole file; matches the paper's
         // THP/prefault observations (§5.5). Failure is harmless.
+        // SAFETY: `ptr`/`len` describe the mapping created just above;
+        // madvise never invalidates it.
         unsafe {
             let _ = madvise(ptr, len, MADV_WILLNEED);
         }

@@ -18,14 +18,14 @@ use std::sync::Arc;
 /// no pointers.
 pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
-unsafe impl Pod for u8 {}
-unsafe impl Pod for u16 {}
-unsafe impl Pod for u32 {}
-unsafe impl Pod for u64 {}
-unsafe impl Pod for i32 {}
-unsafe impl Pod for i64 {}
-unsafe impl Pod for f32 {}
-unsafe impl Pod for f64 {}
+unsafe impl Pod for u8 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for u16 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for u32 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for u64 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for i32 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for i64 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for f32 {} // SAFETY: primitive, any bit pattern valid
+unsafe impl Pod for f64 {} // SAFETY: primitive, any bit pattern valid
 
 /// A reference-counted read-only mapped region (the emulated NVRAM device).
 #[derive(Clone)]
@@ -75,6 +75,8 @@ impl NvRegion {
                 ),
             ));
         }
+        // SAFETY: `byte_offset <= self.len()` was checked above, so the
+        // offset pointer stays within (or one past) the mapped allocation.
         let ptr = unsafe { self.map.as_bytes().as_ptr().add(byte_offset) };
         if (ptr as usize) % std::mem::align_of::<T>() != 0 {
             return Err(io::Error::new(
@@ -103,6 +105,7 @@ pub struct NvSlice<T: Pod> {
 
 // SAFETY: the underlying region is immutable and kept alive by `_region`.
 unsafe impl<T: Pod> Send for NvSlice<T> {}
+// SAFETY: same argument as Send — shared reads of immutable memory.
 unsafe impl<T: Pod> Sync for NvSlice<T> {}
 
 impl<T: Pod> std::ops::Deref for NvSlice<T> {

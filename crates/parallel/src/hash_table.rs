@@ -62,11 +62,17 @@ impl ConcurrentMap {
         let mut i = self.slot_of(key);
         let mut tries = 0;
         loop {
+            // ORDERING: Acquire — pairs with the Release half of a racing
+            // claimer's CAS below, so a probe that finds `key` is ordered
+            // after the claim and the value-slot ops that follow it.
             let cur = self.keys[i].load(Ordering::Acquire);
             if cur == key {
                 return i;
             }
             if cur == EMPTY {
+                // ORDERING: AcqRel on success — Release publishes the claim
+                // to later Acquire probes; Acquire (and the Acquire failure
+                // ordering) orders our slot use after a racing claimer.
                 match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire)
                 {
                     Ok(_) => return i,
@@ -86,6 +92,9 @@ impl ConcurrentMap {
     /// returns the previous value.
     pub fn fetch_add(&self, key: u64, delta: u64) -> u64 {
         let i = self.probe_insert(key);
+        // ORDERING: AcqRel — RMWs on one atomic already form a total order;
+        // AcqRel additionally keeps the counter's publication ordered with
+        // the key claim for readers that probe the key first.
         self.vals[i].fetch_add(delta, Ordering::AcqRel)
     }
 
@@ -113,11 +122,16 @@ impl ConcurrentMap {
         // and treat the first writer specially via a tag-free convention:
         // values stored are `val + 1`, 0 means unset.
         let enc = val + 1;
+        // ORDERING: Acquire — seeds the CAS loop with a value no older than
+        // the last writer's Release.
         let mut cur = self.vals[i].load(Ordering::Acquire);
         loop {
             if cur != 0 && cur <= enc {
                 return false;
             }
+            // ORDERING: AcqRel success / Acquire failure — the winning min
+            // is published with Release; a losing thread re-reads a value at
+            // least as fresh as the winner's.
             match self.vals[i].compare_exchange(cur, enc, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return true,
                 Err(now) => cur = now,
@@ -140,6 +154,9 @@ impl ConcurrentMap {
             "u64::MAX is unrepresentable under the +1 value encoding"
         );
         let i = self.probe_insert(key);
+        // ORDERING: AcqRel success / Acquire failure — Release publishes the
+        // first-inserted value; Acquire orders a losing thread after the
+        // winner so its subsequent reads see the winner's value.
         self.vals[i]
             .compare_exchange(0, val + 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -151,8 +168,12 @@ impl ConcurrentMap {
         let mut i = self.slot_of(key);
         let mut tries = 0;
         loop {
+            // ORDERING: Acquire — pairs with the claimer's Release CAS; a
+            // reader that finds the key is ordered after the claim.
             let cur = self.keys[i].load(Ordering::Acquire);
             if cur == key {
+                // ORDERING: Acquire — pairs with the writers' Release RMWs
+                // so the value read is no older than the matching key claim.
                 let v = self.vals[i].load(Ordering::Acquire);
                 return if v == 0 { None } else { Some(v - 1) };
             }
@@ -172,8 +193,11 @@ impl ConcurrentMap {
         let mut i = self.slot_of(key);
         let mut tries = 0;
         loop {
+            // ORDERING: Acquire — pairs with the claimer's Release CAS; see
+            // `get_encoded`.
             let cur = self.keys[i].load(Ordering::Acquire);
             if cur == key {
+                // ORDERING: Acquire — pairs with `fetch_add`'s Release half.
                 return Some(self.vals[i].load(Ordering::Acquire));
             }
             if cur == EMPTY {
@@ -191,10 +215,14 @@ impl ConcurrentMap {
     pub fn entries(&self) -> Vec<(u64, u64)> {
         let keys = &self.keys;
         let vals = &self.vals;
+        // ORDERING: Relaxed — the snapshot API is documented as not racing
+        // with writers, so there is nothing left to order.
         let idx = crate::ops::pack_index(keys.len(), |i| keys[i].load(Ordering::Relaxed) != EMPTY);
+        // ORDERING: Relaxed — same quiescence argument as above.
         idx.iter()
             .map(|&i| {
                 let i = i as usize;
+                // ORDERING: Relaxed — same quiescence argument as above.
                 (
                     keys[i].load(Ordering::Relaxed),
                     vals[i].load(Ordering::Relaxed),

@@ -219,23 +219,39 @@ impl Histogram {
                 // Exactly one thread sees the 0 -> 1 transition and appends
                 // the key; every counter reaching zero again happens only in
                 // the reset below, after all increments joined.
+                // ORDERING: Relaxed throughout — within the phase only the
+                // RMW atomicity of each counter/cursor is needed (the 0 -> 1
+                // transition and the claimed append slot are unique per
+                // key); cross-phase visibility of counts and appends comes
+                // from the fork-join barrier (SpinLatch Release/Acquire in
+                // `join`), not from these accesses.
                 if counts[k as usize].fetch_add(1, Ordering::Relaxed) == 0 {
+                    // ORDERING: Relaxed — the RMW claim is unique; see above.
                     let at = cursor.fetch_add(1, Ordering::Relaxed);
+                    // ORDERING: Relaxed — slot `at` is exclusively ours.
                     touched[at].store(k, Ordering::Relaxed);
                 }
             });
         });
+        // ORDERING: Relaxed — the counting phase fully happened-before this
+        // read via the fork-join barrier above.
         let t = cursor.load(Ordering::Relaxed);
         let out: Vec<(u32, u32)> = par_map(t, |i| {
+            // ORDERING: Relaxed — phase-separated reads; see cursor note.
             let k = touched[i].load(Ordering::Relaxed);
+            // ORDERING: Relaxed — phase-separated read; see cursor note.
             (k, counts[k as usize].load(Ordering::Relaxed))
         });
         // Reset only the touched keys so the next call starts clean without
         // an O(universe) sweep.
         par_for(0, t, |i| {
+            // ORDERING: Relaxed — touched keys are distinct, so each counter
+            // is reset by exactly one iteration; no cross-thread ordering.
             let k = touched[i].load(Ordering::Relaxed);
+            // ORDERING: Relaxed — exclusive reset; see note above.
             counts[k as usize].store(0, Ordering::Relaxed);
         });
+        // ORDERING: Relaxed — runs after the reset phase's join barrier.
         cursor.store(0, Ordering::Relaxed);
         self.last_work = total_keys as u64 + 3 * t as u64 + if grew { universe as u64 } else { 0 };
         out
@@ -253,12 +269,17 @@ where
     let counts: Vec<AtomicU32> = (0..universe).map(|_| AtomicU32::new(0)).collect();
     par_for(0, items, |i| {
         keys_of(i, &mut |k| {
+            // ORDERING: Relaxed — only RMW atomicity is needed during the
+            // counting phase; visibility to the pack below comes from the
+            // fork-join barrier, not from this access.
             counts[k as usize].fetch_add(1, Ordering::Relaxed);
         });
     });
+    // ORDERING: Relaxed — all increments happened-before via the join.
     let nonzero = pack_index(universe, |k| counts[k].load(Ordering::Relaxed) > 0);
     nonzero
         .into_iter()
+        // ORDERING: Relaxed — same phase separation as the pack above.
         .map(|k| (k, counts[k as usize].load(Ordering::Relaxed)))
         .collect()
 }

@@ -15,19 +15,32 @@ use std::panic::{self, AssertUnwindSafe};
 #[derive(Clone, Copy)]
 pub(crate) struct JobRef {
     data: *const (),
+    // SAFETY: the pointee contract of this erased entry point is documented
+    // on `JobRef::execute`; it is only ever built by `as_job_ref` /
+    // `into_job_ref` with a matching `data`.
     execute_fn: unsafe fn(*const ()),
 }
 
 // SAFETY: a JobRef is only ever executed once, and the referenced StackJob is
 // kept alive by the joining thread until its latch is set.
 unsafe impl Send for JobRef {}
+// SAFETY: same argument as Send above — the ref is a token for a one-shot
+// execution, not a shared-state handle.
 unsafe impl Sync for JobRef {}
 
 impl JobRef {
-    /// Execute the job. May be called from any thread, exactly once.
+    /// Execute the job. May be called from any thread.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per job: the execute functions take the
+    /// closure out of its slot (stack jobs) or reclaim the box (heap jobs).
     #[inline]
     pub(crate) unsafe fn execute(self) {
-        (self.execute_fn)(self.data)
+        // SAFETY: `data` was created from a live job by `as_job_ref` /
+        // `into_job_ref` together with the matching monomorphized
+        // `execute_fn`; single-execution is the caller's obligation.
+        unsafe { (self.execute_fn)(self.data) }
     }
 
     /// Identity of the underlying job, used to recognise our own job when
@@ -81,12 +94,18 @@ where
     /// SAFETY: the caller must guarantee `self` outlives any use of the
     /// returned `JobRef` and that the job is executed at most once.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        /// SAFETY: `this` points at a live `StackJob<L, F, R>`
+        /// (guaranteed by `as_job_ref`'s own contract) and runs only once.
         unsafe fn execute<L: Latch, F, R>(this: *const ())
         where
             F: FnOnce() -> R + Send,
             R: Send,
         {
+            // SAFETY: `this` is the erased pointer made below from a live
+            // StackJob whose frame the joiner keeps alive until the latch.
             let job = unsafe { &*(this as *const StackJob<L, F, R>) };
+            // SAFETY: only the single executor touches `func`; the joiner
+            // does not read it, so the UnsafeCell access is unaliased.
             let func = unsafe { (*job.func.get()).take().expect("job executed twice") };
             // Install the captured context for the duration of the closure
             // and restore the executor's own context before the latch is set
@@ -94,6 +113,8 @@ where
             let prev = context::enter(&job.ctx);
             let res = panic::catch_unwind(AssertUnwindSafe(func));
             context::exit(prev);
+            // SAFETY: the result cell is written only here, before the latch
+            // is set; the joiner reads it only after observing the latch.
             unsafe {
                 *job.result.get() = match res {
                     Ok(v) => JobResult::Ok(v),
@@ -110,12 +131,25 @@ where
 
     /// Run the job inline on the current thread (it was popped back before
     /// being stolen).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`JobRef::execute`]: at most once per job.
     pub(crate) unsafe fn run_inline(&self) {
+        // SAFETY: `self` is trivially alive for this call; once-only is the
+        // caller's obligation, forwarded to `execute`.
         unsafe { self.as_job_ref().execute() }
     }
 
     /// Take the result after the latch has been observed set.
+    ///
+    /// # Safety
+    ///
+    /// Call only after this job's latch has been observed set; the latch
+    /// is what serializes the executor's write with this read.
     pub(crate) unsafe fn take_result(&self) -> R {
+        // SAFETY: per the contract above, the executor has finished its
+        // write to the cell and will never touch it again.
         match std::mem::replace(unsafe { &mut *self.result.get() }, JobResult::Pending) {
             JobResult::Ok(v) => v,
             JobResult::Panicked(p) => panic::resume_unwind(p),
@@ -151,6 +185,8 @@ impl<F: FnOnce() + Send> HeapJob<F> {
     /// execution — `Pool::scope` enforces the latter by not returning until
     /// every spawned job has run.
     pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        /// SAFETY: `this` came from `Box::into_raw` below and is
+        /// passed to at most one invocation.
         unsafe fn execute<F: FnOnce() + Send>(this: *const ()) {
             // SAFETY: ownership transfers to the executing thread; the ref
             // was created from `Box::into_raw` and is executed once.
@@ -177,6 +213,7 @@ mod tests {
     #[test]
     fn stack_job_roundtrip() {
         let job = StackJob::<SpinLatch, _, _>::new(SpinLatch::new(), || 7usize);
+        // SAFETY: run exactly once; take_result only after the latch probe.
         unsafe {
             job.run_inline();
             assert!(job.latch().probe());
@@ -187,10 +224,12 @@ mod tests {
     #[test]
     fn stack_job_captures_panic() {
         let job = StackJob::<SpinLatch, _, usize>::new(SpinLatch::new(), || panic!("boom"));
+        // SAFETY: run exactly once; latch probed before take_result below.
         unsafe {
             job.run_inline();
             assert!(job.latch().probe());
         }
+        // SAFETY: the latch was probed set above, so the result is ready.
         let caught = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             job.take_result();
         }));

@@ -27,6 +27,9 @@ impl SpinLatch {
 
     #[inline]
     pub(crate) fn probe(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release in `set`; a thread that
+        // observes the latch set also observes the job's result write, which
+        // happens-before `set` on the executor.
         self.set.load(Ordering::Acquire)
     }
 }
@@ -34,6 +37,8 @@ impl SpinLatch {
 impl Latch for SpinLatch {
     #[inline]
     fn set(&self) {
+        // ORDERING: Release — publishes every write the executing job made
+        // (in particular the result slot) to whoever probes the latch.
         self.set.store(true, Ordering::Release);
     }
 }
@@ -93,11 +98,19 @@ impl CountLatch {
     }
 
     pub(crate) fn increment(&self) {
+        // ORDERING: Relaxed — an increment always races ahead of its own
+        // decrement (the spawner holds a count > 0 while spawning), so the
+        // counter can never be observed at zero spuriously; no other data is
+        // published through it.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Remove one outstanding job; the last removal fires the latch.
     pub(crate) fn decrement(&self) {
+        // ORDERING: AcqRel — the Release half publishes this job's writes to
+        // whoever fires the latch; the Acquire half makes the final
+        // decrementer see every *other* job's writes before `done.set()`
+        // hands completion to the scope owner.
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.done.set();
             // Pair with `wait`: taking the lock before notifying means a

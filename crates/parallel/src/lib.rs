@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Cilk-style fork-join runtime and parallel primitives for the Sage reproduction.
 //!
 //! The Sage paper analyses algorithms in the binary-forking (T-RAM) model and runs

@@ -21,7 +21,10 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 
+// SAFETY: SendPtr is a capability to write disjoint slots from multiple
+// threads; the disjointness obligation is on every construction site.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same argument as Send — shared copies still target disjoint slots.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -32,6 +35,7 @@ impl<T> SendPtr<T> {
     /// and no two threads may touch the same slot.
     #[inline]
     pub unsafe fn add(self, i: usize) -> *mut T {
+        // SAFETY: in-bounds per this method's own `# Safety` contract.
         unsafe { self.0.add(i) }
     }
 }
@@ -126,6 +130,8 @@ pub fn par_fill<T: Copy + Send + Sync>(slice: &mut [T], value: T) {
 pub fn par_copy<T: Copy + Send + Sync>(dst: &mut [T], src: &[T]) {
     assert_eq!(dst.len(), src.len(), "par_copy length mismatch");
     let ptr = SendPtr(dst.as_mut_ptr());
+    // SAFETY: `i` ranges over `dst`'s indices (lengths asserted equal) and
+    // each index is written by exactly one iteration.
     par_for(0, src.len(), |i| unsafe { ptr.add(i).write(src[i]) });
 }
 

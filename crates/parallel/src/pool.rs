@@ -5,6 +5,19 @@
 //! Blumofe-Leiserson design the paper's own scheduler follows. `join(a, b)`
 //! pushes `b`, runs `a`, then either pops `b` back or steals other work until
 //! the thief finishes `b`.
+//!
+//! # FENCE PROTOCOL (sleep/notify)
+//!
+//! `Sleep::notify` and `Sleep::sleep` form a SeqCst fence pair — the
+//! classic check-then-park protocol. The producer publishes work, executes
+//! `fence(SeqCst)`, then reads `sleepers`; the sleeper increments
+//! `sleepers`, executes `fence(SeqCst)`, then re-checks for work. In the
+//! single total order of SeqCst fences one side must observe the other's
+//! preceding write: either the producer sees `sleepers > 0` and notifies
+//! under the lock the sleeper holds until it parks, or the sleeper's
+//! re-check sees the published work and never parks. Both
+//! `fence(Ordering::SeqCst)` sites in this file belong to this protocol
+//! and are covered by this banner (sage-lint `ordering-comment` rule).
 
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{CountLatch, LockLatch, SpinLatch};
@@ -49,6 +62,10 @@ impl Sleep {
     #[inline]
     fn notify(&self) {
         fence(Ordering::SeqCst);
+        // ORDERING: Relaxed — the SeqCst fence above already orders this
+        // load against the sleeper's increment (see FENCE PROTOCOL); if it
+        // still reads 0, the sleeper's post-fence re-check is guaranteed to
+        // see the work we published.
         if self.sleepers.load(Ordering::Relaxed) > 0 {
             let _g = self.lock.lock();
             self.cond.notify_all();
@@ -65,15 +82,22 @@ impl Sleep {
     /// process).
     fn sleep(&self, streak: u32, has_work: impl FnOnce() -> bool) {
         let mut g = self.lock.lock();
+        // ORDERING: Relaxed — visibility to the notifier is supplied by the
+        // SeqCst fence below (see FENCE PROTOCOL), not by this RMW itself.
         self.sleepers.fetch_add(1, Ordering::Relaxed);
         fence(Ordering::SeqCst);
         if has_work() {
+            // ORDERING: Relaxed — bookkeeping only; a notifier reading a
+            // stale nonzero count merely takes the lock and notifies a
+            // no-longer-parked thread, which is harmless.
             self.sleepers.fetch_sub(1, Ordering::Relaxed);
             return;
         }
         let ms = (1 + streak / 16).min(20) as u64;
         self.cond.wait_for(&mut g, Duration::from_millis(ms));
         drop(g);
+        // ORDERING: Relaxed — same as above: an overestimate only costs a
+        // spurious notify_all, never a lost wakeup.
         self.sleepers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -183,6 +207,8 @@ impl WorkerThread {
             let job = self.pop().or_else(|| self.steal());
             match job {
                 Some(job) => {
+                    // SAFETY: the queues hand out each JobRef exactly once,
+                    // so a popped/stolen ref is live and not yet executed.
                     unsafe { job.execute() };
                     spins = 0;
                 }
@@ -203,9 +229,14 @@ impl WorkerThread {
     fn main_loop(&self) {
         let registry = &self.registry;
         let mut idle_rounds = 0u32;
+        // ORDERING: Acquire — pairs with the Release store in `Pool::drop`;
+        // a worker that observes termination also observes every write made
+        // before shutdown was requested.
         while !registry.terminate.load(Ordering::Acquire) {
             match self.pop().or_else(|| self.steal()) {
                 Some(job) => {
+                    // SAFETY: the queues hand out each JobRef exactly once,
+                    // so a popped/stolen ref is live and not yet executed.
                     unsafe { job.execute() };
                     idle_rounds = 0;
                 }
@@ -215,6 +246,8 @@ impl WorkerThread {
                         std::thread::yield_now();
                     } else {
                         registry.sleep.sleep(idle_rounds - 32, || {
+                            // ORDERING: Acquire — same pairing as the loop
+                            // condition above (Release store in `Pool::drop`).
                             registry.terminate.load(Ordering::Acquire) || registry.has_work()
                         });
                     }
@@ -286,16 +319,24 @@ impl Pool {
     {
         let current = WorkerThread::current();
         if !current.is_null() {
+            // SAFETY: a non-null WORKER pointer refers to the live
+            // WorkerThread of the current thread; it is set for the whole
+            // duration of `main_loop`, which this call runs inside.
             let worker = unsafe { &*current };
             if Arc::ptr_eq(&worker.registry, &self.registry) {
                 return f();
             }
         }
         let job = StackJob::<LockLatch, F, R>::new(LockLatch::new(), f);
+        // SAFETY: `job` lives on this stack frame until `take_result`
+        // below, and the latch wait keeps the frame alive until the worker
+        // that executes the ref has finished with it.
         let job_ref = unsafe { job.as_job_ref() };
         self.registry.injector.push(job_ref);
         self.registry.notify_work();
         job.latch().wait();
+        // SAFETY: the latch wait above established that the job executed,
+        // so the result slot is filled and no other thread touches the job.
         unsafe { job.take_result() }
     }
 
@@ -333,8 +374,11 @@ struct ScopePtr<'scope>(*const Scope<'scope>);
 unsafe impl<'scope> Send for ScopePtr<'scope> {}
 
 impl<'scope> ScopePtr<'scope> {
-    /// SAFETY: caller must ensure the scope is still alive.
+    /// # Safety
+    ///
+    /// The caller must ensure the scope is still alive (latch count > 0).
     unsafe fn as_scope(&self) -> &Scope<'scope> {
+        // SAFETY: liveness is the caller's obligation, per the doc above.
         unsafe { &*self.0 }
     }
 }
@@ -356,9 +400,12 @@ where
     // a scope created on a worker cannot deadlock the pool.
     scope.latch.decrement();
     let current = WorkerThread::current();
+    // SAFETY: `current` is checked non-null first; a non-null WORKER
+    // pointer is valid for the lifetime of the worker's `main_loop`.
     let on_this_pool =
         !current.is_null() && Arc::ptr_eq(&unsafe { &*current }.registry, &scope.registry);
     if on_this_pool {
+        // SAFETY: non-null and same-pool, per the check directly above.
         unsafe { &*current }.wait_probe(|| scope.latch.probe());
     } else {
         scope.latch.wait();
@@ -425,7 +472,10 @@ impl<'scope> Scope<'scope> {
         // guaranteed by the scope's latch wait, as documented on HeapJob.
         let job_ref = unsafe { job.into_job_ref() };
         let current = WorkerThread::current();
+        // SAFETY: both derefs are guarded by the non-null check; a non-null
+        // WORKER pointer is valid while its thread runs.
         if !current.is_null() && Arc::ptr_eq(&unsafe { &*current }.registry, &self.registry) {
+            // SAFETY: same guard as the condition directly above.
             unsafe { &*current }.push(job_ref);
         } else {
             self.registry.injector.push(job_ref);
@@ -436,6 +486,8 @@ impl<'scope> Scope<'scope> {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        // ORDERING: Release — pairs with the workers' Acquire loads in
+        // `main_loop`, publishing all pre-shutdown writes to them.
         self.registry.terminate.store(true, Ordering::Release);
         // Wake all sleepers repeatedly until every worker observed termination.
         for handle in self.handles.drain(..) {
@@ -458,6 +510,8 @@ fn default_threads() -> usize {
                 // A typo'd env var must not silently fall back to all cores:
                 // that would corrupt T1-vs-Tp bench comparisons. Warn once.
                 static WARNED: AtomicBool = AtomicBool::new(false);
+                // ORDERING: Relaxed — one-shot warning latch; no data is
+                // published through it.
                 if !WARNED.swap(true, Ordering::Relaxed) {
                     eprintln!(
                         "sage-parallel: ignoring unparsable SAGE_THREADS={v:?}; \
@@ -483,6 +537,8 @@ pub fn global_pool() -> &'static Pool {
 pub fn num_threads() -> usize {
     let current = WorkerThread::current();
     if !current.is_null() {
+        // SAFETY: guarded by the non-null check; a non-null WORKER pointer
+        // is valid while its thread runs, and we only read a field.
         unsafe { &*current }.registry.num_threads
     } else {
         global_pool().num_threads()
@@ -497,6 +553,7 @@ pub fn worker_index() -> Option<usize> {
     if current.is_null() {
         None
     } else {
+        // SAFETY: guarded by the non-null check above; field read only.
         Some(unsafe { (*current).index })
     }
 }
@@ -516,6 +573,8 @@ where
     if current.is_null() {
         global_pool().scope(f)
     } else {
+        // SAFETY: guarded by the non-null check above; the registry Arc is
+        // cloned before this call returns, so no dangling use.
         scope_on(Arc::clone(&unsafe { &*current }.registry), f)
     }
 }
@@ -536,6 +595,8 @@ where
         // External thread: move the whole join into the global pool.
         return global_pool().install(|| join(a, b));
     }
+    // SAFETY: `current` is non-null (checked above), so it points at the
+    // live WorkerThread of this thread for the duration of the call.
     let worker = unsafe { &*current };
     join_on_worker(worker, a, b)
 }
@@ -548,6 +609,8 @@ where
     RB: Send,
 {
     let job_b = StackJob::<SpinLatch, B, RB>::new(SpinLatch::new(), b);
+    // SAFETY: `job_b` lives on this stack frame until `take_result` below;
+    // the latch protocol guarantees the frame outlives any thief's use.
     let job_b_ref = unsafe { job_b.as_job_ref() };
     let job_b_id = job_b_ref.id();
     worker.push(job_b_ref);
@@ -559,11 +622,14 @@ where
         match worker.pop() {
             Some(job) => {
                 if job.id() == job_b_id {
+                    // SAFETY: we popped `b` back ourselves, so no thief
+                    // holds it; it runs exactly once, here.
                     unsafe { job_b.run_inline() };
                     break;
                 }
                 // A leftover job pushed during `a` (only possible if `a`
                 // panicked mid-join); execute it to preserve progress.
+                // SAFETY: popped refs are live and executed exactly once.
                 unsafe { job.execute() };
             }
             None => {
@@ -574,6 +640,8 @@ where
     }
     debug_assert!(job_b.latch().probe());
 
+    // SAFETY: the latch probe above confirmed `b` finished, so the result
+    // slot is filled and no other thread touches the job again.
     let result_b = unsafe { job_b.take_result() };
     match result_a {
         Ok(ra) => (ra, result_b),
@@ -794,7 +862,9 @@ mod tests {
     /// while a worker was committing to park could miss the notify and stall
     /// for the full park timeout (up to 20 ms). The producer below fires
     /// exactly when the consumer is between its work check and its park —
-    /// the racy window — and bounds the average wakeup latency.
+    /// the racy window — and bounds the average wakeup latency. All
+    /// harness flags use SeqCst so any measured stall is attributable to
+    /// the sleep protocol itself, not to the test's own synchronization.
     #[test]
     fn sleep_no_lost_wakeup() {
         use std::sync::atomic::AtomicU64;
@@ -816,10 +886,13 @@ mod tests {
                 Arc::clone(&parking),
             );
             std::thread::spawn(move || {
+                // ORDERING: SeqCst harness flags (see the test doc).
                 while !done.load(Ordering::SeqCst) {
+                    // ORDERING: SeqCst harness flag
                     if work.swap(false, Ordering::SeqCst) {
                         continue;
                     }
+                    // ORDERING: SeqCst harness flag
                     parking.fetch_add(1, Ordering::SeqCst);
                     // Hand the producer the CPU *inside* the racy window
                     // (after the work check, before the park) so the race is
@@ -827,7 +900,7 @@ mod tests {
                     std::thread::yield_now();
                     // streak 640 => the maximum 20 ms park timeout, so a
                     // lost wakeup costs the full stall.
-                    sleep.sleep(640, || work.load(Ordering::SeqCst));
+                    sleep.sleep(640, || work.load(Ordering::SeqCst)); // ORDERING: SeqCst harness flag
                 }
             })
         };
@@ -835,19 +908,21 @@ mod tests {
         let mut latencies = Vec::with_capacity(ROUNDS as usize);
         for _ in 0..ROUNDS {
             // Wait until the consumer is about to park, then race it.
-            let seen = parking.load(Ordering::SeqCst);
+            let seen = parking.load(Ordering::SeqCst); // ORDERING: SeqCst harness flag
+                                                       // ORDERING: SeqCst harness flag
             while parking.load(Ordering::SeqCst) == seen {
                 std::thread::yield_now();
             }
             let t0 = Instant::now();
-            work.store(true, Ordering::SeqCst);
+            work.store(true, Ordering::SeqCst); // ORDERING: SeqCst harness flag
             sleep.notify();
+            // ORDERING: SeqCst harness flag
             while work.load(Ordering::SeqCst) {
                 std::thread::yield_now();
             }
             latencies.push(t0.elapsed());
         }
-        done.store(true, Ordering::SeqCst);
+        done.store(true, Ordering::SeqCst); // ORDERING: SeqCst harness flag
         while !consumer.is_finished() {
             sleep.notify();
             std::thread::yield_now();

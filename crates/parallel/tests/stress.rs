@@ -171,6 +171,8 @@ mod deque_semantics {
                 let (taken, stop) = (&taken, &stop);
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    // ORDERING: Acquire — pairs with the owner's Release
+                    // store of `stop` so thieves quit only after it.
                     while !stop.load(Ordering::Acquire) {
                         match s.steal() {
                             Steal::Success(x) => local.push(x),
@@ -208,6 +210,7 @@ mod deque_semantics {
             while let Some(x) = w.pop() {
                 local.push(x);
             }
+            // ORDERING: Release — pairs with the thieves' Acquire loads.
             stop.store(true, Ordering::Release);
             let mut g = taken.lock().unwrap();
             for x in local {
@@ -234,6 +237,9 @@ mod deque_semantics {
                     for i in 0..PER_PRODUCER {
                         inj.push(p * PER_PRODUCER + i);
                     }
+                    // ORDERING: Release — pairs with the consumers' Acquire
+                    // load: a consumer that sees all producers done also
+                    // sees every pushed item.
                     produced_done.fetch_add(1, Ordering::Release);
                 });
             }
@@ -246,6 +252,8 @@ mod deque_semantics {
                             Steal::Success(x) => local.push(x),
                             Steal::Retry => {}
                             Steal::Empty => {
+                                // ORDERING: Acquire — pairs with the
+                                // producers' Release increments above.
                                 if produced_done.load(Ordering::Acquire) == PRODUCERS as usize
                                     && inj.is_empty()
                                 {
@@ -299,6 +307,8 @@ mod deque_semantics {
                 let s = w.stealer();
                 let (stop, stolen) = (Arc::clone(&stop), Arc::clone(&stolen));
                 thieves.push(std::thread::spawn(move || {
+                    // ORDERING: Acquire — pairs with the owner's Release
+                    // store of `stop` below.
                     while !stop.load(Ordering::Acquire) {
                         match s.steal() {
                             Steal::Success(t) => {
@@ -313,6 +323,7 @@ mod deque_semantics {
             for _ in 0..N {
                 w.push(Token(Arc::clone(&drops)));
             }
+            // ORDERING: Release — pairs with the thieves' Acquire loads.
             stop.store(true, Ordering::Release);
             for t in thieves {
                 t.join().unwrap();

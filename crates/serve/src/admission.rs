@@ -293,10 +293,14 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..20 {
                         let g = b.acquire(80);
+                        // ORDERING: SeqCst — the test asserts a cross-thread,
+                        // cross-variable invariant (peak == 1); keep the
+                        // harness maximally ordered so a failure blames the
+                        // admission gate, not the harness.
                         let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
-                        peak.fetch_max(now, Ordering::SeqCst);
+                        peak.fetch_max(now, Ordering::SeqCst); // ORDERING: SeqCst harness
                         std::thread::yield_now();
-                        inflight.fetch_sub(1, Ordering::SeqCst);
+                        inflight.fetch_sub(1, Ordering::SeqCst); // ORDERING: SeqCst harness
                         b.release(g);
                     }
                 })
@@ -305,6 +309,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // ORDERING: SeqCst — harness read after join; see above.
         assert_eq!(
             peak.load(Ordering::SeqCst),
             1,

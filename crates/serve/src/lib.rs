@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Concurrent multi-query serving over one shared read-only graph.
 //!
 //! Sage's premise — one big immutable graph in NVRAM, cheap `O(n)`-DRAM
@@ -127,22 +128,29 @@ struct StatsInner {
 }
 
 impl StatsInner {
+    // All of these are advisory monitoring counters: nothing is published
+    // through them and no admission decision reads them, so Relaxed RMWs
+    // suffice (each peak only depends on the value its own fetch_add
+    // returned, a data dependency). They were SeqCst before the atomics
+    // audit; the downgrade is behavior-preserving for every reader, which
+    // either polls (`stats`, inherently approximate) or runs after the
+    // service has quiesced (tests, joined via channel/thread sync).
     fn on_admit(&self, members: u64, bytes: u64) {
-        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
-        self.peak_inflight.fetch_max(now, Ordering::SeqCst);
-        let b = self.inflight_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
-        self.peak_inflight_bytes.fetch_max(b, Ordering::SeqCst);
-        self.batches.fetch_add(1, Ordering::SeqCst);
-        self.peak_batch.fetch_max(members, Ordering::SeqCst);
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_inflight.fetch_max(now, Ordering::Relaxed);
+        let b = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_inflight_bytes.fetch_max(b, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.peak_batch.fetch_max(members, Ordering::Relaxed);
         if members > 1 {
-            self.batched_queries.fetch_add(members, Ordering::SeqCst);
+            self.batched_queries.fetch_add(members, Ordering::Relaxed);
         }
     }
 
     fn on_finish(&self, members: u64, bytes: u64) {
-        self.inflight.fetch_sub(1, Ordering::SeqCst);
-        self.inflight_bytes.fetch_sub(bytes, Ordering::SeqCst);
-        self.completed.fetch_add(members, Ordering::SeqCst);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.completed.fetch_add(members, Ordering::Relaxed);
     }
 }
 
@@ -237,15 +245,17 @@ impl<E: Engine> ServiceCore<E> {
 
     pub(crate) fn stats(&self) -> ServiceStats {
         let s = &self.shared.stats;
+        // Relaxed loads: a stats poll is a point-in-time approximation by
+        // design; see the note on `StatsInner::on_admit`.
         ServiceStats {
-            completed: s.completed.load(Ordering::SeqCst),
-            inflight: s.inflight.load(Ordering::SeqCst),
-            peak_inflight: s.peak_inflight.load(Ordering::SeqCst),
-            peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::SeqCst),
+            completed: s.completed.load(Ordering::Relaxed),
+            inflight: s.inflight.load(Ordering::Relaxed),
+            peak_inflight: s.peak_inflight.load(Ordering::Relaxed),
+            peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.depth() as u64,
-            batches: s.batches.load(Ordering::SeqCst),
-            batched_queries: s.batched_queries.load(Ordering::SeqCst),
-            peak_batch: s.peak_batch.load(Ordering::SeqCst),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_queries: s.batched_queries.load(Ordering::Relaxed),
+            peak_batch: s.peak_batch.load(Ordering::Relaxed),
         }
     }
 }

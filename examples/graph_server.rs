@@ -63,6 +63,7 @@ fn main() -> std::io::Result<()> {
             let service = Arc::clone(&service);
             let live = Arc::clone(&live);
             let labels = Arc::clone(&labels);
+            // sage-lint: allow(thread-spawn) -- load generator simulating concurrent clients
             std::thread::spawn(move || {
                 let pick = |k: usize| live[k % live.len()];
                 let mut results = Vec::new();

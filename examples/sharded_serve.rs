@@ -80,6 +80,7 @@ fn main() -> std::io::Result<()> {
         .map(|c| {
             let service = Arc::clone(&service);
             let live = Arc::clone(&live);
+            // sage-lint: allow(thread-spawn) -- load generator simulating concurrent clients
             std::thread::spawn(move || {
                 let submitted: Vec<Ticket> = (0..QUERIES_PER_CLIENT)
                     .map(|i| {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! `sage` — facade over the Sage semi-asymmetric graph engine (VLDB'20).
 //!
 //! Sage processes graphs under the Parallel Semi-Asymmetric Model (PSAM): the

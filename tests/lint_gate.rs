@@ -1,0 +1,23 @@
+//! Tier-1 gate: the workspace must scan clean under `sage-lint`. This
+//! shells out to the real binary (the same invocation CI runs), so the gate
+//! exercises the walker, the CLI, and the exit code — not just the library.
+
+use std::process::Command;
+
+#[test]
+fn sage_lint_exits_zero_on_the_tree() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-p", "sage-lint", "--quiet", "--", "--root"])
+        .arg(root)
+        .current_dir(root)
+        .output()
+        .expect("spawn cargo run -p sage-lint");
+    assert!(
+        out.status.success(),
+        "sage-lint gate failed (exit {:?}):\n{}{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -8,6 +8,7 @@
 //! when a registry mirror is available.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

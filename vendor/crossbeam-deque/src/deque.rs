@@ -1,9 +1,20 @@
 //! The Chase-Lev work-stealing deque (owner side and thief side).
 //!
+//! # FENCE PROTOCOL
+//!
 //! Memory ordering follows Lê, Pop, Cohen, Nardelli (PPoPP '13): `push`
 //! publishes with a release store of `bottom`; `pop` and `steal` separate
 //! their index loads with seq-cst fences so that the race for the last
 //! element is arbitrated by a single seq-cst compare-exchange on `top`.
+//! Concretely: the owner's `pop_lifo` stores `bottom = b` and *then* loads
+//! `top` across a seq-cst fence, while every stealer loads `top` and *then*
+//! `bottom` across its own seq-cst fence. The fences put the four accesses
+//! in a single total order, so either the stealer sees the decremented
+//! `bottom` (and reports Empty/Retry) or the owner sees the incremented
+//! `top` (and races via the CAS) — the last element can never be handed to
+//! both sides. `fence(Ordering::SeqCst)` sites in this file are covered by
+//! this banner (enforced by `sage-lint`); every other atomic access carries
+//! its own `ORDERING:` justification.
 
 use crate::Steal;
 use std::cell::Cell;
@@ -35,24 +46,43 @@ impl<T> Buffer<T> {
         Box::new(Buffer { ptr, cap })
     }
 
+    /// Pointer to the slot for logical index `index`.
+    ///
+    /// # Safety
+    /// The buffer must be alive; any `index` is masked into bounds, but the
+    /// slot contents are only meaningful under the deque protocol.
     #[inline]
     unsafe fn at(&self, index: isize) -> *mut MaybeUninit<T> {
-        self.ptr.offset(index & (self.cap as isize - 1))
+        // SAFETY: `index & (cap - 1)` lies in `0..cap`, inside the
+        // allocation produced by `alloc`.
+        unsafe { self.ptr.offset(index & (self.cap as isize - 1)) }
     }
 
     /// Write a slot. Volatile because a doomed stealer may concurrently read
     /// the slot; its CAS on `top` then fails and the torn copy is discarded.
+    ///
+    /// # Safety
+    /// Only the deque owner may call this, on a slot in its live window.
     #[inline]
     unsafe fn write(&self, index: isize, value: T) {
-        ptr::write_volatile(self.at(index), MaybeUninit::new(value))
+        // SAFETY: `at` yields a valid, aligned slot pointer; a racing read
+        // is tolerated by design (ownership is decided by the CAS on `top`,
+        // and a torn copy is never `assume_init`ed by the loser).
+        unsafe { ptr::write_volatile(self.at(index), MaybeUninit::new(value)) }
     }
 
     /// Read a slot as a bitwise copy. Ownership of the value is only assumed
     /// after the caller wins the CAS on `top` (or, for the owner's LIFO pop,
     /// after the fence protocol proves the slot cannot be stolen).
+    ///
+    /// # Safety
+    /// The buffer must be alive; the copy may be torn and must not be
+    /// `assume_init`ed unless the caller subsequently claims the slot.
     #[inline]
     unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
-        ptr::read_volatile(self.at(index))
+        // SAFETY: `at` yields a valid, aligned slot pointer; volatile copy
+        // tolerates a concurrent overwrite by the owner.
+        unsafe { ptr::read_volatile(self.at(index)) }
     }
 }
 
@@ -89,6 +119,7 @@ struct Inner<T> {
 // only replaced by the single owner, and slot ownership is arbitrated by the
 // atomic indices. Values of `T` move across threads, hence `T: Send`.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — shared access is mediated entirely by the atomics.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
@@ -109,6 +140,8 @@ impl<T> Inner<T> {
             buf,
             next: ptr::null_mut(),
         }));
+        // ORDERING: Relaxed read of the head is fine — the value is
+        // revalidated by the CAS below and nothing is dereferenced here.
         let mut head = self.retired.load(Ordering::Relaxed);
         loop {
             // SAFETY: `node` is not yet published.
@@ -116,6 +149,9 @@ impl<T> Inner<T> {
             match self.retired.compare_exchange_weak(
                 head,
                 node,
+                // ORDERING: Release publishes `node.next` with the new head;
+                // the only reader is `Inner::drop`, which owns the list
+                // exclusively. Failure just reloads the head: Relaxed.
                 Ordering::Release,
                 Ordering::Relaxed,
             ) {
@@ -128,10 +164,15 @@ impl<T> Inner<T> {
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
-        // Exclusive access: drop the remaining elements, then every buffer.
+        // Exclusive access via `&mut self`: drop the remaining elements,
+        // then every buffer.
         let t = *self.top.get_mut();
         let b = *self.bottom.get_mut();
         let buf = *self.buffer.get_mut();
+        // SAFETY: no other handle exists (Arc refcount hit zero), so the
+        // live range `t..b` holds initialized values exactly once, `buf` and
+        // every retired buffer came from `Box::into_raw`, and nothing can
+        // race the frees.
         unsafe {
             let mut i = t;
             while i != b {
@@ -190,18 +231,30 @@ impl<T> Worker<T> {
 
     /// Push a task onto the bottom of the deque.
     pub fn push(&self, task: T) {
+        // ORDERING: only the owner writes `bottom`, so Relaxed reads it
+        // exactly.
         let b = self.inner.bottom.load(Ordering::Relaxed);
+        // ORDERING: Acquire so the fullness check never *over*estimates free
+        // space: a lagging `top` only makes the deque look fuller (we grow
+        // early, which is safe); pairs with the seq-cst claims on `top`.
         let t = self.inner.top.load(Ordering::Acquire);
+        // ORDERING: only the owner replaces `buffer`; Relaxed reads our own
+        // last store.
         let mut buf = self.inner.buffer.load(Ordering::Relaxed);
         // SAFETY: the buffer pointer is always valid; only the owner (us)
         // replaces it.
         unsafe {
             if b.wrapping_sub(t) >= (*buf).cap as isize {
                 self.grow(b, t);
+                // ORDERING: reloading our own `grow` store; Relaxed is exact
+                // for the single writer.
                 buf = self.inner.buffer.load(Ordering::Relaxed);
             }
             (*buf).write(b, task);
         }
+        // ORDERING: Release publishes the slot write above to stealers whose
+        // Acquire load of `bottom` observes `b + 1` (steal reads the slot
+        // only after seeing `bottom > t`).
         self.inner
             .bottom
             .store(b.wrapping_add(1), Ordering::Release);
@@ -212,6 +265,7 @@ impl<T> Worker<T> {
     /// front slot, whose bytes remain intact there.
     #[cold]
     fn grow(&self, b: isize, t: isize) {
+        // ORDERING: single-writer (owner) read of `buffer`; Relaxed is exact.
         let old = self.inner.buffer.load(Ordering::Relaxed);
         // SAFETY: `old` is the live buffer; the new one is private until the
         // release store below publishes it.
@@ -222,6 +276,8 @@ impl<T> Worker<T> {
                 ptr::copy_nonoverlapping((*old).at(i), (*new).at(i), 1);
                 i = i.wrapping_add(1);
             }
+            // ORDERING: Release publishes the copied slots with the new
+            // pointer; pairs with the stealer's Acquire load of `buffer`.
             self.inner.buffer.store(new, Ordering::Release);
             self.inner.retire(old);
         }
@@ -237,32 +293,46 @@ impl<T> Worker<T> {
     }
 
     fn pop_lifo(&self) -> Option<T> {
+        // ORDERING: owner-only values; Relaxed reads are exact (see FENCE
+        // PROTOCOL for how the fence orders the `bottom` store below).
         let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        // ORDERING: single-writer read of `buffer`; Relaxed is exact.
         let buf = self.inner.buffer.load(Ordering::Relaxed);
+        // ORDERING: Relaxed store; the seq-cst fence directly below is what
+        // orders it globally against the stealers' `top`/`bottom` loads.
         self.inner.bottom.store(b, Ordering::Relaxed);
         // Order the `bottom` store before the `top` load: a stealer that
         // takes index `b` must have loaded `bottom > b` before this fence.
         fence(Ordering::SeqCst);
+        // ORDERING: Relaxed load; ordered by the fence above (FENCE
+        // PROTOCOL), which is the whole point of the fence pair.
         let t = self.inner.top.load(Ordering::Relaxed);
         if t.wrapping_sub(b) <= 0 {
-            // Non-empty. The copy only becomes ours if the slot cannot be
-            // (or was not) stolen.
+            // SAFETY: non-empty. The copy only becomes ours if the slot
+            // cannot be (or was not) stolen; until then it is treated as a
+            // possibly-torn bitwise copy.
             let value = unsafe { (*buf).read(b) };
             if t == b {
                 // Last element: race the stealers for it.
                 if self
                     .inner
                     .top
+                    // ORDERING: the SeqCst claim is the single arbitration
+                    // point of the protocol; on failure we only restore
+                    // `bottom`, no payload is read — Relaxed.
                     .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
                     .is_err()
                 {
                     // Lost: a stealer owns the value; discard the copy
                     // (`MaybeUninit` never drops).
+                    // ORDERING: owner-private restore of `bottom`; the next
+                    // publication happens via `push`'s Release store.
                     self.inner
                         .bottom
                         .store(b.wrapping_add(1), Ordering::Relaxed);
                     return None;
                 }
+                // ORDERING: as above — owner-private restore after winning.
                 self.inner
                     .bottom
                     .store(b.wrapping_add(1), Ordering::Relaxed);
@@ -271,6 +341,7 @@ impl<T> Worker<T> {
             Some(unsafe { value.assume_init() })
         } else {
             // Empty: restore `bottom`.
+            // ORDERING: owner-private restore; nothing was published.
             self.inner
                 .bottom
                 .store(b.wrapping_add(1), Ordering::Relaxed);
@@ -280,18 +351,28 @@ impl<T> Worker<T> {
 
     fn pop_fifo(&self) -> Option<T> {
         loop {
+            // ORDERING: Acquire so the slot copy below happens-after the
+            // claim that made `t` current (pairs with SeqCst claims on
+            // `top`); emptiness decisions are finalized by the CAS.
             let t = self.inner.top.load(Ordering::Acquire);
             fence(Ordering::SeqCst);
-            // `bottom` is only written by us, so a relaxed load is exact.
+            // ORDERING: `bottom` is only written by us (the owner), so a
+            // relaxed load is exact.
             let b = self.inner.bottom.load(Ordering::Relaxed);
             if t.wrapping_sub(b) >= 0 {
                 return None;
             }
+            // ORDERING: single-writer read of `buffer`; Relaxed is exact.
             let buf = self.inner.buffer.load(Ordering::Relaxed);
+            // SAFETY: bitwise copy of the front slot; only `assume_init`ed
+            // if the CAS below claims it.
             let value = unsafe { (*buf).read(t) };
             if self
                 .inner
                 .top
+                // ORDERING: SeqCst claim — same arbitration point the
+                // stealers use; Acquire on failure so the retry's reload
+                // starts from a fresh, non-stale `top`.
                 .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Acquire)
                 .is_ok()
             {
@@ -304,7 +385,11 @@ impl<T> Worker<T> {
 
     /// Whether the deque is currently empty.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: advisory snapshot; both Relaxed. A stale answer only
+        // sends the caller through the normal pop/steal path, which decides
+        // authoritatively.
         let b = self.inner.bottom.load(Ordering::Relaxed);
+        // ORDERING: see above — advisory only.
         let t = self.inner.top.load(Ordering::Relaxed);
         b.wrapping_sub(t) <= 0
     }
@@ -331,20 +416,30 @@ pub struct Stealer<T> {
 impl<T> Stealer<T> {
     /// Steal the oldest task from the deque.
     pub fn steal(&self) -> Steal<T> {
+        // ORDERING: Acquire pairs with the SeqCst claims on `top`; the slot
+        // copy below must happen-after the claim that made `t` current.
         let t = self.inner.top.load(Ordering::Acquire);
         // Order the `top` load before the `bottom` load, pairing with the
         // fence in `pop_lifo`.
         fence(Ordering::SeqCst);
+        // ORDERING: Acquire pairs with `push`'s Release store of `bottom`:
+        // observing `bottom > t` makes the slot write at `t` visible before
+        // the copy below.
         let b = self.inner.bottom.load(Ordering::Acquire);
         if t.wrapping_sub(b) >= 0 {
             return Steal::Empty;
         }
-        // Non-empty: copy the front slot, then try to claim it.
+        // ORDERING: Acquire pairs with `grow`'s Release store: the copied
+        // slots of a freshly swapped buffer are visible through the pointer.
         let buf = self.inner.buffer.load(Ordering::Acquire);
+        // SAFETY: non-empty: bitwise copy of the front slot; possibly torn,
+        // only `assume_init`ed after the CAS claims it.
         let value = unsafe { (*buf).read(t) };
         match self.inner.top.compare_exchange(
             t,
             t.wrapping_add(1),
+            // ORDERING: SeqCst claim — the protocol's single arbitration
+            // point; on failure the torn copy is discarded, so Relaxed.
             Ordering::SeqCst,
             Ordering::Relaxed,
         ) {
@@ -358,7 +453,11 @@ impl<T> Stealer<T> {
 
     /// Whether the deque is currently empty.
     pub fn is_empty(&self) -> bool {
+        // ORDERING: advisory snapshot for scan heuristics; Acquire keeps the
+        // answer no staler than the last claim, and a wrong answer only
+        // reroutes the caller to `steal`, which arbitrates via the CAS.
         let t = self.inner.top.load(Ordering::Acquire);
+        // ORDERING: see above — advisory only.
         let b = self.inner.bottom.load(Ordering::Acquire);
         b.wrapping_sub(t) <= 0
     }

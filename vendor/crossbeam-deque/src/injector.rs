@@ -69,6 +69,8 @@ impl<T> Block<T> {
     fn wait_next(&self) -> *mut Block<T> {
         let mut step = 0;
         loop {
+            // ORDERING: Acquire pairs with the Release store of `next` in
+            // `push`'s install path, making the new block's slots visible.
             let next = self.next.load(Ordering::Acquire);
             if !next.is_null() {
                 return next;
@@ -80,18 +82,34 @@ impl<T> Block<T> {
 
     /// Mark slots `start..` as destroyable; the block is freed by whichever
     /// thread observes the last unread slot released.
+    ///
+    /// # Safety
+    /// `this` must have come from `Box::into_raw(Block::new())` and be
+    /// unreachable from the head position (no new consumer can enter it).
     unsafe fn destroy(this: *mut Block<T>, start: usize) {
-        // The final slot's consumer initiates destruction, so it is skipped.
-        for i in start..BLOCK_CAP - 1 {
-            let slot = &(*this).slots[i];
-            // If a consumer is still in the slot, it finishes the destruction.
-            if slot.state.load(Ordering::Acquire) & READ == 0
-                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
-            {
-                return;
+        // SAFETY: `this` is a valid block; the slot-state protocol ensures
+        // exactly one thread reaches the `from_raw` below — either us (every
+        // slot already READ) or the last in-flight reader (sees DESTROY).
+        unsafe {
+            // The final slot's consumer initiates destruction, so it is
+            // skipped.
+            for i in start..BLOCK_CAP - 1 {
+                let slot = &(*this).slots[i];
+                // If a consumer is still in the slot, it finishes the
+                // destruction.
+                // ORDERING: Acquire load + AcqRel RMW pair with the reader's
+                // AcqRel `fetch_or(READ)`: whichever side's RMW comes second
+                // in the slot's modification order sees the other's bit and
+                // takes responsibility for the free — never both, never
+                // neither.
+                if slot.state.load(Ordering::Acquire) & READ == 0
+                    && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+                {
+                    return;
+                }
             }
+            drop(Box::from_raw(this));
         }
-        drop(Box::from_raw(this));
     }
 }
 
@@ -111,6 +129,7 @@ struct Shard<T> {
 // SAFETY: the block pointers are managed by the slot-state protocol above;
 // values of `T` move across threads, hence `T: Send`.
 unsafe impl<T: Send> Send for Shard<T> {}
+// SAFETY: as above — all shared mutation goes through the atomics.
 unsafe impl<T: Send> Sync for Shard<T> {}
 
 impl<T> Shard<T> {
@@ -129,7 +148,11 @@ impl<T> Shard<T> {
     }
 
     fn push(&self, task: T) {
+        // ORDERING: Acquire on index+block pairs with the Release installs
+        // below, so the block we read matches (or predates) the index — a
+        // claimed offset is always backed by a visible block.
         let mut tail = self.tail.index.load(Ordering::Acquire);
+        // ORDERING: see above — paired Acquire of the tail block.
         let mut block = self.tail.block.load(Ordering::Acquire);
         let mut next_block: Option<Box<Block<T>>> = None;
         let mut step = 0;
@@ -139,7 +162,10 @@ impl<T> Shard<T> {
                 // Another producer is installing the next block.
                 snooze(step);
                 step += 1;
+                // ORDERING: re-Acquire both after the installer finishes
+                // (same pairing as the function entry loads).
                 tail = self.tail.index.load(Ordering::Acquire);
+                // ORDERING: see above.
                 block = self.tail.block.load(Ordering::Acquire);
                 continue;
             }
@@ -151,6 +177,11 @@ impl<T> Shard<T> {
             match self.tail.index.compare_exchange_weak(
                 tail,
                 tail + 1,
+                // ORDERING: SeqCst claim pairs with the consumer's seq-cst
+                // fence in `steal` (emptiness test): either the consumer
+                // sees our increment or we saw its head advance. Failure is
+                // Acquire so the retry observes the interfering claim's
+                // block install.
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
@@ -160,17 +191,27 @@ impl<T> Shard<T> {
                         // We claimed the final slot: install the next block
                         // and move the tail past the sentinel offset.
                         let next = Box::into_raw(next_block.take().unwrap());
+                        // ORDERING: three Release stores publish the zeroed
+                        // block before any producer/consumer can reach it
+                        // via tail.block, the post-sentinel index, or the
+                        // previous block's `next` link (wait_next).
                         self.tail.block.store(next, Ordering::Release);
+                        // ORDERING: see above.
                         self.tail.index.fetch_add(1, Ordering::Release);
+                        // ORDERING: see above.
                         (*block).next.store(next, Ordering::Release);
                     }
                     let slot = &(*block).slots[offset];
                     (*slot.task.get()).write(task);
+                    // ORDERING: Release publishes the task write; pairs with
+                    // the consumer's Acquire spin on WRITE.
                     slot.state.fetch_or(WRITE, Ordering::Release);
                     return;
                 },
                 Err(t) => {
                     tail = t;
+                    // ORDERING: Acquire re-read of the block to match the
+                    // fresher index `t` (pairs with the Release installs).
                     block = self.tail.block.load(Ordering::Acquire);
                 }
             }
@@ -178,7 +219,10 @@ impl<T> Shard<T> {
     }
 
     fn steal(&self) -> Steal<T> {
+        // ORDERING: Acquire on index+block pairs with the Release stores of
+        // the consumer that advanced the head across a block boundary.
         let mut head = self.head.index.load(Ordering::Acquire);
+        // ORDERING: see above — paired Acquire of the head block.
         let mut block = self.head.block.load(Ordering::Acquire);
         let mut step = 0;
         loop {
@@ -188,19 +232,28 @@ impl<T> Shard<T> {
                 // the next block.
                 snooze(step);
                 step += 1;
+                // ORDERING: re-Acquire both after the boundary move (same
+                // pairing as the function entry loads).
                 head = self.head.index.load(Ordering::Acquire);
+                // ORDERING: see above.
                 block = self.head.block.load(Ordering::Acquire);
                 continue;
             }
-            // Pair with the seq-cst tail CAS in `push`: either we see the
-            // pushed index or the producer saw our head advance.
+            // ORDERING: the seq-cst fence pairs with the seq-cst tail CAS
+            // in `push`: either we see the pushed index or the producer saw
+            // our head advance — so the Relaxed tail load below cannot miss
+            // a task that was pushed before our claim became visible.
             fence(Ordering::SeqCst);
+            // ORDERING: Relaxed is sufficient under the fence above.
             if head == self.tail.index.load(Ordering::Relaxed) {
                 return Steal::Empty;
             }
             match self.head.index.compare_exchange_weak(
                 head,
                 head + 1,
+                // ORDERING: SeqCst claim mirrors the tail CAS (single total
+                // order with the emptiness fences); Acquire on failure so a
+                // retry caller restarts from a non-stale head.
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
@@ -210,11 +263,18 @@ impl<T> Shard<T> {
                         // Final slot: advance the head past the sentinel to
                         // the next block before consuming.
                         let next = (*block).wait_next();
+                        // ORDERING: Release-publish the new head block, then
+                        // the post-sentinel index; pairs with the Acquire
+                        // entry loads of other consumers.
                         self.head.block.store(next, Ordering::Release);
+                        // ORDERING: see above.
                         self.head.index.store(head + 2, Ordering::Release);
                     }
                     let slot = &(*block).slots[offset];
                     let mut step = 0;
+                    // ORDERING: Acquire spin pairs with the producer's
+                    // Release `fetch_or(WRITE)` — the task write is visible
+                    // once WRITE is observed.
                     while slot.state.load(Ordering::Acquire) & WRITE == 0 {
                         snooze(step);
                         step += 1;
@@ -224,6 +284,9 @@ impl<T> Shard<T> {
                     // slots mark READ and finish a pending destruction.
                     if offset + 1 == BLOCK_CAP {
                         Block::destroy(block, 0);
+                    // ORDERING: AcqRel RMW pairs with `destroy`'s AcqRel
+                    // `fetch_or(DESTROY)`; exactly one side observes the
+                    // other's bit and performs the free.
                     } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
                         Block::destroy(block, offset + 1);
                     }
@@ -235,7 +298,11 @@ impl<T> Shard<T> {
     }
 
     fn is_empty(&self) -> bool {
+        // ORDERING: SeqCst loads sit in the same total order as the index
+        // CASes; the pool's sleep protocol relies on `is_empty` not missing
+        // a push that completed before the pre-park re-check.
         let head = self.head.index.load(Ordering::SeqCst);
+        // ORDERING: see above.
         let tail = self.tail.index.load(Ordering::SeqCst);
         head == tail
     }
@@ -248,10 +315,15 @@ impl<T> Drop for Shard<T> {
         let mut head = *self.head.index.get_mut();
         let tail = *self.tail.index.get_mut();
         let mut block = *self.head.block.get_mut();
+        // SAFETY: `&mut self` means no concurrent producer/consumer exists;
+        // the unconsumed range holds initialized tasks exactly once and
+        // every block pointer came from `Box::into_raw`.
         unsafe {
             while head != tail {
                 let offset = head % LAP;
                 if offset == BLOCK_CAP {
+                    // ORDERING: exclusive access (`&mut self`); Relaxed is
+                    // exact.
                     let next = (*block).next.load(Ordering::Relaxed);
                     drop(Box::from_raw(block));
                     block = next;
@@ -274,6 +346,7 @@ fn random_shard() -> usize {
     static SEED: AtomicUsize = AtomicUsize::new(1);
     thread_local! {
         static STATE: Cell<u64> = Cell::new(
+            // ORDERING: seed counter only — uniqueness matters, order not.
             (SEED.fetch_add(1, Ordering::Relaxed) as u64).wrapping_mul(0x9E3779B97F4A7C15),
         );
     }
@@ -296,6 +369,7 @@ fn home_shard() -> usize {
     HOME.with(|h| match h.get() {
         Some(s) => s,
         None => {
+            // ORDERING: round-robin counter only; no data is published.
             let s = COUNTER.fetch_add(1, Ordering::Relaxed) % SHARDS;
             h.set(Some(s));
             s

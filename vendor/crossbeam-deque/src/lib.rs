@@ -23,6 +23,7 @@
 //! last slot of a block become unreachable.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod deque;
 mod injector;

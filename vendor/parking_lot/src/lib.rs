@@ -7,6 +7,7 @@
 //! `&mut`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::sync::PoisonError;
 use std::time::Duration;

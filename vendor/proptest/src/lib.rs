@@ -13,6 +13,7 @@
 //! input. Swap the real crate back in when a registry mirror is available.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod test_runner {
     //! Test configuration, error type, and the deterministic RNG.
