@@ -26,7 +26,13 @@
 //!   (serving a compressed snapshot costs at most 2× throughput);
 //! * `serve-sharded`: `sharded-4` qps ≥ 0.8× `monolithic` (scatter-gather
 //!   dispatch over four shards must stay within 20% of the single-CSR
-//!   service).
+//!   service);
+//! * `serve-sched` (three contracts): `sched-point` p99 ≤ 0.5× `fifo-point`
+//!   p99 (deadline classes must actually protect point-lookup tail latency
+//!   from an analytics backlog, measured in the same run), `pagerank-batched`
+//!   qps ≥ 2× `pagerank-unbatched` (same-parameter analytics batching must
+//!   pay for itself), and `cache-hot` qps ≥ 5× `cache-cold` (an epoch-keyed
+//!   cache hit must be far cheaper than re-running the engine).
 //!
 //! Environment knobs (for local experimentation, not CI):
 //! `SAGE_BENCH_DIFF_MIN_SECONDS`, `SAGE_BENCH_DIFF_MAX_WALL_REGRESSION`
@@ -49,6 +55,13 @@ pub const MIN_DECODE_SPEEDUP: f64 = 2.0;
 pub const MIN_COMPRESSED_QPS_RATIO: f64 = 0.5;
 /// Required `sharded-4`/`monolithic` qps ratio in `serve-sharded`.
 pub const MIN_SHARDED_QPS_RATIO: f64 = 0.8;
+/// Largest allowed `sched-point`/`fifo-point` p99 ratio in `serve-sched`.
+pub const MAX_SCHED_POINT_P99_RATIO: f64 = 0.5;
+/// Required `pagerank-batched`/`pagerank-unbatched` qps ratio in
+/// `serve-sched`.
+pub const MIN_SAME_PARAM_BATCH_SPEEDUP: f64 = 2.0;
+/// Required `cache-hot`/`cache-cold` qps ratio in `serve-sched`.
+pub const MIN_CACHE_HIT_SPEEDUP: f64 = 5.0;
 
 /// One parsed bench record (the fields the gate cares about).
 #[derive(Clone, Debug)]
@@ -63,6 +76,8 @@ pub struct DiffRecord {
     pub graph_write: u64,
     /// Queries per second, for throughput records.
     pub qps: Option<f64>,
+    /// 99th-percentile latency (seconds), for throughput records.
+    pub p99: Option<f64>,
 }
 
 /// A parsed report: scale/threads plus its records.
@@ -304,6 +319,7 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
             seconds: r.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
             graph_write: r.get("graph_write").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             qps: r.get("qps").and_then(Json::as_f64),
+            p99: r.get("p99_seconds").and_then(Json::as_f64),
         });
     }
     Ok(Report {
@@ -323,6 +339,10 @@ fn fold(records: &[DiffRecord]) -> BTreeMap<(String, String), DiffRecord> {
                 e.graph_write = e.graph_write.max(r.graph_write);
                 e.qps = match (e.qps, r.qps) {
                     (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                e.p99 = match (e.p99, r.p99) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
             })
@@ -454,7 +474,65 @@ pub fn diff_reports(fresh: &Report, baseline: &Report, config: &DiffConfig) -> V
         "monolithic",
         MIN_SHARDED_QPS_RATIO,
     ));
+    failures.extend(check_p99_ratio(
+        &fresh_map,
+        "serve-sched",
+        "sched-point",
+        "fifo-point",
+        MAX_SCHED_POINT_P99_RATIO,
+    ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-sched",
+        "pagerank-batched",
+        "pagerank-unbatched",
+        MIN_SAME_PARAM_BATCH_SPEEDUP,
+    ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-sched",
+        "cache-hot",
+        "cache-cold",
+        MIN_CACHE_HIT_SPEEDUP,
+    ));
     failures
+}
+
+/// A within-run *tail-latency* contract: in `experiment`, `num`'s p99 must
+/// be at **most** `max_ratio` × `den`'s p99 (smaller is better — the mirror
+/// image of [`check_qps_ratio`]). No-op when either record is absent.
+fn check_p99_ratio(
+    fresh: &BTreeMap<(String, String), DiffRecord>,
+    experiment: &str,
+    num: &str,
+    den: &str,
+    max_ratio: f64,
+) -> Vec<String> {
+    let get = |name: &str| {
+        fresh
+            .get(&(experiment.to_string(), name.to_string()))
+            .and_then(|r| r.p99)
+    };
+    match (get(num), get(den)) {
+        (Some(a), Some(b)) => {
+            let ratio = a / b.max(1e-9);
+            println!(
+                "  {experiment}: {num} p99 {:.3} ms vs {den} p99 {:.3} ms \
+                 ({ratio:.2}x, gate <= {max_ratio:.1}x)",
+                a * 1e3,
+                b * 1e3,
+            );
+            if ratio > max_ratio {
+                vec![format!(
+                    "{experiment}: {num} p99 is {ratio:.2}x {den} \
+                     (required <= {max_ratio:.1}x)"
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
 }
 
 /// A within-run ratio contract: in `experiment`, `num`'s qps must be at
@@ -508,6 +586,7 @@ mod tests {
                     seconds: s,
                     graph_write: w,
                     qps: q,
+                    p99: q.map(|_| 0.001),
                 })
                 .collect(),
         }
@@ -679,6 +758,90 @@ mod tests {
         let fails = diff_reports(&bad, &base, &DiffConfig::default());
         assert_eq!(fails.len(), 1, "{fails:?}");
         assert!(fails[0].contains("sharded-4"));
+    }
+
+    fn sched_record(name: &'static str, qps: f64, p99: f64) -> DiffRecord {
+        DiffRecord {
+            experiment: "serve-sched".to_string(),
+            name: name.to_string(),
+            seconds: 0.1,
+            graph_write: 0,
+            qps: Some(qps),
+            p99: Some(p99),
+        }
+    }
+
+    fn sched_report(records: Vec<DiffRecord>) -> Report {
+        Report {
+            scale: 8,
+            threads: 2,
+            records,
+        }
+    }
+
+    #[test]
+    fn sched_point_p99_gate() {
+        let base = report(&[]);
+        let good = sched_report(vec![
+            sched_record("fifo-point", 100.0, 0.010),
+            sched_record("sched-point", 100.0, 0.002),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = sched_report(vec![
+            sched_record("fifo-point", 100.0, 0.010),
+            sched_record("sched-point", 100.0, 0.009),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("sched-point p99"));
+    }
+
+    #[test]
+    fn same_param_batching_and_cache_gates() {
+        let base = report(&[]);
+        let good = sched_report(vec![
+            sched_record("pagerank-unbatched", 100.0, 0.01),
+            sched_record("pagerank-batched", 300.0, 0.01),
+            sched_record("cache-cold", 100.0, 0.01),
+            sched_record("cache-hot", 900.0, 0.001),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = sched_report(vec![
+            sched_record("pagerank-unbatched", 100.0, 0.01),
+            sched_record("pagerank-batched", 150.0, 0.01),
+            sched_record("cache-cold", 100.0, 0.01),
+            sched_record("cache-hot", 300.0, 0.001),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails[0].contains("pagerank-batched"));
+        assert!(fails[1].contains("cache-hot"));
+    }
+
+    #[test]
+    fn p99_survives_the_writer_roundtrip() {
+        crate::report::set_experiment("sched-roundtrip");
+        crate::report::record_sched(
+            "sched-point",
+            0.1,
+            sage_nvram::MeterSnapshot::default(),
+            crate::report::LatencyStats {
+                queries: 40,
+                clients: 1,
+                qps: 400.0,
+                p50: 0.0005,
+                p99: 0.002,
+            },
+            crate::report::SchedStats::default(),
+        );
+        let parsed = parse_report(&crate::report::to_json(8, 2)).unwrap();
+        let r = parsed
+            .records
+            .iter()
+            .find(|r| r.experiment == "sched-roundtrip")
+            .unwrap();
+        assert_eq!(r.p99, Some(0.002));
+        assert_eq!(r.qps, Some(400.0));
     }
 
     #[test]

@@ -637,9 +637,11 @@ pub fn serve() {
                         0 => Query::Bfs { src: pick(i * 13) },
                         1 => Query::PageRank {
                             iters: 5,
+                            damping: sage_serve::DEFAULT_DAMPING,
                             vertices: vec![pick(i)],
                         },
                         2 => Query::KCore {
+                            k: None,
                             vertices: vec![pick(i * 7)],
                         },
                         3 => Query::Connected {
@@ -1473,6 +1475,351 @@ pub fn serve_sharded() {
     println!(
         "sharded-4/monolithic qps ratio: {:.2}x (gate: >= 0.8x, enforced by bench_diff)",
         sharded4_qps / mono.stats.qps.max(1e-9),
+    );
+}
+
+/// SLO-aware scheduling: three comparisons inside one report, each gated by
+/// `bench_diff` as a *within-run* ratio so machine speed cancels out.
+///
+/// 1. **Deadline classes** — the same interleaved analytics + point-lookup
+///    backlog is replayed through a strict-FIFO service and through the
+///    priority scheduler (batching disabled on both, so only dispatch order
+///    differs). Responses must be bitwise-identical between the two runs;
+///    the gate requires the scheduler's point-lookup p99 ≤ 0.5× FIFO's.
+/// 2. **Same-parameter batching** — an identical-`(iters, damping)`
+///    PageRank backlog runs unbatched (`max_batch` 1) and batched; the
+///    shared run's metered traffic is split word-exactly across members and
+///    must reconcile with the global meter; gate: batched qps ≥ 2×.
+/// 3. **Result cache** — the same query replayed against a cache-disabled
+///    and a cache-enabled service; hits must be bitwise-identical with zero
+///    graph traffic; gate: hot qps ≥ 5× cold.
+pub fn serve_sched() {
+    use sage_serve::{BatchPolicy, GraphService, Query, QueryResult, ServiceConfig, Ticket};
+    use std::time::{Duration, Instant};
+
+    crate::report::set_experiment("serve-sched");
+    let scale = Suite::base_scale();
+    let csr = sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E);
+    let n = csr.num_vertices();
+    let live: Vec<V> = (0..n as V).filter(|&v| csr.degree(v) > 0).collect();
+    let pick = |k: usize| live[k % live.len()];
+
+    // --- 1. deadline classes: FIFO vs priority scheduler -----------------
+    // Analytics-heavy interleave: 3 analytics : 1 probe : 1 point lookup.
+    // Every analytics query gets distinct parameters so no two share a
+    // batch class — with `max_batch` 1 on both services, the *only*
+    // difference between the runs is dispatch order.
+    let queries: Vec<Query> = (0..200)
+        .map(|i| match i % 5 {
+            4 => Query::Bfs { src: pick(i * 13) },
+            3 => Query::Connected {
+                u: pick(i),
+                v: pick(i * 31),
+            },
+            _ => Query::PageRank {
+                iters: 5 + i % 97,
+                damping: sage_serve::DEFAULT_DAMPING,
+                vertices: vec![pick(i * 7)],
+            },
+        })
+        .collect();
+    println!(
+        "\n== serve-sched: rmat-2^{scale} ({n} vertices), {} interleaved queries, \
+         FIFO vs deadline classes ==",
+        queries.len()
+    );
+
+    // Submit the whole backlog open-loop, then poll tickets to completion so
+    // a latency is stamped the moment its query finishes — waiting in
+    // submission order would charge early finishers for late ones.
+    let replay = |cfg: ServiceConfig| -> (Vec<(f64, QueryResult)>, sage_serve::ServiceStats) {
+        let service = GraphService::start(
+            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
+            cfg,
+        );
+        let mut slots: Vec<Option<(Instant, Ticket)>> = queries
+            .iter()
+            .map(|q| Some((Instant::now(), service.submit(q.clone()))))
+            .collect();
+        let mut out: Vec<Option<(f64, QueryResult)>> = (0..slots.len()).map(|_| None).collect();
+        let mut remaining = slots.len();
+        while remaining > 0 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if let Some((at, ticket)) = slot.take() {
+                    match ticket.try_take() {
+                        Ok(r) => {
+                            out[i] = Some((at.elapsed().as_secs_f64(), r));
+                            remaining -= 1;
+                        }
+                        Err(ticket) => *slot = Some((at, ticket)),
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+        let stats = service.stats();
+        (
+            out.into_iter().map(|o| o.expect("polled out")).collect(),
+            stats,
+        )
+    };
+
+    let single = BatchPolicy {
+        max_batch: 1,
+        max_linger: Duration::ZERO,
+    };
+    let mut point_qps = Vec::new();
+    let mut results = Vec::new();
+    for (prefix, cfg) in [
+        (
+            "fifo",
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: queries.len(),
+                batch: single.clone(),
+                ..ServiceConfig::fifo_baseline()
+            },
+        ),
+        (
+            "sched",
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: queries.len(),
+                batch: single.clone(),
+                ..Default::default()
+            },
+        ),
+    ] {
+        let t0 = Instant::now();
+        let (run, svc) = replay(cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let sched_stats = crate::report::SchedStats {
+            cache_hits: svc.cache_hits,
+            cache_misses: svc.cache_misses,
+            aged_promotions: svc.aged_promotions,
+            preemptions: svc.preemptions,
+            completed_point_lookups: svc.completed_point_lookups,
+            completed_probes: svc.completed_probes,
+            completed_analytics: svc.completed_analytics,
+        };
+        // Per-class latency records: the gate compares point-lookup p99s.
+        for (name, class) in [
+            (
+                if prefix == "fifo" {
+                    "fifo-point"
+                } else {
+                    "sched-point"
+                },
+                sage_serve::Priority::PointLookup,
+            ),
+            (
+                if prefix == "fifo" {
+                    "fifo-analytics"
+                } else {
+                    "sched-analytics"
+                },
+                sage_serve::Priority::Analytics,
+            ),
+        ] {
+            let mut lat: Vec<f64> = Vec::new();
+            let mut traffic = sage_nvram::MeterSnapshot::default();
+            for ((l, r), q) in run.iter().zip(&queries) {
+                if q.priority() == class {
+                    lat.push(*l);
+                    traffic = traffic.plus(&r.traffic);
+                }
+            }
+            let stats = crate::report::LatencyStats::from_latencies(&mut lat, 1, elapsed);
+            crate::report::record_sched(name, elapsed, traffic, stats, sched_stats);
+            println!(
+                "  {name}: p50 {:.3} ms  p99 {:.3} ms  ({} queries; \
+                 {} preemptions, {} aged promotions)",
+                stats.p50 * 1e3,
+                stats.p99 * 1e3,
+                stats.queries,
+                sched_stats.preemptions,
+                sched_stats.aged_promotions,
+            );
+            if class == sage_serve::Priority::PointLookup {
+                point_qps.push(stats.p99);
+            }
+        }
+        results.push(run);
+    }
+    // Scheduling must never change an answer, only when it is computed.
+    for (i, (a, b)) in results[0].iter().zip(&results[1]).enumerate() {
+        assert_eq!(
+            a.1.response, b.1.response,
+            "query {i}: FIFO and scheduled responses must be bitwise-identical"
+        );
+    }
+    println!(
+        "sched/fifo point p99 ratio: {:.2}x (gate: <= 0.5x, enforced by bench_diff)",
+        point_qps[1] / point_qps[0].max(1e-9)
+    );
+
+    // --- 2. same-parameter PageRank batching -----------------------------
+    let pr_backlog: Vec<Query> = (0..64)
+        .map(|i| Query::PageRank {
+            iters: 10,
+            damping: sage_serve::DEFAULT_DAMPING,
+            vertices: vec![pick(i * 11)],
+        })
+        .collect();
+    let mut pr_qps = Vec::new();
+    let mut pr_runs = Vec::new();
+    for (name, max_batch) in [("pagerank-unbatched", 1usize), ("pagerank-batched", 64)] {
+        let service = GraphService::start(
+            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: pr_backlog.len(),
+                batch: BatchPolicy {
+                    max_batch,
+                    max_linger: Duration::from_micros(500),
+                },
+                ..Default::default()
+            },
+        );
+        let before = sage_nvram::Meter::global().snapshot();
+        let t0 = Instant::now();
+        let tickets: Vec<(Instant, Ticket)> = pr_backlog
+            .iter()
+            .map(|q| (Instant::now(), service.submit(q.clone())))
+            .collect();
+        let mut latencies = Vec::new();
+        let mut traffic = sage_nvram::MeterSnapshot::default();
+        let mut responses = Vec::new();
+        for (at, t) in tickets {
+            let r = t.wait();
+            latencies.push(at.elapsed().as_secs_f64());
+            assert_eq!(r.traffic.graph_write, 0, "NVRAM write in a served query");
+            traffic = traffic.plus(&r.traffic);
+            responses.push(r.response);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let delta = sage_nvram::Meter::global().snapshot().since(&before);
+        assert!(
+            traffic.graph_read <= delta.graph_read,
+            "word-exact member splits must reconcile with the global meter"
+        );
+        let svc = service.stats();
+        let stats = crate::report::LatencyStats::from_latencies(&mut latencies, 1, elapsed);
+        crate::report::record_sched(
+            name,
+            elapsed,
+            traffic,
+            stats,
+            crate::report::SchedStats {
+                cache_hits: svc.cache_hits,
+                cache_misses: svc.cache_misses,
+                aged_promotions: svc.aged_promotions,
+                preemptions: svc.preemptions,
+                completed_point_lookups: svc.completed_point_lookups,
+                completed_probes: svc.completed_probes,
+                completed_analytics: svc.completed_analytics,
+            },
+        );
+        println!(
+            "  {name}: {:.1} qps (engine runs {}, largest batch {})",
+            stats.qps, svc.batches, svc.peak_batch
+        );
+        if max_batch > 1 {
+            assert!(
+                svc.peak_batch > 1,
+                "same-parameter backlog formed no batches (peak {})",
+                svc.peak_batch
+            );
+        }
+        pr_qps.push(stats.qps);
+        pr_runs.push(responses);
+    }
+    for (i, (a, b)) in pr_runs[0].iter().zip(&pr_runs[1]).enumerate() {
+        assert_eq!(
+            a, b,
+            "query {i}: batched PageRank must be bitwise-identical to unbatched"
+        );
+    }
+    println!(
+        "batched/unbatched same-parameter PageRank qps ratio: {:.2}x \
+         (gate: >= 2x, enforced by bench_diff)",
+        pr_qps[1] / pr_qps[0].max(1e-9)
+    );
+
+    // --- 3. epoch-keyed result cache -------------------------------------
+    let hot = Query::PageRank {
+        iters: 10,
+        damping: sage_serve::DEFAULT_DAMPING,
+        vertices: vec![pick(3), pick(17)],
+    };
+    let repeats = 64usize;
+    let mut cache_qps = Vec::new();
+    let mut cache_responses = Vec::new();
+    for (name, cache_bytes) in [("cache-cold", 0u64), ("cache-hot", 4 << 20)] {
+        let service = GraphService::start(
+            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 16,
+                cache_bytes,
+                ..Default::default()
+            },
+        );
+        let warm = service.query(hot.clone());
+        let t0 = Instant::now();
+        let mut latencies = Vec::with_capacity(repeats);
+        let mut last = warm.response.clone();
+        for _ in 0..repeats {
+            let q0 = Instant::now();
+            let r = service.query(hot.clone());
+            latencies.push(q0.elapsed().as_secs_f64());
+            assert_eq!(r.traffic.graph_write, 0);
+            if cache_bytes > 0 {
+                assert_eq!(
+                    r.traffic.graph_read, 0,
+                    "a cache hit must not read the graph"
+                );
+            }
+            last = r.response;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let svc = service.stats();
+        if cache_bytes > 0 {
+            assert_eq!(
+                svc.cache_hits, repeats as u64,
+                "every repeat after the warm-up must hit"
+            );
+        }
+        let stats = crate::report::LatencyStats::from_latencies(&mut latencies, 1, elapsed);
+        crate::report::record_sched(
+            name,
+            elapsed,
+            sage_nvram::MeterSnapshot::default(),
+            stats,
+            crate::report::SchedStats {
+                cache_hits: svc.cache_hits,
+                cache_misses: svc.cache_misses,
+                aged_promotions: svc.aged_promotions,
+                preemptions: svc.preemptions,
+                completed_point_lookups: svc.completed_point_lookups,
+                completed_probes: svc.completed_probes,
+                completed_analytics: svc.completed_analytics,
+            },
+        );
+        println!(
+            "  {name}: {:.1} qps (cache hits {}, misses {})",
+            stats.qps, svc.cache_hits, svc.cache_misses
+        );
+        cache_qps.push(stats.qps);
+        cache_responses.push(last);
+    }
+    assert_eq!(
+        cache_responses[0], cache_responses[1],
+        "cached responses must be bitwise-identical to fresh runs"
+    );
+    println!(
+        "hot/cold cache qps ratio: {:.2}x (gate: >= 5x, enforced by bench_diff)",
+        cache_qps[1] / cache_qps[0].max(1e-9)
     );
 }
 

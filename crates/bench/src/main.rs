@@ -3,7 +3,8 @@
 //! ```text
 //! sage-bench <experiment>... [SAGE_SCALE=17] [SAGE_THREADS=N]
 //!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa
-//!   serve serve-batch decode-bw serve-compressed serve-sharded all
+//!   serve serve-batch decode-bw serve-compressed serve-sharded
+//!   serve-sched all
 //! ```
 //!
 //! Several experiments may be named in one invocation; they run in order and
@@ -16,7 +17,10 @@
 //! compressed snapshot; both emit the schema-v3 compression fields.
 //! `serve-sharded` replays it over a partitioned snapshot at shard counts
 //! 1/2/4 against the monolithic service, emitting the schema-v4 per-shard
-//! fields.
+//! fields. `serve-sched` compares FIFO dispatch against deadline classes,
+//! same-parameter PageRank batching against per-query runs, and a hot
+//! result cache against cold re-execution, emitting the schema-v5
+//! scheduler/cache fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
@@ -60,12 +64,13 @@ fn main() {
             "decode-bw" => sage_bench::experiments::decode_bw(),
             "serve-compressed" => sage_bench::experiments::serve_compressed(),
             "serve-sharded" => sage_bench::experiments::serve_sharded(),
+            "serve-sched" => sage_bench::experiments::serve_sched(),
             "all" => sage_bench::experiments::all(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 eprintln!(
                     "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch \
-                     decode-bw serve-compressed serve-sharded all"
+                     decode-bw serve-compressed serve-sharded serve-sched all"
                 );
                 std::process::exit(2);
             }

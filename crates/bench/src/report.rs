@@ -14,12 +14,15 @@
 //! fields (records describing an encoded graph, e.g. in `decode-bw` /
 //! `serve-compressed`); schema v4 adds optional *shard* fields (records of
 //! a sharded-snapshot serving run, e.g. in `serve-sharded`) carrying the
-//! shard count and each shard's aggregate attributed traffic. Every earlier
-//! field is unchanged, so v1/v2/v3 consumers keep working:
+//! shard count and each shard's aggregate attributed traffic; schema v5 adds
+//! optional *scheduler* fields (records of an SLO-aware serving run, e.g. in
+//! `serve-sched`) carrying per-priority-class completion counts and
+//! latencies, scheduler counters, and result-cache hit statistics. Every
+//! earlier field is unchanged, so v1/v2/v3/v4 consumers keep working:
 //!
 //! ```json
 //! {
-//!   "schema": 4,
+//!   "schema": 5,
 //!   "scale": 8,
 //!   "threads": 2,
 //!   "records": [
@@ -39,7 +42,15 @@
 //!      "p50_seconds": 0.001, "p99_seconds": 0.004,
 //!      "shards": 4,
 //!      "per_shard": [{"graph_read": 3, "graph_write": 0,
-//!                     "aux_read": 1, "aux_write": 1}]}
+//!                     "aux_read": 1, "aux_write": 1}]},
+//!     {"experiment": "serve-sched", "name": "sched-point", "seconds": 0.1,
+//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3,
+//!      "queries": 64, "clients": 1, "qps": 533.3,
+//!      "p50_seconds": 0.001, "p99_seconds": 0.004,
+//!      "cache_hits": 12, "cache_misses": 52,
+//!      "aged_promotions": 1, "preemptions": 9,
+//!      "completed_point_lookups": 40, "completed_probes": 0,
+//!      "completed_analytics": 24}
 //!   ]
 //! }
 //! ```
@@ -89,6 +100,27 @@ pub struct ShardStats {
     pub per_shard: Vec<MeterSnapshot>,
 }
 
+/// Scheduler-side counters of an SLO-aware serving run (schema v5): the
+/// per-class completion counts, the aging/preemption tallies, and the
+/// result-cache hit statistics of one service over one workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Queries answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (0 when the cache is disabled).
+    pub cache_misses: u64,
+    /// Dispatches won by a lower class whose head had aged into urgency.
+    pub aged_promotions: u64,
+    /// Dispatches that bypassed an earlier arrival of a less urgent class.
+    pub preemptions: u64,
+    /// Completed point-lookup-class queries.
+    pub completed_point_lookups: u64,
+    /// Completed probe-class queries.
+    pub completed_probes: u64,
+    /// Completed analytics-class queries.
+    pub completed_analytics: u64,
+}
+
 impl LatencyStats {
     /// Compute stats from client-observed per-query latencies (seconds).
     /// `elapsed` is the whole run's wall-clock time.
@@ -123,6 +155,8 @@ pub struct Record {
     pub compression: Option<CompressionStats>,
     /// Shard breakdown, for sharded-serving experiments only (schema v4).
     pub shard: Option<ShardStats>,
+    /// Scheduler/cache counters, for SLO-aware serving runs only (schema v5).
+    pub sched: Option<SchedStats>,
 }
 
 static CURRENT: Mutex<Option<String>> = Mutex::new(None);
@@ -135,7 +169,7 @@ pub fn set_experiment(label: &str) {
 
 /// Append one record to the sink (called by [`crate::timed`]).
 pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
-    record_inner(name, seconds, traffic, None, None, None);
+    record_inner(name, seconds, traffic, None, None, None, None);
 }
 
 /// Append one throughput record with its latency distribution (schema v2).
@@ -145,7 +179,7 @@ pub fn record_latency(
     traffic: MeterSnapshot,
     latency: LatencyStats,
 ) {
-    record_inner(name, seconds, traffic, Some(latency), None, None);
+    record_inner(name, seconds, traffic, Some(latency), None, None, None);
 }
 
 /// Append a record describing an encoded graph (schema v3). `latency` may
@@ -157,7 +191,15 @@ pub fn record_compression(
     latency: Option<LatencyStats>,
     compression: CompressionStats,
 ) {
-    record_inner(name, seconds, traffic, latency, Some(compression), None);
+    record_inner(
+        name,
+        seconds,
+        traffic,
+        latency,
+        Some(compression),
+        None,
+        None,
+    );
 }
 
 /// Append a record of a sharded-snapshot serving run (schema v4), carrying
@@ -169,7 +211,35 @@ pub fn record_sharded(
     latency: LatencyStats,
     shard: ShardStats,
 ) {
-    record_inner(name, seconds, traffic, Some(latency), None, Some(shard));
+    record_inner(
+        name,
+        seconds,
+        traffic,
+        Some(latency),
+        None,
+        Some(shard),
+        None,
+    );
+}
+
+/// Append a record of an SLO-aware serving run (schema v5), carrying the
+/// throughput distribution plus the scheduler and cache counters.
+pub fn record_sched(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: LatencyStats,
+    sched: SchedStats,
+) {
+    record_inner(
+        name,
+        seconds,
+        traffic,
+        Some(latency),
+        None,
+        None,
+        Some(sched),
+    );
 }
 
 fn record_inner(
@@ -179,6 +249,7 @@ fn record_inner(
     latency: Option<LatencyStats>,
     compression: Option<CompressionStats>,
     shard: Option<ShardStats>,
+    sched: Option<SchedStats>,
 ) {
     let experiment = CURRENT
         .lock()
@@ -193,6 +264,7 @@ fn record_inner(
         latency,
         compression,
         shard,
+        sched,
     });
 }
 
@@ -220,7 +292,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
     let records = RECORDS.lock().unwrap();
     let mut out = String::with_capacity(128 + records.len() * 160);
     out.push_str(&format!(
-        "{{\n  \"schema\": 4,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
+        "{{\n  \"schema\": 5,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
     ));
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -265,6 +337,21 @@ pub fn to_json(scale: u32, threads: usize) -> String {
                 ));
             }
             out.push(']');
+        }
+        if let Some(s) = &r.sched {
+            out.push_str(&format!(
+                ", \"cache_hits\": {}, \"cache_misses\": {}, \
+                 \"aged_promotions\": {}, \"preemptions\": {}, \
+                 \"completed_point_lookups\": {}, \"completed_probes\": {}, \
+                 \"completed_analytics\": {}",
+                s.cache_hits,
+                s.cache_misses,
+                s.aged_promotions,
+                s.preemptions,
+                s.completed_point_lookups,
+                s.completed_probes,
+                s.completed_analytics,
+            ));
         }
         out.push('}');
     }
@@ -355,8 +442,29 @@ mod tests {
                 ],
             },
         );
+        record_sched(
+            "sched-point",
+            0.1,
+            MeterSnapshot::default(),
+            LatencyStats {
+                queries: 40,
+                clients: 1,
+                qps: 400.0,
+                p50: 0.0005,
+                p99: 0.002,
+            },
+            SchedStats {
+                cache_hits: 12,
+                cache_misses: 52,
+                aged_promotions: 1,
+                preemptions: 9,
+                completed_point_lookups: 40,
+                completed_probes: 0,
+                completed_analytics: 24,
+            },
+        );
         let json = to_json(8, 2);
-        assert!(json.starts_with("{\n  \"schema\": 4,"));
+        assert!(json.starts_with("{\n  \"schema\": 5,"));
         assert!(json.contains("\"scale\": 8"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains(
@@ -371,6 +479,12 @@ mod tests {
             "\"encoded_bytes\": 123456, \"compression_ratio\": 0.6100, \
              \"bytes_per_edge\": 2.4000, \"hybrid_cutoff\": 128, \
              \"hybrid_vertices\": 17"
+        ));
+        assert!(json.contains(
+            "\"cache_hits\": 12, \"cache_misses\": 52, \
+             \"aged_promotions\": 1, \"preemptions\": 9, \
+             \"completed_point_lookups\": 40, \"completed_probes\": 0, \
+             \"completed_analytics\": 24"
         ));
         assert!(json.contains(
             "\"shards\": 4, \"per_shard\": [\

@@ -23,8 +23,36 @@ pub struct KcoreResult {
     pub kmax: u32,
 }
 
+/// Several restricted-reporting coreness requests answered by **one** shared
+/// peel (possibly [truncated](kcore_bounded)) — the entry point the serving
+/// layer's same-`k`-threshold batching uses.
+pub struct KcoreMultiResult {
+    /// One `(vertex, coreness)` report per request, in request order.
+    pub reports: Vec<Vec<(V, u32)>>,
+    /// Largest non-empty core found by the shared peel (clamped at the
+    /// threshold for truncated peels; see [`kcore_bounded`]).
+    pub kmax: u32,
+    /// Peeling rounds the shared run performed.
+    pub rounds: usize,
+}
+
 /// Peel the graph; see [`KcoreResult`].
 pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
+    kcore_bounded(g, None)
+}
+
+/// Peel the graph, optionally stopping at a coreness threshold.
+///
+/// With `threshold = Some(t)` the peel halts as soon as the minimum bucket
+/// reaches `t`: every vertex still unpeeled at that point has induced degree
+/// ≥ `t` in the remaining subgraph, i.e. it is in the `t`-core, so its
+/// (clamped) coreness is reported as `t` without peeling further. The result
+/// equals the full decomposition with `coreness[v] → min(coreness[v], t)`
+/// and `kmax → min(kmax, t)` — exact where it matters ("is `v` in the
+/// `t`-core, and what is its coreness below `t`?") at a fraction of the
+/// rounds, which is what a serving layer answering bounded-`k` queries
+/// wants. `threshold = None` is the classic full peel.
+pub fn kcore_bounded<G: Graph>(g: &G, threshold: Option<u32>) -> KcoreResult {
     let n = g.num_vertices();
     let m = g.num_edges();
     let degrees: Vec<AtomicU64> = (0..n)
@@ -37,12 +65,21 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
     let mut coreness = vec![0u32; n];
     let mut k = 0u64;
     let mut rounds = 0usize;
+    let mut truncated = false;
     // One histogram for the whole peel: its dense scratch is allocated on
     // first use and reused across all rounds (per-round cost stays
     // proportional to the peeled neighborhood, not to n). Checked out of the
     // current QueryArena so back-to-back queries reuse the scratch too.
     let mut histogram = crate::arena::fetch_histogram(m);
     while let Some((bkt, ids)) = buckets.next_bucket() {
+        if let Some(t) = threshold {
+            if bkt >= t as u64 {
+                // Everything still unpeeled (including this bucket) has
+                // induced degree ≥ t: it is in the t-core. Stop peeling.
+                truncated = true;
+                break;
+            }
+        }
         rounds += 1;
         k = k.max(bkt);
         for &v in &ids {
@@ -74,10 +111,48 @@ pub fn kcore<G: Graph>(g: &G) -> KcoreResult {
         buckets.update_batch_distinct(&updates);
     }
     crate::arena::release_histogram(histogram);
+    if truncated {
+        let t = threshold.expect("truncation implies a threshold");
+        for (v, c) in coreness.iter_mut().enumerate() {
+            if !peeled[v].load(Ordering::Relaxed) {
+                *c = t;
+            }
+        }
+        // The t-core is non-empty (we stopped because vertices remained at
+        // bucket ≥ t), so min(kmax, t) = t.
+        k = t as u64;
+    }
     KcoreResult {
         coreness,
         rounds,
         kmax: k as u32,
+    }
+}
+
+/// Evaluate several restricted-reporting coreness requests over **one**
+/// shared (possibly [truncated](kcore_bounded)) peel: the decomposition runs
+/// once per threshold and every request's report is read off the same
+/// coreness array — so `k` same-threshold queries cost one peel instead of
+/// `k`, and each report is bitwise-identical to a standalone
+/// [`kcore_bounded`] + lookup.
+pub fn kcore_multi<G: Graph>(
+    g: &G,
+    threshold: Option<u32>,
+    requests: &[Vec<V>],
+) -> KcoreMultiResult {
+    let kc = kcore_bounded(g, threshold);
+    let reports = requests
+        .iter()
+        .map(|req| {
+            req.iter()
+                .map(|&v| (v, kc.coreness[v as usize]))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    KcoreMultiResult {
+        reports,
+        kmax: kc.kmax,
+        rounds: kc.rounds,
     }
 }
 
@@ -145,5 +220,42 @@ mod tests {
         let before = Meter::global().snapshot();
         let _ = kcore(&g);
         assert_eq!(Meter::global().snapshot().since(&before).graph_write, 0);
+    }
+
+    /// The truncated peel equals the full decomposition clamped at the
+    /// threshold — for every threshold, including 0 and past-kmax ones —
+    /// and never does more rounds than the full peel.
+    #[test]
+    fn bounded_peel_is_the_clamped_decomposition() {
+        let g = gen::rmat(9, 8, gen::RmatParams::default(), 117);
+        let full = kcore(&g);
+        for t in [0u32, 1, 2, full.kmax, full.kmax + 3] {
+            let b = kcore_bounded(&g, Some(t));
+            assert_eq!(b.kmax, full.kmax.min(t), "threshold {t}");
+            assert!(b.rounds <= full.rounds, "threshold {t}");
+            let expect: Vec<u32> = full.coreness.iter().map(|&c| c.min(t)).collect();
+            assert_eq!(b.coreness, expect, "threshold {t}");
+        }
+        // A genuinely truncating threshold saves rounds on this graph.
+        assert!(kcore_bounded(&g, Some(1)).rounds < full.rounds);
+    }
+
+    #[test]
+    fn multi_reports_match_standalone_lookups() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 119);
+        let requests = vec![vec![0, 3, 3], vec![], vec![9]];
+        for t in [None, Some(2)] {
+            let multi = kcore_multi(&g, t, &requests);
+            let solo = kcore_bounded(&g, t);
+            assert_eq!(multi.kmax, solo.kmax);
+            assert_eq!(multi.rounds, solo.rounds);
+            for (req, report) in requests.iter().zip(&multi.reports) {
+                let expect: Vec<(V, u32)> = req
+                    .iter()
+                    .map(|&v| (v, solo.coreness[v as usize]))
+                    .collect();
+                assert_eq!(report, &expect);
+            }
+        }
     }
 }

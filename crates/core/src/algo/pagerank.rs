@@ -21,9 +21,38 @@ pub struct PageRankResult {
     pub iterations: usize,
 }
 
+/// Several restricted-reporting requests answered by **one** shared run —
+/// the entry point the serving layer's same-parameter batching uses. Each
+/// request is a vertex set; `reports[i]` holds `(vertex, rank)` pairs for
+/// request `i`, in request order, read off a single converged rank vector.
+pub struct PageRankMultiResult {
+    /// One `(vertex, rank)` report per request, in request order.
+    pub reports: Vec<Vec<(V, f64)>>,
+    /// Iterations the shared power method actually ran.
+    pub iterations: usize,
+}
+
 /// Run PageRank until the L1 change drops below `eps` (the paper uses
-/// `eps = 1e-6`) or `max_iters` is reached.
+/// `eps = 1e-6`) or `max_iters` is reached, with the paper's damping
+/// factor ([`DAMPING`]).
 pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> PageRankResult {
+    pagerank_damped(g, eps, max_iters, DAMPING)
+}
+
+/// [`pagerank`] with an explicit damping factor — `damping` must be in
+/// `(0, 1)`. Runs with the same deterministic reduction order as the
+/// default-damping path, so results are bitwise-reproducible per
+/// `(eps, max_iters, damping)` parameter set.
+pub fn pagerank_damped<G: Graph>(
+    g: &G,
+    eps: f64,
+    max_iters: usize,
+    damping: f64,
+) -> PageRankResult {
+    assert!(
+        damping > 0.0 && damping < 1.0,
+        "damping factor must be in (0, 1), got {damping}"
+    );
     let n = g.num_vertices();
     if n == 0 {
         return PageRankResult {
@@ -35,7 +64,7 @@ pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> PageRankResult {
     let mut iterations = 0;
     for _ in 0..max_iters {
         iterations += 1;
-        let (next, l1) = pagerank_iteration(g, &p);
+        let (next, l1) = pagerank_iteration_damped(g, &p, damping);
         p = next;
         if l1 < eps {
             break;
@@ -47,9 +76,42 @@ pub fn pagerank<G: Graph>(g: &G, eps: f64, max_iters: usize) -> PageRankResult {
     }
 }
 
-/// One PageRank iteration (the paper's standalone `PageRank-Iter` benchmark);
-/// returns the new vector and the L1 change.
+/// Evaluate several restricted-reporting requests over **one** shared
+/// PageRank run: the power method runs once per `(eps, max_iters, damping)`
+/// parameter set and every request's report is read off the same converged
+/// vector — so `k` same-parameter queries cost one run instead of `k`, and
+/// each report is bitwise-identical to what a standalone
+/// [`pagerank_damped`] + lookup would produce.
+pub fn pagerank_multi<G: Graph>(
+    g: &G,
+    eps: f64,
+    max_iters: usize,
+    damping: f64,
+    requests: &[Vec<V>],
+) -> PageRankMultiResult {
+    let pr = pagerank_damped(g, eps, max_iters, damping);
+    let reports = requests
+        .iter()
+        .map(|req| {
+            req.iter()
+                .map(|&v| (v, pr.ranks[v as usize]))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    PageRankMultiResult {
+        reports,
+        iterations: pr.iterations,
+    }
+}
+
+/// One PageRank iteration (the paper's standalone `PageRank-Iter` benchmark)
+/// at the default [`DAMPING`]; returns the new vector and the L1 change.
 pub fn pagerank_iteration<G: Graph>(g: &G, p: &[f64]) -> (Vec<f64>, f64) {
+    pagerank_iteration_damped(g, p, DAMPING)
+}
+
+/// One PageRank iteration with an explicit damping factor.
+pub fn pagerank_iteration_damped<G: Graph>(g: &G, p: &[f64], damping: f64) -> (Vec<f64>, f64) {
     let n = g.num_vertices();
     // Contribution of each vertex, and the total dangling mass.
     let contrib: Vec<f64> = par::par_map(n, |u| {
@@ -68,7 +130,7 @@ pub fn pagerank_iteration<G: Graph>(g: &G, p: &[f64]) -> (Vec<f64>, f64) {
         |u| if g.degree(u as V) == 0 { p[u] } else { 0.0 },
         |a, b| a + b,
     );
-    let base = (1.0 - DAMPING) / n as f64 + DAMPING * dangling / n as f64;
+    let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
     let next: Vec<f64> = par::par_map(n, |vi| {
         let v = vi as V;
         let nblocks = g.num_blocks_of(v);
@@ -92,7 +154,7 @@ pub fn pagerank_iteration<G: Graph>(g: &G, p: &[f64]) -> (Vec<f64>, f64) {
             g.for_each_edge(v, |u, _| acc += contrib[u as usize]);
             acc
         };
-        base + DAMPING * sum
+        base + damping * sum
     });
     let l1 = par::reduce_map(0, n, 0, 0.0f64, |i| (next[i] - p[i]).abs(), |a, b| a + b);
     (next, l1)
@@ -174,5 +236,44 @@ mod tests {
         let before = Meter::global().snapshot();
         let _ = pagerank(&g, 1e-6, 50);
         assert_eq!(Meter::global().snapshot().since(&before).graph_write, 0);
+    }
+
+    #[test]
+    fn default_damping_is_the_damped_path() {
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 149);
+        let a = pagerank(&g, 1e-8, 60);
+        let b = pagerank_damped(&g, 1e-8, 60, DAMPING);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.ranks, b.ranks, "delegation must be bitwise-identical");
+    }
+
+    #[test]
+    fn damping_changes_the_fixed_point() {
+        let g = gen::star(50);
+        let hot = pagerank_damped(&g, 1e-10, 300, 0.95);
+        let cold = pagerank_damped(&g, 1e-10, 300, 0.5);
+        // More damping concentrates rank on the star center.
+        assert!(hot.ranks[0] > cold.ranks[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn damping_out_of_range_panics() {
+        let g = gen::star(4);
+        let _ = pagerank_damped(&g, 1e-6, 10, 1.0);
+    }
+
+    #[test]
+    fn multi_reports_are_bitwise_identical_to_standalone_runs() {
+        let g = gen::rmat(9, 8, gen::RmatParams::default(), 151);
+        let requests = vec![vec![0, 5, 9], vec![], vec![17, 17, 3]];
+        let multi = pagerank_multi(&g, 1e-8, 40, 0.85, &requests);
+        let solo = pagerank_damped(&g, 1e-8, 40, 0.85);
+        assert_eq!(multi.iterations, solo.iterations);
+        assert_eq!(multi.reports.len(), requests.len());
+        for (req, report) in requests.iter().zip(&multi.reports) {
+            let expect: Vec<(V, f64)> = req.iter().map(|&v| (v, solo.ranks[v as usize])).collect();
+            assert_eq!(report, &expect);
+        }
     }
 }

@@ -14,6 +14,7 @@ use crate::batch::QueryBatch;
 use crate::query::{BatchClass, Query};
 use parking_lot::{Condvar, Mutex};
 use sage_graph::{Graph, Sharded, ShardedCsr};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes per word in the estimates (the PSAM meters in 8-byte words).
 const WORD: u64 = 8;
@@ -69,8 +70,13 @@ pub fn batch_estimate(n: usize, batch: &QueryBatch) -> u64 {
         BatchClass::Bfs => (4 * n + k * n) * WORD,
         // One labeling; per-probe state is O(1).
         BatchClass::Connected => 6 * n * WORD + k * 64,
+        // One shared power method (three rank vectors + contributions); only
+        // the report pairs are per-member.
+        BatchClass::PageRank { .. } => 4 * n * WORD + k * 64 + report_bytes(members, 16),
+        // One shared (possibly truncated) peel; reports are per-member.
+        BatchClass::KCore { .. } => 10 * n * WORD + k * 64 + report_bytes(members, 8),
         // Sequential member execution: peak = the largest member.
-        BatchClass::Neighborhood | BatchClass::Single => {
+        BatchClass::Neighborhood => {
             members
                 .iter()
                 .map(|p| dram_estimate(n as usize, p.query()))
@@ -79,6 +85,20 @@ pub fn batch_estimate(n: usize, batch: &QueryBatch) -> u64 {
                 + k * 64
         }
     }
+}
+
+/// Total report-vertex bytes across an analytics batch's members at
+/// `bytes_per_vertex` per reported entry.
+fn report_bytes(members: &[crate::queue::Pending], bytes_per_vertex: u64) -> u64 {
+    members
+        .iter()
+        .map(|p| match p.query() {
+            Query::PageRank { vertices, .. } | Query::KCore { vertices, .. } => {
+                vertices.len() as u64 * bytes_per_vertex
+            }
+            _ => 0,
+        })
+        .sum()
 }
 
 /// DRAM surcharge for serving a representation without O(1) random access:
@@ -134,10 +154,14 @@ pub fn sharded_batch_estimate_for(g: &ShardedCsr, batch: &QueryBatch) -> u64 {
         BatchClass::Bfs => (5 * n + k * n) * WORD,
         // One union-find forest per shard + the merged forest + labels.
         BatchClass::Connected => (g.num_shards() as u64 + 2) * n * WORD + k * 64,
+        // Shared analytics runs see the sharded snapshot as one graph: same
+        // state shapes as the monolithic batch estimate.
+        BatchClass::PageRank { .. } => 4 * n * WORD + k * 64 + report_bytes(members, 16),
+        BatchClass::KCore { .. } => 10 * n * WORD + k * 64 + report_bytes(members, 8),
         // Sequential member execution: peak = the largest member. A 1-hop
         // probe's frontier lives inside one shard, so its O(n) bound shrinks
         // to the owning shard's vertex range.
-        BatchClass::Neighborhood | BatchClass::Single => {
+        BatchClass::Neighborhood => {
             members
                 .iter()
                 .map(|p| match p.query() {
@@ -195,9 +219,131 @@ pub(crate) fn max_estimate(n: usize) -> u64 {
     dram_estimate(
         n,
         &Query::KCore {
+            k: None,
             vertices: Vec::new(),
         },
     )
+}
+
+/// Measured cost model: an EWMA of the DRAM words each query class was
+/// *observed* to touch, replacing the pure a-priori `O(n)` estimate for
+/// admission and batch formation — with the a-priori bound kept as a safety
+/// clamp (measured cost can only *shrink* a reservation, never grow it past
+/// the bound, and never below a small floor).
+///
+/// Workers feed it after every execution unit: the unit's scoped
+/// `aux_read + aux_write` words (the DRAM-side traffic of the run — graph
+/// words live in NVRAM and don't occupy the budget) divided by the member
+/// count. The per-class average then prices the *next* unit of that class:
+/// `estimate = clamp(ewma × members, floor, a-priori)`, and
+/// [`MeasuredCost::affordable`] turns the same average into a batch-size cap
+/// so the scheduler stops growing batches the budget could not admit.
+pub struct MeasuredCost {
+    /// EWMA of per-member DRAM bytes, one slot per [`CostKind`];
+    /// `0` = no observation yet.
+    ewma: [AtomicU64; CostKind::COUNT],
+}
+
+/// The cost-model bucket of a batch class: analytics parameters don't change
+/// the state *shape*, so every parameterization of a class shares a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostKind {
+    /// BFS point lookups (single or multi-source).
+    Bfs = 0,
+    /// PageRank runs (any `(iters, damping)`).
+    PageRank = 1,
+    /// k-core peels (any threshold).
+    KCore = 2,
+    /// Connectivity labelings.
+    Connected = 3,
+    /// Neighborhood probes.
+    Neighborhood = 4,
+}
+
+impl CostKind {
+    /// Number of cost buckets.
+    pub const COUNT: usize = 5;
+
+    /// The bucket of a batch class.
+    pub fn of(class: BatchClass) -> Self {
+        match class {
+            BatchClass::Bfs => CostKind::Bfs,
+            BatchClass::PageRank { .. } => CostKind::PageRank,
+            BatchClass::KCore { .. } => CostKind::KCore,
+            BatchClass::Connected => CostKind::Connected,
+            BatchClass::Neighborhood => CostKind::Neighborhood,
+        }
+    }
+}
+
+/// Never price a member below this, no matter how cheap it measured — keeps
+/// dispatch overheads and allocator slack covered.
+const MEASURED_FLOOR: u64 = 4096;
+
+/// EWMA smoothing: new = old·7/8 + sample/8.
+const EWMA_SHIFT: u32 = 3;
+
+impl Default for MeasuredCost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeasuredCost {
+    /// A model with no observations: every estimate falls back a-priori.
+    pub fn new() -> Self {
+        Self {
+            ewma: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Feed one execution unit's observation: `aux_words` DRAM words metered
+    /// across `members` same-class queries.
+    pub fn observe(&self, kind: CostKind, members: u64, aux_words: u64) {
+        let sample = (aux_words * WORD / members.max(1)).max(MEASURED_FLOOR);
+        let slot = &self.ewma[kind as usize];
+        // Read-modify-write without CAS: a racing observation may overwrite
+        // a concurrent sample, losing one data point of an *advisory*
+        // moving average — harmless, same as the Relaxed stats counters.
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - (old >> EWMA_SHIFT) + (sample >> EWMA_SHIFT)
+        };
+        slot.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Measured per-member bytes for `kind`, if any unit of it has run.
+    pub fn per_member_bytes(&self, kind: CostKind) -> Option<u64> {
+        match self.ewma[kind as usize].load(Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Price a `members`-strong unit of `kind`: the measured cost clamped
+    /// into `[MEASURED_FLOOR, apriori]`, or exactly `apriori` while the
+    /// class is unobserved.
+    pub fn estimate(&self, kind: CostKind, members: u64, apriori: u64) -> u64 {
+        match self.per_member_bytes(kind) {
+            Some(per) => {
+                (per.saturating_mul(members.max(1))).clamp(MEASURED_FLOOR.min(apriori), apriori)
+            }
+            None => apriori,
+        }
+    }
+
+    /// How many members of `kind` a budget of `capacity` bytes can hold at
+    /// the measured per-member price (`usize::MAX` while unobserved — the
+    /// a-priori batch estimate still caps admission; always ≥ 1 so the head
+    /// request can dispatch).
+    pub fn affordable(&self, kind: CostKind, capacity: u64) -> usize {
+        match self.per_member_bytes(kind) {
+            Some(per) => ((capacity / per.max(1)) as usize).max(1),
+            None => usize::MAX,
+        }
+    }
 }
 
 /// A blocking byte budget shared by all serving workers.
@@ -421,6 +567,52 @@ mod tests {
         assert_eq!(
             dram_estimate_for(&comp, &q),
             dram_estimate(comp.num_vertices(), &q) + surcharge
+        );
+    }
+
+    #[test]
+    fn measured_cost_starts_apriori_and_learns_downward() {
+        let m = MeasuredCost::new();
+        let apriori = 1 << 20;
+        // Unobserved: full a-priori estimate, unbounded affordability.
+        assert_eq!(m.estimate(CostKind::Bfs, 4, apriori), apriori);
+        assert_eq!(m.affordable(CostKind::Bfs, apriori), usize::MAX);
+        // One observation: 1024 words over 2 members = 4096 bytes each.
+        m.observe(CostKind::Bfs, 2, 1024);
+        assert_eq!(m.per_member_bytes(CostKind::Bfs), Some(4096));
+        assert_eq!(m.estimate(CostKind::Bfs, 2, apriori), 8192);
+        assert_eq!(m.affordable(CostKind::Bfs, 40_960), 10);
+        // Other kinds stay unobserved.
+        assert_eq!(m.per_member_bytes(CostKind::KCore), None);
+    }
+
+    #[test]
+    fn measured_cost_is_clamped_by_the_apriori_bound_and_floor() {
+        let m = MeasuredCost::new();
+        // A wildly expensive observation cannot push the estimate past the
+        // a-priori bound (it is a safety clamp, not a suggestion)...
+        m.observe(CostKind::PageRank, 1, u64::MAX / WORD / 2);
+        assert_eq!(m.estimate(CostKind::PageRank, 8, 10_000), 10_000);
+        // ...and a near-zero observation cannot price below the floor.
+        let m = MeasuredCost::new();
+        m.observe(CostKind::PageRank, 1_000_000, 1);
+        assert_eq!(m.per_member_bytes(CostKind::PageRank), Some(4096));
+        assert_eq!(m.estimate(CostKind::PageRank, 1, 1 << 20), 4096);
+        // Affordability always admits the head request.
+        assert_eq!(m.affordable(CostKind::PageRank, 0), 1);
+    }
+
+    #[test]
+    fn measured_cost_ewma_converges_toward_recent_samples() {
+        let m = MeasuredCost::new();
+        m.observe(CostKind::Connected, 1, 1 << 20); // 8 MiB/member start
+        for _ in 0..64 {
+            m.observe(CostKind::Connected, 1, 1024); // settle at 8 KiB
+        }
+        let per = m.per_member_bytes(CostKind::Connected).unwrap();
+        assert!(
+            (4096..16 * 1024).contains(&per),
+            "EWMA should approach the recent 8 KiB sample, got {per}"
         );
     }
 }

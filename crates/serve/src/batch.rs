@@ -14,7 +14,10 @@
 //! * **Neighborhood** batches share the dispatch/admission round-trip but
 //!   execute members under individual meter scopes (each probe is `O(deg)`;
 //!   there is no shared traversal to amortize);
-//! * everything else ([`BatchClass::Single`]) arrives as a singleton batch.
+//! * **Same-parameter analytics** batches share one engine run:
+//!   [`BatchClass::PageRank`] groups on `(iters, damping)` (damping compared
+//!   by bit pattern) and [`BatchClass::KCore`] on the threshold `k`, so a
+//!   different fixed point never joins someone else's computation.
 //!
 //! # Attribution
 //!
@@ -104,12 +107,14 @@ pub(crate) fn run_batch<G: Graph>(g: &G, batch: &QueryBatch) -> Vec<BatchOutcome
     match batch.class() {
         BatchClass::Bfs => run_bfs_batch(g, members),
         BatchClass::Connected => run_connected_batch(g, members),
-        // Neighborhood probes (and, defensively, anything else that reaches
-        // here with >1 member) execute individually: exact attribution, no
+        BatchClass::PageRank {
+            iters,
+            damping_bits,
+        } => run_pagerank_batch(g, members, iters, f64::from_bits(damping_bits)),
+        BatchClass::KCore { k } => run_kcore_batch(g, members, k),
+        // Neighborhood probes execute individually: exact attribution, no
         // shared state to split.
-        BatchClass::Neighborhood | BatchClass::Single => {
-            members.iter().map(|p| run_isolated(g, p.query())).collect()
-        }
+        BatchClass::Neighborhood => members.iter().map(|p| run_isolated(g, p.query())).collect(),
     }
 }
 
@@ -209,6 +214,115 @@ fn run_connected_batch<G: Graph>(g: &G, members: &[Pending]) -> Vec<BatchOutcome
                 .zip(splits)
                 .map(|(response, traffic)| BatchOutcome {
                     response,
+                    traffic,
+                    per_shard: Vec::new(),
+                    seconds,
+                })
+                .collect()
+        }
+        Err(payload) => failed_batch(members.len(), scope, seconds, payload),
+    }
+}
+
+/// The report vertex sets of an analytics batch, in member order (the
+/// shares a shared analytics run is split by: a member's cost of *consuming*
+/// the shared result scales with how much of it it reads back).
+fn report_sets(members: &[Pending]) -> Vec<Vec<sage_graph::V>> {
+    members
+        .iter()
+        .map(|p| match p.query() {
+            Query::PageRank { vertices, .. } | Query::KCore { vertices, .. } => vertices.clone(),
+            other => unreachable!("non-analytics query {other:?} in an analytics batch"),
+        })
+        .collect()
+}
+
+/// Same-parameter PageRank requests answered by **one** shared power-method
+/// run ([`algo::pagerank::pagerank_multi`]). Responses are bitwise-identical
+/// to unbatched execution: both paths run the same deterministic iteration
+/// with the same `(eps, iters, damping)` and read ranks off the converged
+/// vector.
+fn run_pagerank_batch<G: Graph>(
+    g: &G,
+    members: &[Pending],
+    iters: usize,
+    damping: f64,
+) -> Vec<BatchOutcome> {
+    let requests = report_sets(members);
+    let scope = MeterScope::new();
+    let start = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope.enter(|| {
+            let multi = algo::pagerank::pagerank_multi(
+                g,
+                crate::query::PAGERANK_EPS,
+                iters,
+                damping,
+                &requests,
+            );
+            // Unbatched parity: one aux read per reported vertex per member.
+            for req in &requests {
+                meter::aux_read(req.len() as u64);
+            }
+            multi
+        })
+    }));
+    let seconds = start.elapsed().as_secs_f64();
+    match result {
+        Ok(multi) => {
+            let shares: Vec<u64> = requests.iter().map(|r| (r.len() as u64).max(1)).collect();
+            let splits = split_traffic(scope.snapshot(), &shares);
+            multi
+                .reports
+                .into_iter()
+                .zip(splits)
+                .map(|(ranks, traffic)| BatchOutcome {
+                    response: Response::PageRank {
+                        ranks,
+                        iterations: multi.iterations,
+                    },
+                    traffic,
+                    per_shard: Vec::new(),
+                    seconds,
+                })
+                .collect()
+        }
+        Err(payload) => failed_batch(members.len(), scope, seconds, payload),
+    }
+}
+
+/// Same-threshold k-core requests answered by **one** shared (possibly
+/// truncated) peel ([`algo::kcore::kcore_multi`]). Responses are
+/// bitwise-identical to unbatched execution — the same peel produces the
+/// same coreness array either way.
+fn run_kcore_batch<G: Graph>(g: &G, members: &[Pending], k: Option<u32>) -> Vec<BatchOutcome> {
+    let requests = report_sets(members);
+    let scope = MeterScope::new();
+    let start = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope.enter(|| {
+            let multi = algo::kcore::kcore_multi(g, k, &requests);
+            // Unbatched parity: one aux read per reported vertex per member.
+            for req in &requests {
+                meter::aux_read(req.len() as u64);
+            }
+            multi
+        })
+    }));
+    let seconds = start.elapsed().as_secs_f64();
+    match result {
+        Ok(multi) => {
+            let shares: Vec<u64> = requests.iter().map(|r| (r.len() as u64).max(1)).collect();
+            let splits = split_traffic(scope.snapshot(), &shares);
+            multi
+                .reports
+                .into_iter()
+                .zip(splits)
+                .map(|(coreness, traffic)| BatchOutcome {
+                    response: Response::KCore {
+                        coreness,
+                        kmax: multi.kmax,
+                    },
                     traffic,
                     per_shard: Vec::new(),
                     seconds,

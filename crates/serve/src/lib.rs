@@ -55,25 +55,31 @@
 
 pub mod admission;
 pub mod batch;
+pub mod cache;
 mod query;
 pub mod queue;
 pub mod sharded;
 
-pub use admission::{batch_estimate, batch_estimate_for, dram_estimate, dram_estimate_for};
+pub use admission::{
+    batch_estimate, batch_estimate_for, dram_estimate, dram_estimate_for, CostKind, MeasuredCost,
+};
 pub use batch::QueryBatch;
-pub use query::{BatchClass, Query, QueryResult, Response};
-pub use queue::{BatchPolicy, Ticket};
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use query::{BatchClass, Priority, Query, QueryResult, Response, DEFAULT_DAMPING};
+pub use queue::{BatchPolicy, SchedCounters, SchedPolicy, Ticket};
 pub use sharded::ShardedService;
 
 use admission::DramBudget;
 use queue::{Pending, RequestQueue};
 use sage_core::QueryArena;
 use sage_graph::Graph;
+use sage_nvram::{meter, MeterScope};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tuning knobs for a [`GraphService`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Serving worker threads (concurrent execution-unit dispatchers). Each
     /// unit's internal parallelism additionally fans out on the shared
@@ -91,6 +97,72 @@ pub struct ServiceConfig {
     /// already-queued compatible requests with no linger; set
     /// `max_batch: 1` to disable batching entirely.
     pub batch: BatchPolicy,
+    /// Scheduling policy: deadline classes with aging (the default), or
+    /// [`SchedPolicy::fifo`] for strict arrival order.
+    pub sched: SchedPolicy,
+    /// Byte budget of the epoch-keyed result cache ([`cache::ResultCache`]).
+    /// `0` (the default) disables caching entirely — every query runs the
+    /// engine and carries its own exact traffic attribution.
+    pub cache_bytes: u64,
+    /// Use the measured cost model ([`admission::MeasuredCost`]) to price
+    /// admission and cap batch formation, with the a-priori estimate as a
+    /// safety clamp. `false` prices everything a-priori (the pre-measured
+    /// behaviour; some capacity tests rely on its determinism).
+    pub measured_admission: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 0,
+            dram_budget_bytes: 0,
+            batch: BatchPolicy::default(),
+            sched: SchedPolicy::default(),
+            cache_bytes: 0,
+            measured_admission: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Interactive preset: tight batches with a short linger so an open-loop
+    /// trickle of point lookups still coalesces, deadline scheduling on, a
+    /// modest result cache for hot sources.
+    pub fn interactive() -> Self {
+        Self {
+            batch: BatchPolicy {
+                max_batch: 32,
+                max_linger: Duration::from_micros(200),
+            },
+            cache_bytes: 4 << 20,
+            ..Self::default()
+        }
+    }
+
+    /// Throughput preset: big batches held open longer (occupancy over
+    /// first-query latency), deadline scheduling on, a larger cache.
+    pub fn throughput() -> Self {
+        Self {
+            batch: BatchPolicy {
+                max_batch: 64,
+                max_linger: Duration::from_millis(1),
+            },
+            cache_bytes: 16 << 20,
+            ..Self::default()
+        }
+    }
+
+    /// The pre-scheduler behaviour: strict FIFO, no linger, no cache, pure
+    /// a-priori admission — the A/B baseline the `serve-sched` benchmark
+    /// (and any regression bisect) measures against.
+    pub fn fifo_baseline() -> Self {
+        Self {
+            sched: SchedPolicy::fifo(),
+            measured_admission: false,
+            ..Self::default()
+        }
+    }
 }
 
 /// Point-in-time serving statistics.
@@ -113,6 +185,23 @@ pub struct ServiceStats {
     pub batched_queries: u64,
     /// Largest batch dispatched so far.
     pub peak_batch: u64,
+    /// Queries answered straight from the result cache (no engine run;
+    /// counted in `completed` too).
+    pub cache_hits: u64,
+    /// Cache lookups that missed (0 when the cache is disabled).
+    pub cache_misses: u64,
+    /// Dispatches where an aged lower-class request overtook the natural
+    /// priority order (see [`queue::SchedCounters`]).
+    pub aged_promotions: u64,
+    /// Dispatches where an urgent request bypassed an earlier arrival of a
+    /// less urgent class.
+    pub preemptions: u64,
+    /// Completed point lookups ([`Priority::PointLookup`]).
+    pub completed_point_lookups: u64,
+    /// Completed probes ([`Priority::Probe`]).
+    pub completed_probes: u64,
+    /// Completed analytics ([`Priority::Analytics`]).
+    pub completed_analytics: u64,
 }
 
 #[derive(Default)]
@@ -125,6 +214,9 @@ struct StatsInner {
     batches: AtomicU64,
     batched_queries: AtomicU64,
     peak_batch: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    completed_by_class: [AtomicU64; Priority::COUNT],
 }
 
 impl StatsInner {
@@ -152,6 +244,21 @@ impl StatsInner {
         self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.completed.fetch_add(members, Ordering::Relaxed);
     }
+
+    fn on_member_class(&self, pr: Priority) {
+        self.completed_by_class[pr.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_cache_hit(&self, pr: Priority) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        // A hit completes the query without ever reaching a worker.
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.on_member_class(pr);
+    }
+
+    fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// The execution back end a service routes batches to. One implementation
@@ -173,6 +280,17 @@ struct Shared<E> {
     budget: DramBudget,
     stats: StatsInner,
     policy: BatchPolicy,
+    sched: SchedPolicy,
+    /// Epoch-keyed result cache; `None` when `cache_bytes == 0`.
+    cache: Option<ResultCache>,
+    /// Measured per-class cost model (fed by workers even when
+    /// `measured_admission` is off, so it can be inspected).
+    measured: MeasuredCost,
+    measured_admission: bool,
+    /// Snapshot epoch: part of every cache key. Bumping it invalidates the
+    /// cache — the hook a live-update path will publish new snapshots
+    /// through.
+    epoch: AtomicU64,
 }
 
 /// Engine-generic service chassis: bounded queue, FIFO DRAM admission,
@@ -206,6 +324,11 @@ impl<E: Engine> ServiceCore<E> {
                 max_batch: config.batch.max_batch.max(1),
                 ..config.batch
             },
+            sched: config.sched.clone(),
+            cache: (config.cache_bytes > 0).then(|| ResultCache::new(config.cache_bytes)),
+            measured: MeasuredCost::new(),
+            measured_admission: config.measured_admission,
+            epoch: AtomicU64::new(0),
         });
         let workers = (0..if config.workers == 0 {
             4
@@ -238,6 +361,32 @@ impl<E: Engine> ServiceCore<E> {
     pub(crate) fn submit(&self, query: Query) -> Ticket {
         query.validate(self.shared.engine.num_vertices());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Cache lookup on the submitting thread: a hit never touches the
+        // queue, the budget, or the engine.
+        if let Some(cache) = &self.shared.cache {
+            let epoch = self.shared.epoch.load(Ordering::Relaxed);
+            let key = CacheKey::new(&query, epoch);
+            if let Some(response) = cache.get(&key) {
+                let pr = query.priority();
+                // Meter the hit under its own scope so the result's traffic
+                // (pure aux_read of the response words, zero graph words)
+                // still reconciles with the global meter.
+                let scope = MeterScope::new();
+                let start = std::time::Instant::now();
+                scope.enter(|| meter::aux_read(cache::response_bytes(&response) / 8));
+                let (pending, ticket) = Pending::new(id, query);
+                pending.ticket.fulfill(QueryResult {
+                    id,
+                    response,
+                    traffic: scope.snapshot(),
+                    per_shard: Vec::new(),
+                    seconds: start.elapsed().as_secs_f64(),
+                });
+                self.shared.stats.on_cache_hit(pr);
+                return ticket;
+            }
+            self.shared.stats.on_cache_miss();
+        }
         let (pending, ticket) = Pending::new(id, query);
         self.shared.queue.push(pending);
         ticket
@@ -245,6 +394,7 @@ impl<E: Engine> ServiceCore<E> {
 
     pub(crate) fn stats(&self) -> ServiceStats {
         let s = &self.shared.stats;
+        let sched = self.shared.queue.sched_counters();
         // Relaxed loads: a stats poll is a point-in-time approximation by
         // design; see the note on `StatsInner::on_admit`.
         ServiceStats {
@@ -256,7 +406,37 @@ impl<E: Engine> ServiceCore<E> {
             batches: s.batches.load(Ordering::Relaxed),
             batched_queries: s.batched_queries.load(Ordering::Relaxed),
             peak_batch: s.peak_batch.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            aged_promotions: sched.aged_promotions,
+            preemptions: sched.preemptions,
+            completed_point_lookups: s.completed_by_class[Priority::PointLookup.index()]
+                .load(Ordering::Relaxed),
+            completed_probes: s.completed_by_class[Priority::Probe.index()].load(Ordering::Relaxed),
+            completed_analytics: s.completed_by_class[Priority::Analytics.index()]
+                .load(Ordering::Relaxed),
         }
+    }
+
+    /// Current snapshot epoch (part of every cache key).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advance the snapshot epoch, invalidating every cached result — the
+    /// hook a live-update path publishes new snapshots through. Returns the
+    /// new epoch.
+    pub(crate) fn advance_epoch(&self) -> u64 {
+        let new = self.shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cache) = &self.shared.cache {
+            cache.retain_epoch(new);
+        }
+        new
+    }
+
+    /// Result-cache statistics, if a cache is configured.
+    pub(crate) fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
     }
 }
 
@@ -335,6 +515,24 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
     pub fn stats(&self) -> ServiceStats {
         self.core.stats()
     }
+
+    /// Current snapshot epoch (part of every result-cache key).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Advance the snapshot epoch, invalidating every cached result —
+    /// the hook a live-update path publishes new snapshots through.
+    /// Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.core.advance_epoch()
+    }
+
+    /// Result-cache statistics, if the service was configured with a cache
+    /// (`cache_bytes > 0`).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.cache_stats()
+    }
 }
 
 /// One serving worker: drain a batch → admit → execute under scope(s) +
@@ -344,11 +542,36 @@ fn worker_loop<E: Engine>(shared: &Shared<E>) {
     // scratch (chunks, flag buffers, histogram dense arrays) warms up once
     // and is never shared with a concurrently executing unit.
     let arena = QueryArena::new();
-    while let Some(batch) = shared.queue.pop_batch(&shared.policy) {
+    let afford = |class: BatchClass| -> usize {
+        if shared.measured_admission {
+            shared
+                .measured
+                .affordable(CostKind::of(class), shared.budget.capacity())
+        } else {
+            usize::MAX
+        }
+    };
+    while let Some(batch) = shared
+        .queue
+        .pop_batch_capped(&shared.policy, &shared.sched, &afford)
+    {
         let members = batch.len() as u64;
-        let estimate = shared.engine.estimate(&batch);
+        let kind = CostKind::of(batch.class());
+        let apriori = shared.engine.estimate(&batch);
+        // Measured admission: the learned per-member cost prices the unit,
+        // clamped by the a-priori bound (never above it, never below the
+        // floor). A-priori only while the class is unobserved or disabled.
+        let estimate = if shared.measured_admission {
+            shared.measured.estimate(kind, members, apriori)
+        } else {
+            apriori
+        };
         let grant = shared.budget.acquire(estimate);
         shared.stats.on_admit(members, grant);
+        // Key cached results by the epoch the unit *started* under: if the
+        // epoch advances mid-run, the stale-keyed insert can never be
+        // returned to a post-advance lookup.
+        let epoch = shared.epoch.load(Ordering::Relaxed);
         // Engine panics are contained inside the engine's `run` (per
         // execution unit), so the worker survives and no ticket is ever
         // stranded. Each outcome carries the wall time of the engine run
@@ -358,8 +581,19 @@ fn worker_loop<E: Engine>(shared: &Shared<E>) {
         shared.stats.on_finish(members, grant);
         shared.budget.release(grant);
         debug_assert_eq!(outcomes.len(), batch.len());
+        // Feed the cost model with what the unit actually touched in DRAM
+        // (aux words; graph words live in NVRAM, not in the budget).
+        let aux_words: u64 = outcomes
+            .iter()
+            .map(|o| o.traffic.aux_read + o.traffic.aux_write)
+            .sum();
+        shared.measured.observe(kind, members, aux_words);
         for (pending, outcome) in batch.into_members().into_iter().zip(outcomes) {
             let (id, ticket) = (pending.id, pending.ticket);
+            shared.stats.on_member_class(pending.query.priority());
+            if let Some(cache) = &shared.cache {
+                cache.insert(CacheKey::new(&pending.query, epoch), &outcome.response);
+            }
             ticket.fulfill(QueryResult {
                 id,
                 response: outcome.response,

@@ -4,9 +4,13 @@ use sage_core::algo;
 use sage_graph::{Graph, V};
 use sage_nvram::{meter, MeterSnapshot};
 
-/// Fixed tolerance for the PageRank power iteration; the iteration budget is
-/// the client-visible knob.
-const PAGERANK_EPS: f64 = 1e-6;
+/// Fixed tolerance for the PageRank power iteration; the iteration budget
+/// and the damping factor are the client-visible knobs.
+pub(crate) const PAGERANK_EPS: f64 = 1e-6;
+
+/// Default PageRank damping factor (the paper's §5.3 value), re-exported so
+/// clients constructing [`Query::PageRank`] don't need `sage-core` in scope.
+pub const DEFAULT_DAMPING: f64 = algo::pagerank::DAMPING;
 
 /// Deterministic seed for per-query randomized algorithms (connectivity's
 /// LDD), so repeated queries over the same snapshot agree — and so batched
@@ -17,6 +21,13 @@ pub(crate) const QUERY_SEED: u64 = 0x5A6E_5EED;
 /// are waiting in the queue together are drained into one
 /// [`QueryBatch`](crate::batch::QueryBatch) and answered by a single engine
 /// run over the shared snapshot.
+///
+/// Analytics classes carry their run parameters, so plain `==` on the class
+/// *is* the same-parameter batching rule: two PageRank queries batch iff
+/// they share `(iters, damping)` (one power method answers both), two
+/// k-core queries batch iff they share the coreness threshold `k` (one —
+/// possibly truncated — peel answers both). Report vertex sets stay
+/// per-member and never affect compatibility.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BatchClass {
     /// BFS point queries: up to [`sage_core::algo::msbfs::MAX_SOURCES`]
@@ -28,9 +39,21 @@ pub enum BatchClass {
     /// probe is `O(deg)`, so the win is amortized dispatch/admission, not a
     /// shared traversal).
     Neighborhood,
-    /// Runs alone — whole-graph analytics whose parameters (iteration
-    /// budgets, report sets) are query-specific.
-    Single,
+    /// Same-parameter PageRank: any number of restricted-reporting requests
+    /// share one power-method run.
+    PageRank {
+        /// Shared power-iteration budget.
+        iters: usize,
+        /// Shared damping factor, by bit pattern (`f64` is not `Eq`; equal
+        /// bits ⇒ an identical fixed-point computation).
+        damping_bits: u64,
+    },
+    /// Same-threshold k-core: any number of restricted-reporting requests
+    /// share one (possibly truncated) peel.
+    KCore {
+        /// Shared coreness threshold (`None` = the full decomposition).
+        k: Option<u32>,
+    },
 }
 
 impl BatchClass {
@@ -39,8 +62,42 @@ impl BatchClass {
     pub fn max_batch(self) -> usize {
         match self {
             BatchClass::Bfs => algo::msbfs::MAX_SOURCES,
-            BatchClass::Connected | BatchClass::Neighborhood => usize::MAX,
-            BatchClass::Single => 1,
+            BatchClass::Connected
+            | BatchClass::Neighborhood
+            | BatchClass::PageRank { .. }
+            | BatchClass::KCore { .. } => usize::MAX,
+        }
+    }
+}
+
+/// Deadline class of a query — the scheduler serves lower values first,
+/// with [aging](crate::queue::SchedPolicy) so higher values never starve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Point lookups (BFS from a single source): the latency-critical tier.
+    PointLookup = 0,
+    /// Cheap probes (connectivity membership, bounded neighborhoods).
+    Probe = 1,
+    /// Whole-graph analytics (PageRank, k-core): throughput tier.
+    Analytics = 2,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-class tables (`0` is the most urgent class).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The class at dense index `i` (inverse of [`Priority::index`]).
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Priority::PointLookup,
+            1 => Priority::Probe,
+            2 => Priority::Analytics,
+            _ => panic!("priority index {i} out of range"),
         }
     }
 }
@@ -54,15 +111,23 @@ pub enum Query {
         src: V,
     },
     /// PageRank restricted reporting: run `iters` power iterations over the
-    /// whole graph, return the ranks of `vertices` only.
+    /// whole graph, return the ranks of `vertices` only. Queries sharing
+    /// `(iters, damping)` batch into one power-method run.
     PageRank {
         /// Power-iteration budget.
         iters: usize,
+        /// Damping factor, in `(0, 1)` (see [`DEFAULT_DAMPING`]).
+        damping: f64,
         /// Vertices whose ranks the client wants back.
         vertices: Vec<V>,
     },
     /// k-core decomposition: coreness of `vertices` plus the global `kmax`.
+    /// With `k: Some(t)` the peel truncates at the `t`-core (coreness and
+    /// `kmax` are reported clamped at `t` — exact below the threshold, far
+    /// fewer rounds); queries sharing `k` batch into one peel.
     KCore {
+        /// Coreness threshold (`None` = the full decomposition).
+        k: Option<u32>,
         /// Vertices whose coreness the client wants back.
         vertices: Vec<V>,
     },
@@ -96,12 +161,18 @@ impl Query {
         };
         match self {
             Query::Bfs { src } => check(*src, "bfs source"),
-            Query::PageRank { vertices, .. } => {
+            Query::PageRank {
+                damping, vertices, ..
+            } => {
+                assert!(
+                    damping.is_finite() && *damping > 0.0 && *damping < 1.0,
+                    "pagerank damping must be in (0, 1), got {damping}"
+                );
                 for &v in vertices {
                     check(v, "pagerank vertex");
                 }
             }
-            Query::KCore { vertices } => {
+            Query::KCore { vertices, .. } => {
                 for &v in vertices {
                     check(v, "kcore vertex");
                 }
@@ -137,7 +208,21 @@ impl Query {
             Query::Bfs { .. } => BatchClass::Bfs,
             Query::Connected { .. } => BatchClass::Connected,
             Query::Neighborhood { .. } => BatchClass::Neighborhood,
-            Query::PageRank { .. } | Query::KCore { .. } => BatchClass::Single,
+            Query::PageRank { iters, damping, .. } => BatchClass::PageRank {
+                iters: *iters,
+                damping_bits: damping.to_bits(),
+            },
+            Query::KCore { k, .. } => BatchClass::KCore { k: *k },
+        }
+    }
+
+    /// The deadline class the scheduler slots this query into (see
+    /// [`Priority`]).
+    pub fn priority(&self) -> Priority {
+        match self {
+            Query::Bfs { .. } => Priority::PointLookup,
+            Query::Connected { .. } | Query::Neighborhood { .. } => Priority::Probe,
+            Query::PageRank { .. } | Query::KCore { .. } => Priority::Analytics,
         }
     }
 }
@@ -226,8 +311,12 @@ pub(crate) fn run_query<G: Graph>(g: &G, query: &Query) -> Response {
             meter::aux_read(levels.len() as u64);
             Response::Bfs { levels, reached }
         }
-        Query::PageRank { iters, vertices } => {
-            let pr = algo::pagerank::pagerank(g, PAGERANK_EPS, *iters);
+        Query::PageRank {
+            iters,
+            damping,
+            vertices,
+        } => {
+            let pr = algo::pagerank::pagerank_damped(g, PAGERANK_EPS, *iters, *damping);
             let ranks = vertices
                 .iter()
                 .map(|&v| (v, pr.ranks[v as usize]))
@@ -238,8 +327,8 @@ pub(crate) fn run_query<G: Graph>(g: &G, query: &Query) -> Response {
                 iterations: pr.iterations,
             }
         }
-        Query::KCore { vertices } => {
-            let kc = algo::kcore::kcore(g);
+        Query::KCore { k, vertices } => {
+            let kc = algo::kcore::kcore_bounded(g, *k);
             let coreness = vertices
                 .iter()
                 .map(|&v| (v, kc.coreness[v as usize]))

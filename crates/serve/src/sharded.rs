@@ -39,7 +39,7 @@
 
 use crate::admission;
 use crate::batch::{failed_response, split_traffic, BatchOutcome, QueryBatch};
-use crate::query::{run_query, BatchClass, Query, Response};
+use crate::query::{BatchClass, Query, Response};
 use crate::queue::Ticket;
 use crate::{Engine, Query as Q, QueryResult, ServiceConfig, ServiceCore, ServiceStats};
 use sage_core::algo;
@@ -92,6 +92,22 @@ impl ShardedService {
     pub fn stats(&self) -> ServiceStats {
         self.core.stats()
     }
+
+    /// Current snapshot epoch (part of every result-cache key).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Advance the snapshot epoch, invalidating every cached result.
+    /// Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.core.advance_epoch()
+    }
+
+    /// Result-cache statistics, if the service was configured with a cache.
+    pub fn cache_stats(&self) -> Option<crate::CacheStats> {
+        self.core.cache_stats()
+    }
 }
 
 struct ShardedEngine {
@@ -123,10 +139,9 @@ pub(crate) fn run_batch_sharded(g: &ShardedCsr, batch: &QueryBatch) -> Vec<Batch
             .iter()
             .flat_map(|p| run_neighborhood_sharded(g, p.query()))
             .collect(),
-        BatchClass::Single => members
-            .iter()
-            .flat_map(|p| run_single_sharded(g, p.query()))
-            .collect(),
+        BatchClass::PageRank { .. } | BatchClass::KCore { .. } => {
+            run_analytics_sharded(g, members, batch.class())
+        }
     }
 }
 
@@ -342,35 +357,102 @@ fn run_neighborhood_sharded(g: &ShardedCsr, query: &Query) -> Vec<BatchOutcome> 
     }]
 }
 
-/// Whole-graph analytics (PageRank, k-core): the ordinary algorithm over the
-/// sharded snapshot as a plain [`Graph`] — bitwise-identical output — with
-/// the unit's traffic apportioned over shards by edge count (these
-/// algorithms sweep every edge per iteration, so a shard's edge share is its
-/// read share).
-fn run_single_sharded(g: &ShardedCsr, query: &Query) -> Vec<BatchOutcome> {
+/// Whole-graph analytics (PageRank, k-core), any batch size: **one** shared
+/// run of the ordinary algorithm over the sharded snapshot as a plain
+/// [`Graph`] — bitwise-identical output, same-parameter members answered
+/// from the same converged vector / coreness array — with each member's
+/// share of the unit's traffic further apportioned over shards by edge
+/// count (these algorithms sweep every edge per iteration, so a shard's
+/// edge share is its read share). Both splits are word-exact, so
+/// `Σ_s per_shard[s] == traffic` per member and `Σ members == scope`.
+fn run_analytics_sharded(
+    g: &ShardedCsr,
+    members: &[crate::queue::Pending],
+    class: BatchClass,
+) -> Vec<BatchOutcome> {
+    let requests: Vec<Vec<V>> = members
+        .iter()
+        .map(|p| match p.query() {
+            Query::PageRank { vertices, .. } | Query::KCore { vertices, .. } => vertices.clone(),
+            other => unreachable!("non-analytics query {other:?} in an analytics batch"),
+        })
+        .collect();
     let scope = MeterScope::new();
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| scope.enter(|| run_query(g, query))));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        scope.enter(|| {
+            let responses: Vec<Response> = match class {
+                BatchClass::PageRank {
+                    iters,
+                    damping_bits,
+                } => {
+                    let multi = algo::pagerank::pagerank_multi(
+                        g,
+                        crate::query::PAGERANK_EPS,
+                        iters,
+                        f64::from_bits(damping_bits),
+                        &requests,
+                    );
+                    multi
+                        .reports
+                        .into_iter()
+                        .map(|ranks| Response::PageRank {
+                            ranks,
+                            iterations: multi.iterations,
+                        })
+                        .collect()
+                }
+                BatchClass::KCore { k } => {
+                    let multi = algo::kcore::kcore_multi(g, k, &requests);
+                    multi
+                        .reports
+                        .into_iter()
+                        .map(|coreness| Response::KCore {
+                            coreness,
+                            kmax: multi.kmax,
+                        })
+                        .collect()
+                }
+                other => unreachable!("non-analytics class {other:?}"),
+            };
+            // Unbatched parity: one aux read per reported vertex per member.
+            for req in &requests {
+                meter::aux_read(req.len() as u64);
+            }
+            responses
+        })
+    }));
     let seconds = start.elapsed().as_secs_f64();
-    vec![match result {
-        Ok(response) => {
-            let traffic = scope.snapshot();
+    match result {
+        Ok(responses) => {
+            let shares: Vec<u64> = requests.iter().map(|r| (r.len() as u64).max(1)).collect();
+            let member_traffic = split_traffic(scope.snapshot(), &shares);
             let edge_shares: Vec<u64> = (0..g.num_shards())
                 .map(|s| g.shard(s).num_edges() as u64)
                 .collect();
-            let per_shard = split_traffic(traffic, &edge_shares);
-            BatchOutcome {
-                response,
-                traffic,
-                per_shard,
-                seconds,
-            }
+            responses
+                .into_iter()
+                .zip(member_traffic)
+                .map(|(response, traffic)| BatchOutcome {
+                    response,
+                    per_shard: split_traffic(traffic, &edge_shares),
+                    traffic,
+                    seconds,
+                })
+                .collect()
         }
-        Err(payload) => BatchOutcome {
-            response: failed_response(payload),
-            traffic: scope.snapshot(),
-            per_shard: Vec::new(),
-            seconds,
-        },
-    }]
+        Err(payload) => {
+            let splits = split_traffic(scope.snapshot(), &vec![1u64; members.len()]);
+            let response = failed_response(payload);
+            splits
+                .into_iter()
+                .map(|traffic| BatchOutcome {
+                    response: response.clone(),
+                    traffic,
+                    per_shard: Vec::new(),
+                    seconds,
+                })
+                .collect()
+        }
+    }
 }

@@ -5,7 +5,7 @@
 use sage_core::algo;
 use sage_graph::{gen, Graph, V};
 use sage_nvram::Meter;
-use sage_serve::{BatchPolicy, GraphService, Query, Response, ServiceConfig};
+use sage_serve::{BatchPolicy, GraphService, Query, Response, SchedPolicy, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +39,7 @@ fn pagerank_query_matches_direct_run() {
     let service = GraphService::start(g, ServiceConfig::default());
     let r = service.query(Query::PageRank {
         iters: 20,
+        damping: sage_serve::DEFAULT_DAMPING,
         vertices: vec![0, 7, 99],
     });
     match r.response {
@@ -65,6 +66,7 @@ fn kcore_and_connectivity_queries_match() {
     let service = GraphService::start(g, ServiceConfig::default());
 
     let r = service.query(Query::KCore {
+        k: None,
         vertices: vec![1, 2, 500],
     });
     match r.response {
@@ -145,6 +147,10 @@ fn tiny_dram_budget_serializes_queries() {
                 max_batch: 1,
                 ..Default::default()
             },
+            // A-priori estimates only: the measured model would learn that a
+            // BFS is cheaper than its estimate and admit two at once.
+            measured_admission: false,
+            ..Default::default()
         },
     );
     let tickets: Vec<_> = (0..16)
@@ -175,7 +181,10 @@ fn oversized_query_still_runs_alone() {
             ..Default::default()
         },
     );
-    let r = service.query(Query::KCore { vertices: vec![0] });
+    let r = service.query(Query::KCore {
+        k: None,
+        vertices: vec![0],
+    });
     assert_eq!(r.traffic.graph_write, 0);
 }
 
@@ -209,9 +218,11 @@ fn concurrent_mixed_clients_attribute_traffic_per_query() {
                         0 => Query::Bfs { src: pick(i * 13) },
                         1 => Query::PageRank {
                             iters: 5,
+                            damping: sage_serve::DEFAULT_DAMPING,
                             vertices: vec![pick(i)],
                         },
                         2 => Query::KCore {
+                            k: None,
                             vertices: vec![pick(i * 7)],
                         },
                         3 => Query::Connected {
@@ -538,19 +549,28 @@ fn incompatible_requests_keep_their_queue_position() {
         max_batch: 8,
         max_linger: Duration::ZERO,
     };
+    // Arrival-order scheduling: this test is about FIFO fairness across
+    // batch classes, not priority classes.
+    let fifo = SchedPolicy::fifo();
     let mk = |id: u64, q: Query| {
         let (p, _t) = Pending::new(id, q);
         p
     };
     // Arrival order: BFS(0), KCore(1), BFS(2), Neighborhood(3), BFS(4).
     queue.push(mk(0, Query::Bfs { src: 0 }));
-    queue.push(mk(1, Query::KCore { vertices: vec![0] }));
+    queue.push(mk(
+        1,
+        Query::KCore {
+            k: None,
+            vertices: vec![0],
+        },
+    ));
     queue.push(mk(2, Query::Bfs { src: 1 }));
     queue.push(mk(3, Query::Neighborhood { src: 0, hops: 1 }));
     queue.push(mk(4, Query::Bfs { src: 2 }));
 
     // First drain: the BFS head plus both compatible BFS queries behind it.
-    let batch = queue.pop_batch(&policy).unwrap();
+    let batch = queue.pop_batch(&policy, &fifo).unwrap();
     assert_eq!(
         batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
         vec![0, 2, 4],
@@ -562,19 +582,19 @@ fn incompatible_requests_keep_their_queue_position() {
     queue.push(mk(5, Query::Bfs { src: 3 }));
 
     // The k-core query kept the head position it arrived with...
-    let batch = queue.pop_batch(&policy).unwrap();
+    let batch = queue.pop_batch(&policy, &fifo).unwrap();
     assert_eq!(
         batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
         vec![1],
         "the incompatible head must be served next, not re-queued at the tail"
     );
     // ...followed by the neighborhood probe, still ahead of the late BFS.
-    let batch = queue.pop_batch(&policy).unwrap();
+    let batch = queue.pop_batch(&policy, &fifo).unwrap();
     assert_eq!(
         batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
         vec![3]
     );
-    let batch = queue.pop_batch(&policy).unwrap();
+    let batch = queue.pop_batch(&policy, &fifo).unwrap();
     assert_eq!(
         batch.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
         vec![5]
@@ -593,6 +613,7 @@ fn lingering_pop_respects_cap_and_fifo_order() {
     use std::sync::Arc;
 
     let queue = Arc::new(RequestQueue::new(32));
+    let fifo = SchedPolicy::fifo();
     let policy = BatchPolicy {
         max_batch: 4,
         // Generous on purpose: if the cap did not short-circuit the linger,
@@ -624,7 +645,7 @@ fn lingering_pop_respects_cap_and_fifo_order() {
     };
 
     let start = std::time::Instant::now();
-    let batch = queue.pop_batch(&policy).unwrap();
+    let batch = queue.pop_batch(&policy, &fifo).unwrap();
     let elapsed = start.elapsed();
     producer.join().unwrap();
 
@@ -648,39 +669,73 @@ fn lingering_pop_respects_cap_and_fifo_order() {
     };
     let ids =
         |b: sage_serve::batch::QueryBatch| b.members().iter().map(|p| p.id()).collect::<Vec<_>>();
-    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![1]);
-    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![3]);
-    assert_eq!(ids(queue.pop_batch(&zero).unwrap()), vec![6]);
+    assert_eq!(ids(queue.pop_batch(&zero, &fifo).unwrap()), vec![1]);
+    assert_eq!(ids(queue.pop_batch(&zero, &fifo).unwrap()), vec![3]);
+    assert_eq!(ids(queue.pop_batch(&zero, &fifo).unwrap()), vec![6]);
     assert_eq!(queue.depth(), 0);
 }
 
-/// The batch cap respects both the policy and the class limit, and a
-/// `Single`-class query never shares a batch.
+/// The batch cap respects both the policy and the class limit; analytics
+/// queries batch only with *same-parameter* peers (equal `k` for k-core),
+/// and a different-parameter query keeps its queue position.
 #[test]
 fn batch_caps_respect_policy_and_class() {
     use sage_serve::queue::{Pending, RequestQueue};
 
     let queue = RequestQueue::new(128);
+    let fifo = SchedPolicy::fifo();
     let mk = |id: u64, q: Query| Pending::new(id, q).0;
     for i in 0..10 {
         queue.push(mk(i, Query::Bfs { src: 0 }));
     }
     let batch = queue
-        .pop_batch(&BatchPolicy {
-            max_batch: 4,
-            max_linger: Duration::ZERO,
-        })
+        .pop_batch(
+            &BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::ZERO,
+            },
+            &fifo,
+        )
         .unwrap();
     assert_eq!(batch.len(), 4, "policy cap must bound the drain");
     assert_eq!(queue.depth(), 6);
 
-    // Single-class queries always run alone even under a generous policy.
-    queue.push(mk(100, Query::KCore { vertices: vec![0] }));
-    queue.push(mk(101, Query::KCore { vertices: vec![1] }));
+    // Same-k k-core queries share one batch; a different threshold does not.
+    queue.push(mk(
+        100,
+        Query::KCore {
+            k: None,
+            vertices: vec![0],
+        },
+    ));
+    queue.push(mk(
+        101,
+        Query::KCore {
+            k: Some(2),
+            vertices: vec![2],
+        },
+    ));
+    queue.push(mk(
+        102,
+        Query::KCore {
+            k: None,
+            vertices: vec![1],
+        },
+    ));
     // Drain the remaining BFS backlog first.
-    let b = queue.pop_batch(&BatchPolicy::default()).unwrap();
+    let b = queue.pop_batch(&BatchPolicy::default(), &fifo).unwrap();
     assert_eq!(b.len(), 6);
-    let b = queue.pop_batch(&BatchPolicy::default()).unwrap();
-    assert_eq!(b.len(), 1, "Single-class queries must not batch");
-    assert_eq!(b.members()[0].id(), 100);
+    let b = queue.pop_batch(&BatchPolicy::default(), &fifo).unwrap();
+    assert_eq!(
+        b.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![100, 102],
+        "equal-k k-core queries must share one run"
+    );
+    let b = queue.pop_batch(&BatchPolicy::default(), &fifo).unwrap();
+    assert_eq!(
+        b.members().iter().map(|p| p.id()).collect::<Vec<_>>(),
+        vec![101],
+        "a different threshold must not join the batch"
+    );
+    assert_eq!(queue.depth(), 0);
 }

@@ -73,9 +73,11 @@ fn main() -> std::io::Result<()> {
                         0 => Query::Bfs { src: pick(i * 13) },
                         1 => Query::PageRank {
                             iters: 5,
+                            damping: sage_serve::DEFAULT_DAMPING,
                             vertices: vec![pick(i), pick(i + 3)],
                         },
                         2 => Query::KCore {
+                            k: None,
                             vertices: vec![pick(i * 7)],
                         },
                         3 => Query::Connected {

@@ -61,5 +61,6 @@ pub use sage_graph::{
 };
 pub use sage_nvram::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot, NvRegion, NvSlice};
 pub use sage_serve::{
-    GraphService, Query, QueryResult, Response, ServiceConfig, ShardedService, Ticket,
+    CacheStats, GraphService, Priority, Query, QueryResult, Response, SchedPolicy, ServiceConfig,
+    ShardedService, Ticket, DEFAULT_DAMPING,
 };

@@ -49,9 +49,13 @@ fn compressed_snapshot_serves_every_query_class_without_nvram_writes() {
         Query::Bfs { src: 0 },
         Query::PageRank {
             iters: 5,
+            damping: sage_serve::DEFAULT_DAMPING,
             vertices: vec![0, (n - 1) as sage::V],
         },
-        Query::KCore { vertices: vec![0] },
+        Query::KCore {
+            k: None,
+            vertices: vec![0],
+        },
         Query::Connected {
             u: 0,
             v: (n - 1) as sage::V,

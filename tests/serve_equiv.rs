@@ -31,9 +31,11 @@ fn query_mix(n: usize) -> Vec<Query> {
     let mut queries: Vec<Query> = (0..8).map(|i| Query::Bfs { src: pick(i * 7) }).collect();
     queries.push(Query::PageRank {
         iters: 5,
+        damping: sage_serve::DEFAULT_DAMPING,
         vertices: vec![pick(0), pick(3), pick(n - 1)],
     });
     queries.push(Query::KCore {
+        k: None,
         vertices: vec![pick(1), pick(n / 2)],
     });
     queries.push(Query::Connected {

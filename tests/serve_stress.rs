@@ -54,9 +54,11 @@ fn concurrent_queries_over_one_nvram_mapping() {
                         0 => Query::Bfs { src: pick(i * 17) },
                         1 => Query::PageRank {
                             iters: 4,
+                            damping: sage_serve::DEFAULT_DAMPING,
                             vertices: vec![pick(i), pick(i + 9)],
                         },
                         2 => Query::KCore {
+                            k: None,
                             vertices: vec![pick(i * 3)],
                         },
                         3 => Query::Connected {
