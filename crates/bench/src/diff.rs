@@ -32,7 +32,13 @@
 //!   from an analytics backlog, measured in the same run), `pagerank-batched`
 //!   qps ≥ 2× `pagerank-unbatched` (same-parameter analytics batching must
 //!   pay for itself), and `cache-hot` qps ≥ 5× `cache-cold` (an epoch-keyed
-//!   cache hit must be far cheaper than re-running the engine).
+//!   cache hit must be far cheaper than re-running the engine);
+//! * `serve-update` (two contracts): `during-publish` qps ≥ 0.7× `steady`
+//!   qps (readers must keep serving while snapshots are compacted, flushed,
+//!   and swapped underneath them), and — on any record carrying the
+//!   schema-v6 publish fields with a nonzero budget — total publish words
+//!   ≤ budget × publishes (the flush must have stayed inside its per-publish
+//!   NVRAM write budget).
 //!
 //! Environment knobs (for local experimentation, not CI):
 //! `SAGE_BENCH_DIFF_MIN_SECONDS`, `SAGE_BENCH_DIFF_MAX_WALL_REGRESSION`
@@ -62,6 +68,8 @@ pub const MAX_SCHED_POINT_P99_RATIO: f64 = 0.5;
 pub const MIN_SAME_PARAM_BATCH_SPEEDUP: f64 = 2.0;
 /// Required `cache-hot`/`cache-cold` qps ratio in `serve-sched`.
 pub const MIN_CACHE_HIT_SPEEDUP: f64 = 5.0;
+/// Required `during-publish`/`steady` qps ratio in `serve-update`.
+pub const MIN_UPDATE_QPS_RATIO: f64 = 0.7;
 
 /// One parsed bench record (the fields the gate cares about).
 #[derive(Clone, Debug)]
@@ -78,6 +86,12 @@ pub struct DiffRecord {
     pub qps: Option<f64>,
     /// 99th-percentile latency (seconds), for throughput records.
     pub p99: Option<f64>,
+    /// NVRAM words written by the publish pipeline (schema v6 records).
+    pub publish_words: Option<u64>,
+    /// Per-publish write budget in force, 0 = unlimited (schema v6 records).
+    pub publish_budget_words: Option<u64>,
+    /// Snapshots published during the run (schema v6 records).
+    pub publishes: Option<u64>,
 }
 
 /// A parsed report: scale/threads plus its records.
@@ -320,6 +334,15 @@ pub fn parse_report(text: &str) -> Result<Report, String> {
             graph_write: r.get("graph_write").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             qps: r.get("qps").and_then(Json::as_f64),
             p99: r.get("p99_seconds").and_then(Json::as_f64),
+            publish_words: r
+                .get("publish_words")
+                .and_then(Json::as_f64)
+                .map(|x| x as u64),
+            publish_budget_words: r
+                .get("publish_budget_words")
+                .and_then(Json::as_f64)
+                .map(|x| x as u64),
+            publishes: r.get("publishes").and_then(Json::as_f64).map(|x| x as u64),
         });
     }
     Ok(Report {
@@ -345,6 +368,13 @@ fn fold(records: &[DiffRecord]) -> BTreeMap<(String, String), DiffRecord> {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
+                // Publish counters: worst-of words, first-seen budget/count.
+                e.publish_words = match (e.publish_words, r.publish_words) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                e.publish_budget_words = e.publish_budget_words.or(r.publish_budget_words);
+                e.publishes = e.publishes.or(r.publishes);
             })
             .or_insert_with(|| r.clone());
     }
@@ -495,6 +525,41 @@ pub fn diff_reports(fresh: &Report, baseline: &Report, config: &DiffConfig) -> V
         "cache-cold",
         MIN_CACHE_HIT_SPEEDUP,
     ));
+    failures.extend(check_qps_ratio(
+        &fresh_map,
+        "serve-update",
+        "during-publish",
+        "steady",
+        MIN_UPDATE_QPS_RATIO,
+    ));
+    failures.extend(check_publish_budget(&fresh_map));
+    failures
+}
+
+/// The schema-v6 publish contract: on every fresh record carrying publish
+/// counters with a nonzero budget, the pipeline's total NVRAM writes must
+/// fit inside `budget × publishes` (each individual publish was admitted
+/// against the per-publish budget at runtime; this re-checks the recorded
+/// evidence). No-op on reports without publish records.
+fn check_publish_budget(fresh: &BTreeMap<(String, String), DiffRecord>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((experiment, name), r) in fresh {
+        let (Some(words), Some(budget)) = (r.publish_words, r.publish_budget_words) else {
+            continue;
+        };
+        let publishes = r.publishes.unwrap_or(1).max(1);
+        if budget == 0 {
+            continue; // unlimited
+        }
+        println!(
+            "  {experiment}: {name} published {words} words over {publishes} publish(es), budget {budget} words each"
+        );
+        if words > budget.saturating_mul(publishes) {
+            failures.push(format!(
+                "{experiment}/{name}: publish wrote {words} words over {publishes} publish(es), exceeding the {budget}-word per-publish budget"
+            ));
+        }
+    }
     failures
 }
 
@@ -587,6 +652,9 @@ mod tests {
                     graph_write: w,
                     qps: q,
                     p99: q.map(|_| 0.001),
+                    publish_words: None,
+                    publish_budget_words: None,
+                    publishes: None,
                 })
                 .collect(),
         }
@@ -768,6 +836,9 @@ mod tests {
             graph_write: 0,
             qps: Some(qps),
             p99: Some(p99),
+            publish_words: None,
+            publish_budget_words: None,
+            publishes: None,
         }
     }
 
@@ -842,6 +913,98 @@ mod tests {
             .unwrap();
         assert_eq!(r.p99, Some(0.002));
         assert_eq!(r.qps, Some(400.0));
+    }
+
+    fn update_record(name: &'static str, qps: f64, publish: Option<(u64, u64, u64)>) -> DiffRecord {
+        DiffRecord {
+            experiment: "serve-update".to_string(),
+            name: name.to_string(),
+            seconds: 0.1,
+            graph_write: 0,
+            qps: Some(qps),
+            p99: Some(0.001),
+            publish_words: publish.map(|(w, _, _)| w),
+            publish_budget_words: publish.map(|(_, b, _)| b),
+            publishes: publish.map(|(_, _, n)| n),
+        }
+    }
+
+    #[test]
+    fn update_qps_gate() {
+        let base = report(&[]);
+        let good = sched_report(vec![
+            update_record("steady", 1000.0, None),
+            update_record("during-publish", 800.0, Some((4096, 1 << 26, 3))),
+        ]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        let bad = sched_report(vec![
+            update_record("steady", 1000.0, None),
+            update_record("during-publish", 500.0, Some((4096, 1 << 26, 3))),
+        ]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("during-publish"));
+    }
+
+    #[test]
+    fn publish_budget_gate() {
+        let base = report(&[]);
+        // 3 publishes of <= 1000 words each: within budget.
+        let good = sched_report(vec![update_record(
+            "during-publish",
+            1000.0,
+            Some((2500, 1000, 3)),
+        )]);
+        assert!(diff_reports(&good, &base, &DiffConfig::default()).is_empty());
+        // 3001 words over 3 publishes can't all have fit under 1000 each.
+        let bad = sched_report(vec![update_record(
+            "during-publish",
+            1000.0,
+            Some((3001, 1000, 3)),
+        )]);
+        let fails = diff_reports(&bad, &base, &DiffConfig::default());
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("budget"));
+        // Budget 0 means unlimited: never gated.
+        let unlimited = sched_report(vec![update_record(
+            "during-publish",
+            1000.0,
+            Some((1 << 40, 0, 1)),
+        )]);
+        assert!(diff_reports(&unlimited, &base, &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn publish_fields_survive_the_writer_roundtrip() {
+        crate::report::set_experiment("update-roundtrip");
+        crate::report::record_publish(
+            "during-publish",
+            0.1,
+            sage_nvram::MeterSnapshot::default(),
+            crate::report::LatencyStats {
+                queries: 64,
+                clients: 2,
+                qps: 533.3,
+                p50: 0.001,
+                p99: 0.004,
+            },
+            crate::report::PublishStats {
+                publish_words: 4096,
+                publish_budget_words: 1 << 26,
+                publishes: 3,
+                epoch: 3,
+            },
+        );
+        let parsed = parse_report(&crate::report::to_json(8, 2)).unwrap();
+        let r = parsed
+            .records
+            .iter()
+            .find(|r| r.experiment == "update-roundtrip")
+            .unwrap();
+        assert_eq!(r.publish_words, Some(4096));
+        assert_eq!(r.publish_budget_words, Some(1 << 26));
+        assert_eq!(r.publishes, Some(3));
+        assert_eq!(r.qps, Some(533.3));
     }
 
     #[test]

@@ -598,7 +598,7 @@ pub fn numa() {
 /// architecture). Emits a schema-v2 latency record per configuration —
 /// CI uploads the `SAGE_SCALE=8` run as `BENCH_SERVE8.json`.
 pub fn serve() {
-    use sage_serve::{GraphService, Query, ServiceConfig};
+    use sage_serve::{Query, ServiceBuilder};
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -614,13 +614,10 @@ pub fn serve() {
         "\n== serve: rmat-2^{scale} ({n} vertices), {clients} clients x {per_client} mixed queries =="
     );
 
-    let service = Arc::new(GraphService::start(csr, ServiceConfig::default()));
+    let service = Arc::new(ServiceBuilder::new().start(csr));
     // Sources must have out-edges or point queries degenerate to no-ops.
-    let live: Arc<Vec<V>> = Arc::new(
-        (0..n as V)
-            .filter(|&v| service.graph().degree(v) > 0)
-            .collect(),
-    );
+    let snapshot = service.snapshot();
+    let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| snapshot.degree(v) > 0).collect());
     let before = sage_nvram::Meter::global().snapshot();
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -715,7 +712,7 @@ pub fn serve() {
 /// qps/p50/p99 as schema-v2 records (`batched` / `unbatched`). The CI
 /// regression gate (`bench_diff`) asserts batched qps ≥ 2× unbatched.
 pub fn serve_batch() {
-    use sage_serve::{BatchPolicy, GraphService, Query, ServiceConfig, Ticket};
+    use sage_serve::{BatchPolicy, Query, ServiceBuilder, Ticket};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -735,17 +732,15 @@ pub fn serve_batch() {
         let csr = sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E);
         let n = csr.num_vertices();
         let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| csr.degree(v) > 0).collect());
-        let service = Arc::new(GraphService::start(
-            csr,
-            ServiceConfig {
-                queue_capacity: clients * per_client,
-                batch: BatchPolicy {
+        let service = Arc::new(
+            ServiceBuilder::new()
+                .queue_capacity(clients * per_client)
+                .batch(BatchPolicy {
                     max_batch,
                     max_linger: Duration::from_micros(200),
-                },
-                ..Default::default()
-            },
-        ));
+                })
+                .start(csr),
+        );
         let t0 = Instant::now();
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -981,7 +976,7 @@ pub fn decode_bw() {
 /// the CSR qps (decode overhead bounded, in exchange for the size ratio
 /// reported in the schema-v3 compression fields).
 pub fn serve_compressed() {
-    use sage_serve::{BatchPolicy, GraphService, Query, Response, ServiceConfig, Ticket};
+    use sage_serve::{BatchPolicy, Query, Response, ServiceBuilder, Ticket};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -1018,17 +1013,15 @@ pub fn serve_compressed() {
         sage_nvram::MeterSnapshot,
         Vec<Response>,
     ) {
-        let service = Arc::new(GraphService::start(
-            g,
-            ServiceConfig {
-                queue_capacity: clients * per_client,
-                batch: BatchPolicy {
+        let service = Arc::new(
+            ServiceBuilder::new()
+                .queue_capacity(clients * per_client)
+                .batch(BatchPolicy {
                     max_batch: batch_size,
                     max_linger: Duration::from_micros(200),
-                },
-                ..Default::default()
-            },
-        ));
+                })
+                .start(g),
+        );
         let t0 = Instant::now();
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -1197,7 +1190,8 @@ pub fn serve_sharded() {
     use sage_graph::{Sharded, ShardedCsr};
     use sage_nvram::{Meter, MeterSnapshot};
     use sage_serve::{
-        BatchPolicy, GraphService, Query, Response, ServiceConfig, ShardedService, Ticket,
+        BatchPolicy, GraphService, Query, Response, ServiceBuilder, ServiceConfig, ShardedService,
+        Ticket,
     };
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -1241,7 +1235,7 @@ pub fn serve_sharded() {
             self.stats().peak_batch
         }
         fn shards(&self) -> usize {
-            self.graph().num_shards()
+            self.snapshot().num_shards()
         }
     }
 
@@ -1390,7 +1384,7 @@ pub fn serve_sharded() {
     let mk_csr = || sage_graph::gen::rmat(scale, 96, sage_graph::gen::RmatParams::web(), 0xC1);
 
     let mono = drive_best(
-        || GraphService::start(mk_csr(), config(clients * per_client)),
+        || ServiceBuilder::from_config(config(clients * per_client)).start(mk_csr()),
         &live,
         clients,
         per_client,
@@ -1415,7 +1409,10 @@ pub fn serve_sharded() {
     let mut sharded4_qps = 0.0f64;
     for k in [1usize, 2, 4] {
         let out = drive_best(
-            || ShardedService::start(ShardedCsr::from_csr(&csr, k), config(clients * per_client)),
+            || {
+                ServiceBuilder::from_config(config(clients * per_client))
+                    .start_sharded(ShardedCsr::from_csr(&csr, k))
+            },
             &live,
             clients,
             per_client,
@@ -1494,7 +1491,7 @@ pub fn serve_sharded() {
 ///    and a cache-enabled service; hits must be bitwise-identical with zero
 ///    graph traffic; gate: hot qps ≥ 5× cold.
 pub fn serve_sched() {
-    use sage_serve::{BatchPolicy, GraphService, Query, QueryResult, ServiceConfig, Ticket};
+    use sage_serve::{BatchPolicy, Query, QueryResult, ServiceBuilder, ServiceConfig, Ticket};
     use std::time::{Duration, Instant};
 
     crate::report::set_experiment("serve-sched");
@@ -1533,10 +1530,12 @@ pub fn serve_sched() {
     // a latency is stamped the moment its query finishes — waiting in
     // submission order would charge early finishers for late ones.
     let replay = |cfg: ServiceConfig| -> (Vec<(f64, QueryResult)>, sage_serve::ServiceStats) {
-        let service = GraphService::start(
-            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
-            cfg,
-        );
+        let service = ServiceBuilder::from_config(cfg).start(sage_graph::gen::rmat(
+            scale,
+            16,
+            sage_graph::gen::RmatParams::default(),
+            0x5E,
+        ));
         let mut slots: Vec<Option<(Instant, Ticket)>> = queries
             .iter()
             .map(|q| Some((Instant::now(), service.submit(q.clone()))))
@@ -1669,18 +1668,19 @@ pub fn serve_sched() {
     let mut pr_qps = Vec::new();
     let mut pr_runs = Vec::new();
     for (name, max_batch) in [("pagerank-unbatched", 1usize), ("pagerank-batched", 64)] {
-        let service = GraphService::start(
-            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
-            ServiceConfig {
-                workers: 2,
-                queue_capacity: pr_backlog.len(),
-                batch: BatchPolicy {
-                    max_batch,
-                    max_linger: Duration::from_micros(500),
-                },
-                ..Default::default()
-            },
-        );
+        let service = ServiceBuilder::new()
+            .workers(2)
+            .queue_capacity(pr_backlog.len())
+            .batch(BatchPolicy {
+                max_batch,
+                max_linger: Duration::from_micros(500),
+            })
+            .start(sage_graph::gen::rmat(
+                scale,
+                16,
+                sage_graph::gen::RmatParams::default(),
+                0x5E,
+            ));
         let before = sage_nvram::Meter::global().snapshot();
         let t0 = Instant::now();
         let tickets: Vec<(Instant, Ticket)> = pr_backlog
@@ -1756,15 +1756,16 @@ pub fn serve_sched() {
     let mut cache_qps = Vec::new();
     let mut cache_responses = Vec::new();
     for (name, cache_bytes) in [("cache-cold", 0u64), ("cache-hot", 4 << 20)] {
-        let service = GraphService::start(
-            sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x5E),
-            ServiceConfig {
-                workers: 2,
-                queue_capacity: 16,
-                cache_bytes,
-                ..Default::default()
-            },
-        );
+        let service = ServiceBuilder::new()
+            .workers(2)
+            .queue_capacity(16)
+            .cache_bytes(cache_bytes)
+            .start(sage_graph::gen::rmat(
+                scale,
+                16,
+                sage_graph::gen::RmatParams::default(),
+                0x5E,
+            ));
         let warm = service.query(hot.clone());
         let t0 = Instant::now();
         let mut latencies = Vec::with_capacity(repeats);
@@ -1821,6 +1822,167 @@ pub fn serve_sched() {
         "hot/cold cache qps ratio: {:.2}x (gate: >= 5x, enforced by bench_diff)",
         cache_qps[1] / cache_qps[0].max(1e-9)
     );
+}
+
+/// Live-update serving: a BFS point-lookup stream measured in steady state
+/// (`steady`) and again while edge-update batches are compacted, flushed
+/// under the NVRAM write budget, and epoch-swapped underneath the readers
+/// (`during-publish`). Emits schema-v2 latency records plus the schema-v6
+/// publish fields; the CI regression gate (`bench_diff`) asserts
+/// during-publish qps ≥ 0.7× steady qps and total publish words within
+/// budget × publishes. Readers are asserted write-free throughout — the
+/// publish pipeline is the only party allowed to touch NVRAM.
+pub fn serve_update() {
+    use sage_core::EdgeUpdate;
+    use sage_serve::{Publishable, Query, ServiceBuilder};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    crate::report::set_experiment("serve-update");
+    let scale = Suite::base_scale();
+    let csr = sage_graph::gen::rmat(scale, 16, sage_graph::gen::RmatParams::default(), 0x0DD);
+    let n = csr.num_vertices();
+    let clients = 2usize;
+    let per_client = 64usize.max(512 / clients.max(1));
+    let publishes = 3u64;
+    // Per-publish budget: the compacted snapshot plus headroom for the
+    // inserted edges. Generous but finite, so the gate is meaningful.
+    let budget = csr.flush_words() * 2;
+    println!(
+        "\n== serve-update: rmat-2^{scale} ({n} vertices), {clients} clients x {per_client} \
+         point lookups, {publishes} publishes (budget {budget} words each) =="
+    );
+    let dir = std::env::temp_dir().join(format!("sage-serve-update-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create publish dir");
+
+    let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| csr.degree(v) > 0).collect());
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .publish_budget_words(budget)
+            .start(csr),
+    );
+
+    // One closed-loop point-lookup pass; returns client-observed latencies.
+    let run_clients = |max_epoch: u64| -> Vec<f64> {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let live = Arc::clone(&live);
+                // sage-lint: allow(thread-spawn) -- open-loop load generator simulating concurrent clients
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let q0 = Instant::now();
+                        let r = service.query(Query::Bfs {
+                            src: live[(c * 131 + i * 17) % live.len()],
+                        });
+                        latencies.push(q0.elapsed().as_secs_f64());
+                        assert_eq!(r.traffic.graph_write, 0, "reader wrote NVRAM");
+                        assert!(r.epoch <= max_epoch, "answer from an unpublished epoch");
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    };
+
+    // Phase 1: steady state — no publishes in flight.
+    let t0 = Instant::now();
+    let mut latencies = run_clients(0);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let steady = crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed);
+    crate::report::record_latency(
+        "steady",
+        elapsed,
+        sage_nvram::MeterSnapshot::default(),
+        steady,
+    );
+
+    // Phase 2: the same stream while edge-update batches land concurrently.
+    let publisher = {
+        let service = Arc::clone(&service);
+        let live = Arc::clone(&live);
+        let dir = dir.clone();
+        // sage-lint: allow(thread-spawn) -- ingestion pipeline running beside the readers
+        std::thread::spawn(move || {
+            let mut words = 0u64;
+            for p in 0..publishes {
+                let pick = |k: u64| live[(p * 977 + k) as usize % live.len()];
+                let updates = [
+                    EdgeUpdate::insert(pick(1), pick(3)),
+                    EdgeUpdate::insert(pick(5), pick(8)),
+                    EdgeUpdate::delete(pick(1), pick(3)),
+                ];
+                let report = service
+                    .publish_updates(&updates, &dir.join(format!("epoch-{}.sage", p + 1)))
+                    .expect("publish within budget");
+                assert_eq!(report.epoch, p + 1, "epochs advance one per publish");
+                assert_eq!(report.traffic.graph_write, report.graph_write);
+                words += report.graph_write;
+            }
+            words
+        })
+    };
+    let t0 = Instant::now();
+    let mut latencies = run_clients(publishes);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let words = publisher.join().expect("publisher thread");
+    let during = crate::report::LatencyStats::from_latencies(&mut latencies, clients, elapsed);
+    let stats = service.stats();
+    assert_eq!(
+        (stats.publishes, stats.epoch),
+        (publishes, publishes),
+        "every publish must have landed"
+    );
+    crate::report::record_publish(
+        "during-publish",
+        elapsed,
+        sage_nvram::MeterSnapshot::default(),
+        during,
+        crate::report::PublishStats {
+            publish_words: words,
+            publish_budget_words: budget,
+            publishes,
+            epoch: stats.epoch,
+        },
+    );
+
+    print_table(
+        "serve-update throughput",
+        &["queries", "qps", "p50 ms", "p99 ms", "publish words"],
+        &[
+            (
+                "steady".to_string(),
+                vec![
+                    format!("{}", steady.queries),
+                    format!("{:.1}", steady.qps),
+                    format!("{:.3}", steady.p50 * 1e3),
+                    format!("{:.3}", steady.p99 * 1e3),
+                    "0".to_string(),
+                ],
+            ),
+            (
+                "during-publish".to_string(),
+                vec![
+                    format!("{}", during.queries),
+                    format!("{:.1}", during.qps),
+                    format!("{:.3}", during.p50 * 1e3),
+                    format!("{:.3}", during.p99 * 1e3),
+                    format!("{words}"),
+                ],
+            ),
+        ],
+    );
+    println!(
+        "during-publish/steady qps ratio: {:.2}x (gate: >= 0.7x, enforced by bench_diff); \
+         {words} publish words over {publishes} publishes (budget {budget} each)",
+        during.qps / steady.qps.max(1e-9)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Run everything (the `all` subcommand).

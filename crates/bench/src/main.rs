@@ -4,7 +4,7 @@
 //! sage-bench <experiment>... [SAGE_SCALE=17] [SAGE_THREADS=N]
 //!   fig1 fig2 fig6 fig7 table1 table2 table3 table4 table5 numa
 //!   serve serve-batch decode-bw serve-compressed serve-sharded
-//!   serve-sched all
+//!   serve-sched serve-update all
 //! ```
 //!
 //! Several experiments may be named in one invocation; they run in order and
@@ -20,7 +20,10 @@
 //! fields. `serve-sched` compares FIFO dispatch against deadline classes,
 //! same-parameter PageRank batching against per-query runs, and a hot
 //! result cache against cold re-execution, emitting the schema-v5
-//! scheduler/cache fields.
+//! scheduler/cache fields. `serve-update` measures a point-lookup stream in
+//! steady state and again while edge-update batches are compacted, flushed
+//! under the NVRAM write budget, and epoch-swapped underneath the readers,
+//! emitting the schema-v6 publish fields.
 //!
 //! When `SAGE_BENCH_JSON=<path>` is set, every timed run is additionally
 //! written to `<path>` as machine-readable JSON (see `sage_bench::report`),
@@ -65,12 +68,13 @@ fn main() {
             "serve-compressed" => sage_bench::experiments::serve_compressed(),
             "serve-sharded" => sage_bench::experiments::serve_sharded(),
             "serve-sched" => sage_bench::experiments::serve_sched(),
+            "serve-update" => sage_bench::experiments::serve_update(),
             "all" => sage_bench::experiments::all(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 eprintln!(
                     "choose from: fig1 fig2 fig6 fig7 table1..table5 numa serve serve-batch \
-                     decode-bw serve-compressed serve-sharded serve-sched all"
+                     decode-bw serve-compressed serve-sharded serve-sched serve-update all"
                 );
                 std::process::exit(2);
             }

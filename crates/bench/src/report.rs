@@ -17,12 +17,16 @@
 //! shard count and each shard's aggregate attributed traffic; schema v5 adds
 //! optional *scheduler* fields (records of an SLO-aware serving run, e.g. in
 //! `serve-sched`) carrying per-priority-class completion counts and
-//! latencies, scheduler counters, and result-cache hit statistics. Every
-//! earlier field is unchanged, so v1/v2/v3/v4 consumers keep working:
+//! latencies, scheduler counters, and result-cache hit statistics; schema v6
+//! adds optional *publish* fields (records of a live-update serving run,
+//! e.g. in `serve-update`) carrying the NVRAM words written by the publish
+//! pipeline, the write budget in force, the number of publishes, and the
+//! final epoch. Every earlier field is unchanged, so v1..v5 consumers keep
+//! working:
 //!
 //! ```json
 //! {
-//!   "schema": 5,
+//!   "schema": 6,
 //!   "scale": 8,
 //!   "threads": 2,
 //!   "records": [
@@ -50,7 +54,13 @@
 //!      "cache_hits": 12, "cache_misses": 52,
 //!      "aged_promotions": 1, "preemptions": 9,
 //!      "completed_point_lookups": 40, "completed_probes": 0,
-//!      "completed_analytics": 24}
+//!      "completed_analytics": 24},
+//!     {"experiment": "serve-update", "name": "during-publish", "seconds": 0.1,
+//!      "graph_read": 10, "graph_write": 0, "aux_read": 5, "aux_write": 3,
+//!      "queries": 64, "clients": 2, "qps": 533.3,
+//!      "p50_seconds": 0.001, "p99_seconds": 0.004,
+//!      "publish_words": 4096, "publish_budget_words": 67108864,
+//!      "publishes": 3, "epoch": 3}
 //!   ]
 //! }
 //! ```
@@ -121,6 +131,22 @@ pub struct SchedStats {
     pub completed_analytics: u64,
 }
 
+/// Publish-side counters of a live-update serving run (schema v6): what the
+/// ingestion pipeline wrote to NVRAM, under which budget, and where the
+/// epoch ended up.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PublishStats {
+    /// NVRAM words written by the publish pipeline across the run (the sum
+    /// of every `PublishReport::graph_write`; the one sanctioned write).
+    pub publish_words: u64,
+    /// Per-publish write budget in force (0 = unlimited).
+    pub publish_budget_words: u64,
+    /// Snapshots published during the run.
+    pub publishes: u64,
+    /// Epoch of the served snapshot when the run ended.
+    pub epoch: u64,
+}
+
 impl LatencyStats {
     /// Compute stats from client-observed per-query latencies (seconds).
     /// `elapsed` is the whole run's wall-clock time.
@@ -157,6 +183,8 @@ pub struct Record {
     pub shard: Option<ShardStats>,
     /// Scheduler/cache counters, for SLO-aware serving runs only (schema v5).
     pub sched: Option<SchedStats>,
+    /// Publish counters, for live-update serving runs only (schema v6).
+    pub publish: Option<PublishStats>,
 }
 
 static CURRENT: Mutex<Option<String>> = Mutex::new(None);
@@ -169,7 +197,7 @@ pub fn set_experiment(label: &str) {
 
 /// Append one record to the sink (called by [`crate::timed`]).
 pub fn record(name: &'static str, seconds: f64, traffic: MeterSnapshot) {
-    record_inner(name, seconds, traffic, None, None, None, None);
+    record_inner(name, seconds, traffic, None, None, None, None, None);
 }
 
 /// Append one throughput record with its latency distribution (schema v2).
@@ -179,7 +207,16 @@ pub fn record_latency(
     traffic: MeterSnapshot,
     latency: LatencyStats,
 ) {
-    record_inner(name, seconds, traffic, Some(latency), None, None, None);
+    record_inner(
+        name,
+        seconds,
+        traffic,
+        Some(latency),
+        None,
+        None,
+        None,
+        None,
+    );
 }
 
 /// Append a record describing an encoded graph (schema v3). `latency` may
@@ -197,6 +234,7 @@ pub fn record_compression(
         traffic,
         latency,
         Some(compression),
+        None,
         None,
         None,
     );
@@ -219,6 +257,7 @@ pub fn record_sharded(
         None,
         Some(shard),
         None,
+        None,
     );
 }
 
@@ -239,9 +278,33 @@ pub fn record_sched(
         None,
         None,
         Some(sched),
+        None,
     );
 }
 
+/// Append a record of a live-update serving run (schema v6), carrying the
+/// throughput distribution plus the publish pipeline's write/budget/epoch
+/// counters.
+pub fn record_publish(
+    name: &'static str,
+    seconds: f64,
+    traffic: MeterSnapshot,
+    latency: LatencyStats,
+    publish: PublishStats,
+) {
+    record_inner(
+        name,
+        seconds,
+        traffic,
+        Some(latency),
+        None,
+        None,
+        None,
+        Some(publish),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn record_inner(
     name: &'static str,
     seconds: f64,
@@ -250,6 +313,7 @@ fn record_inner(
     compression: Option<CompressionStats>,
     shard: Option<ShardStats>,
     sched: Option<SchedStats>,
+    publish: Option<PublishStats>,
 ) {
     let experiment = CURRENT
         .lock()
@@ -265,6 +329,7 @@ fn record_inner(
         compression,
         shard,
         sched,
+        publish,
     });
 }
 
@@ -292,7 +357,7 @@ pub fn to_json(scale: u32, threads: usize) -> String {
     let records = RECORDS.lock().unwrap();
     let mut out = String::with_capacity(128 + records.len() * 160);
     out.push_str(&format!(
-        "{{\n  \"schema\": 5,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
+        "{{\n  \"schema\": 6,\n  \"scale\": {scale},\n  \"threads\": {threads},\n  \"records\": ["
     ));
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -351,6 +416,13 @@ pub fn to_json(scale: u32, threads: usize) -> String {
                 s.completed_point_lookups,
                 s.completed_probes,
                 s.completed_analytics,
+            ));
+        }
+        if let Some(p) = &r.publish {
+            out.push_str(&format!(
+                ", \"publish_words\": {}, \"publish_budget_words\": {}, \
+                 \"publishes\": {}, \"epoch\": {}",
+                p.publish_words, p.publish_budget_words, p.publishes, p.epoch,
             ));
         }
         out.push('}');
@@ -463,8 +535,26 @@ mod tests {
                 completed_analytics: 24,
             },
         );
+        record_publish(
+            "during-publish",
+            0.1,
+            MeterSnapshot::default(),
+            LatencyStats {
+                queries: 64,
+                clients: 2,
+                qps: 533.3,
+                p50: 0.001,
+                p99: 0.004,
+            },
+            PublishStats {
+                publish_words: 4096,
+                publish_budget_words: 1 << 26,
+                publishes: 3,
+                epoch: 3,
+            },
+        );
         let json = to_json(8, 2);
-        assert!(json.starts_with("{\n  \"schema\": 5,"));
+        assert!(json.starts_with("{\n  \"schema\": 6,"));
         assert!(json.contains("\"scale\": 8"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains(
@@ -490,6 +580,10 @@ mod tests {
             "\"shards\": 4, \"per_shard\": [\
              {\"graph_read\": 3, \"graph_write\": 0, \"aux_read\": 1, \"aux_write\": 1}, \
              {\"graph_read\": 4, \"graph_write\": 0, \"aux_read\": 2, \"aux_write\": 1}]"
+        ));
+        assert!(json.contains(
+            "\"publish_words\": 4096, \"publish_budget_words\": 67108864, \
+             \"publishes\": 3, \"epoch\": 3"
         ));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(

@@ -416,6 +416,43 @@ pub fn write_sharded(g: &ShardedCsr, path: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Exact 8-byte words [`write_csr`] will emit for `g` (header + offsets +
+/// edges, padded, + weights), rounded up to whole words. The publish path
+/// gates its write budget on this *before* flushing and meters exactly this
+/// many `graph_write` words after.
+pub fn csr_file_words(g: &Csr) -> u64 {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    let mut bytes = HEADER_BYTES as u64 + (n + 1) * 8 + m * 4;
+    bytes += (8 - bytes % 8) % 8;
+    if g.is_weighted() {
+        bytes += m * 4;
+    }
+    bytes.div_ceil(8)
+}
+
+/// Exact 8-byte words [`write_compressed`] will emit for `g`, rounded up.
+pub fn compressed_file_words(g: &CompressedCsr) -> u64 {
+    let (voffsets, degrees, data) = g.parts();
+    let mut bytes = HEADER_BYTES as u64 + voffsets.len() as u64 * 8 + degrees.len() as u64 * 4;
+    bytes += (8 - bytes % 8) % 8;
+    bytes += data.len() as u64;
+    bytes.div_ceil(8)
+}
+
+/// Exact 8-byte words [`write_sharded`] will emit for `g`: the manifest
+/// (header + boundary table) plus every per-shard file.
+pub fn sharded_file_words(g: &ShardedCsr) -> u64 {
+    let manifest = (HEADER_BYTES as u64 + (g.num_shards() as u64 + 1) * 8).div_ceil(8);
+    let shards: u64 = (0..g.num_shards())
+        .map(|s| match g.shard(s) {
+            ShardRepr::Plain(c) => csr_file_words(c),
+            ShardRepr::Compressed(c) => compressed_file_words(c),
+        })
+        .sum();
+    manifest + shards
+}
+
 /// Load a sharded snapshot written by [`write_sharded`]. Every shard file
 /// becomes its own mapping (or heap copy, under [`Placement::Dram`]); plain
 /// and compressed shards may mix freely — each file's own header says which
@@ -637,6 +674,49 @@ mod tests {
         assert!(nv.on_nvram());
         graphs_equal(&g, &nv);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_words_match_bytes_on_disk() {
+        let words = |len: u64| len.div_ceil(8);
+        let g = gen::rmat(8, 8, gen::RmatParams::default(), 3);
+        let p = tmp("words-csr");
+        write_csr(&g, &p).unwrap();
+        assert_eq!(
+            csr_file_words(&g),
+            words(std::fs::metadata(&p).unwrap().len())
+        );
+        std::fs::remove_file(&p).unwrap();
+
+        let wlist = gen::rmat_edges(8, 8, gen::RmatParams::default(), 5).with_random_weights(7);
+        let wg = crate::build_csr(wlist, crate::BuildOptions::default());
+        let pw = tmp("words-csrw");
+        write_csr(&wg, &pw).unwrap();
+        assert_eq!(
+            csr_file_words(&wg),
+            words(std::fs::metadata(&pw).unwrap().len())
+        );
+        std::fs::remove_file(&pw).unwrap();
+
+        let c = CompressedCsr::from_csr(&g, 64);
+        let pc = tmp("words-comp");
+        write_compressed(&c, &pc).unwrap();
+        assert_eq!(
+            compressed_file_words(&c),
+            words(std::fs::metadata(&pc).unwrap().len())
+        );
+        std::fs::remove_file(&pc).unwrap();
+
+        let s = ShardedCsr::from_csr(&g, 3);
+        let ps = tmp("words-shard");
+        write_sharded(&s, &ps).unwrap();
+        let mut on_disk = words(std::fs::metadata(&ps).unwrap().len());
+        for i in 0..s.num_shards() {
+            on_disk += words(std::fs::metadata(shard_path(&ps, i)).unwrap().len());
+            std::fs::remove_file(shard_path(&ps, i)).unwrap();
+        }
+        assert_eq!(sharded_file_words(&s), on_disk);
+        std::fs::remove_file(&ps).unwrap();
     }
 
     #[test]

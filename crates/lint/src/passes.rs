@@ -107,6 +107,7 @@ impl<'a> FileClass<'a> {
             fence_file: rel == "crates/parallel/src/pool.rs"
                 || rel == "vendor/crossbeam-deque/src/deque.rs",
             graph_write_ok: rel == "crates/nvram/src/meter.rs"
+                || rel == "crates/nvram/src/publish.rs"
                 || rel == "crates/baselines/src/gbbs.rs",
             mmap_file: rel == "crates/nvram/src/mmap.rs",
             in_nvram,
@@ -367,8 +368,10 @@ fn line_has_leading_use(toks: &[Token], i: usize) -> bool {
 /// Pass 3 — semi-asymmetry write-discipline.
 ///
 /// * `meter::graph_write(..)` may only be *called* from the allowlist
-///   (the meter itself and the deliberately write-heavy GBBS baseline);
-///   everywhere else a nonzero graph write is a bug by definition.
+///   (the meter itself, the publish write-accounting module — the one
+///   sanctioned snapshot-flush path — and the deliberately write-heavy
+///   GBBS baseline); everywhere else a nonzero graph write is a bug by
+///   definition.
 /// * mmap protection/flag constants stay inside `crates/nvram/src/mmap.rs`,
 ///   the single audited place a mapping is created.
 /// * Outside `crates/nvram`, an NVRAM view type (`NvSlice`/`NvRegion`/

@@ -26,9 +26,11 @@ pub mod alloc_track;
 pub mod memmode;
 pub mod meter;
 pub mod mmap;
+pub mod publish;
 pub mod region;
 
 pub use memmode::DirectMappedCache;
 pub use meter::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot};
 pub use mmap::MmapFile;
+pub use publish::{charge_publish_write, BudgetExceeded, WriteBudget};
 pub use region::{NvRegion, NvSlice, Pod};

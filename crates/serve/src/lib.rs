@@ -39,14 +39,23 @@
 //! on the shared work-stealing pool, with meter scope and arena following
 //! the tasks via `sage_parallel::context`.
 //!
+//! Snapshots are **live-updatable**: a [`DeltaOverlay`]
+//! absorbs batched edge updates in DRAM, and
+//! [`GraphService::publish_updates`] compacts base + delta into a fresh
+//! snapshot, flushes it to NVRAM under a [write budget](sage_nvram::WriteBudget)
+//! (the one sanctioned `graph_write` site), and atomically swaps the serving
+//! snapshot — in-flight queries keep the old epoch, and every result is
+//! tagged with the epoch it answered from ([`QueryResult::epoch`]).
+//!
 //! ```
-//! use sage_serve::{GraphService, Query, Response, ServiceConfig};
+//! use sage_serve::{Query, Response, ServiceBuilder};
 //! use sage_graph::gen;
 //!
 //! let g = gen::rmat(8, 8, gen::RmatParams::default(), 7);
-//! let service = GraphService::start(g, ServiceConfig::default());
+//! let service = ServiceBuilder::new().start(g);
 //! let result = service.query(Query::Bfs { src: 0 });
 //! assert_eq!(result.traffic.graph_write, 0); // Sage never writes the graph
+//! assert_eq!(result.epoch, 0); // answered from the initial snapshot
 //! match result.response {
 //!     Response::Bfs { reached, .. } => assert!(reached >= 1),
 //!     _ => unreachable!(),
@@ -59,6 +68,7 @@ pub mod cache;
 mod query;
 pub mod queue;
 pub mod sharded;
+pub mod snapshot;
 
 pub use admission::{
     batch_estimate, batch_estimate_for, dram_estimate, dram_estimate_for, CostKind, MeasuredCost,
@@ -68,12 +78,14 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use query::{BatchClass, Priority, Query, QueryResult, Response, DEFAULT_DAMPING};
 pub use queue::{BatchPolicy, SchedCounters, SchedPolicy, Ticket};
 pub use sharded::ShardedService;
+pub use snapshot::{PublishError, PublishReport, Publishable, ServiceBuilder, Snapshot};
 
 use admission::DramBudget;
 use queue::{Pending, RequestQueue};
-use sage_core::QueryArena;
+use sage_core::{DeltaOverlay, QueryArena};
 use sage_graph::Graph;
-use sage_nvram::{meter, MeterScope};
+use sage_nvram::{meter, MeterScope, WriteBudget};
+use snapshot::SnapshotCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -109,6 +121,11 @@ pub struct ServiceConfig {
     /// safety clamp. `false` prices everything a-priori (the pre-measured
     /// behaviour; some capacity tests rely on its determinism).
     pub measured_admission: bool,
+    /// NVRAM write budget (8-byte words) one publish may flush
+    /// ([`GraphService::publish_updates`]); `0` = unlimited. The gate runs
+    /// *before* the first word is written, so a refused publish leaves the
+    /// store untouched.
+    pub publish_budget_words: u64,
 }
 
 impl Default for ServiceConfig {
@@ -121,6 +138,7 @@ impl Default for ServiceConfig {
             sched: SchedPolicy::default(),
             cache_bytes: 0,
             measured_admission: true,
+            publish_budget_words: 0,
         }
     }
 }
@@ -202,6 +220,10 @@ pub struct ServiceStats {
     pub completed_probes: u64,
     /// Completed analytics ([`Priority::Analytics`]).
     pub completed_analytics: u64,
+    /// Snapshots published (including bare epoch advances) since start.
+    pub publishes: u64,
+    /// The epoch the service is currently serving (tags every fresh result).
+    pub epoch: u64,
 }
 
 #[derive(Default)]
@@ -217,6 +239,7 @@ struct StatsInner {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     completed_by_class: [AtomicU64; Priority::COUNT],
+    publishes: AtomicU64,
 }
 
 impl StatsInner {
@@ -266,12 +289,17 @@ impl StatsInner {
 /// over a partitioned one ([`ShardedService`]); the queue, admission,
 /// worker, and attribution machinery in [`ServiceCore`] is shared verbatim.
 pub(crate) trait Engine: Send + Sync + 'static {
-    /// Vertex count of the served snapshot (query validation bound).
+    /// Vertex count of the *current* snapshot (query validation bound).
     fn num_vertices(&self) -> usize;
+    /// The epoch the engine is currently serving.
+    fn current_epoch(&self) -> u64;
     /// DRAM bytes one execution unit of `batch` should reserve.
     fn estimate(&self, batch: &QueryBatch) -> u64;
-    /// Execute every member of `batch`, one outcome per member, in order.
-    fn run(&self, batch: &QueryBatch) -> Vec<batch::BatchOutcome>;
+    /// Execute every member of `batch`, one outcome per member, in order,
+    /// against **one** snapshot version loaded at unit start; returns the
+    /// epoch of that snapshot so results and cache keys tag the graph that
+    /// actually answered them (a publish mid-run never mixes epochs).
+    fn run(&self, batch: &QueryBatch) -> (u64, Vec<batch::BatchOutcome>);
 }
 
 struct Shared<E> {
@@ -287,10 +315,8 @@ struct Shared<E> {
     /// `measured_admission` is off, so it can be inspected).
     measured: MeasuredCost,
     measured_admission: bool,
-    /// Snapshot epoch: part of every cache key. Bumping it invalidates the
-    /// cache — the hook a live-update path will publish new snapshots
-    /// through.
-    epoch: AtomicU64,
+    /// Per-publish NVRAM write cap (see [`ServiceConfig::publish_budget_words`]).
+    publish_budget: WriteBudget,
 }
 
 /// Engine-generic service chassis: bounded queue, FIFO DRAM admission,
@@ -328,7 +354,7 @@ impl<E: Engine> ServiceCore<E> {
             cache: (config.cache_bytes > 0).then(|| ResultCache::new(config.cache_bytes)),
             measured: MeasuredCost::new(),
             measured_admission: config.measured_admission,
-            epoch: AtomicU64::new(0),
+            publish_budget: WriteBudget::new(config.publish_budget_words),
         });
         let workers = (0..if config.workers == 0 {
             4
@@ -364,7 +390,7 @@ impl<E: Engine> ServiceCore<E> {
         // Cache lookup on the submitting thread: a hit never touches the
         // queue, the budget, or the engine.
         if let Some(cache) = &self.shared.cache {
-            let epoch = self.shared.epoch.load(Ordering::Relaxed);
+            let epoch = self.shared.engine.current_epoch();
             let key = CacheKey::new(&query, epoch);
             if let Some(response) = cache.get(&key) {
                 let pr = query.priority();
@@ -381,6 +407,7 @@ impl<E: Engine> ServiceCore<E> {
                     traffic: scope.snapshot(),
                     per_shard: Vec::new(),
                     seconds: start.elapsed().as_secs_f64(),
+                    epoch: key.epoch(),
                 });
                 self.shared.stats.on_cache_hit(pr);
                 return ticket;
@@ -415,23 +442,30 @@ impl<E: Engine> ServiceCore<E> {
             completed_probes: s.completed_by_class[Priority::Probe.index()].load(Ordering::Relaxed),
             completed_analytics: s.completed_by_class[Priority::Analytics.index()]
                 .load(Ordering::Relaxed),
+            publishes: s.publishes.load(Ordering::Relaxed),
+            epoch: self.shared.engine.current_epoch(),
         }
     }
 
     /// Current snapshot epoch (part of every cache key).
     pub(crate) fn epoch(&self) -> u64 {
-        self.shared.epoch.load(Ordering::Relaxed)
+        self.shared.engine.current_epoch()
     }
 
-    /// Advance the snapshot epoch, invalidating every cached result — the
-    /// hook a live-update path publishes new snapshots through. Returns the
-    /// new epoch.
-    pub(crate) fn advance_epoch(&self) -> u64 {
-        let new = self.shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    /// The bookkeeping half of every publish (after the engine's snapshot
+    /// cell has swapped to `new_epoch`): count it and eagerly invalidate
+    /// cached results minted under older epochs. Returns `new_epoch`.
+    pub(crate) fn note_publish(&self, new_epoch: u64) -> u64 {
+        self.shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.shared.cache {
-            cache.retain_epoch(new);
+            cache.retain_epoch(new_epoch);
         }
-        new
+        new_epoch
+    }
+
+    /// Per-publish NVRAM write cap.
+    pub(crate) fn publish_budget(&self) -> WriteBudget {
+        self.shared.publish_budget
     }
 
     /// Result-cache statistics, if a cache is configured.
@@ -449,47 +483,85 @@ impl<E: Engine> Drop for ServiceCore<E> {
     }
 }
 
-/// The monolithic engine: one graph, the classic `run_batch` execution.
-struct MonoEngine<G>(G);
+/// The monolithic engine: one swappable snapshot, the classic `run_batch`
+/// execution. Each execution unit loads the current version once, so the
+/// epoch it reports and the graph it ran on always agree.
+struct MonoEngine<G> {
+    cell: SnapshotCell<G>,
+}
 
 impl<G: Graph + Send + Sync + 'static> Engine for MonoEngine<G> {
     fn num_vertices(&self) -> usize {
-        self.0.num_vertices()
+        self.cell.load().graph.num_vertices()
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.cell.epoch()
     }
 
     fn estimate(&self, batch: &QueryBatch) -> u64 {
         // Representation-aware: compressed snapshots add a decode-scratch
         // surcharge derived from `Graph::size_bytes`.
-        admission::batch_estimate_for(&self.0, batch)
+        admission::batch_estimate_for(&*self.cell.load().graph, batch)
     }
 
-    fn run(&self, batch: &QueryBatch) -> Vec<batch::BatchOutcome> {
-        batch::run_batch(&self.0, batch)
+    fn run(&self, batch: &QueryBatch) -> (u64, Vec<batch::BatchOutcome>) {
+        let v = self.cell.load();
+        (v.epoch, batch::run_batch(&*v.graph, batch))
     }
 }
 
 /// A concurrent query service over one shared graph snapshot.
 ///
 /// Load the graph once (ideally via `sage_graph::io::load_csr` with
-/// `Placement::Nvram`, so it is physically read-only), start the service,
-/// then submit typed queries from any number of client threads. Dropping the
-/// service closes the queue, drains every accepted request, and joins the
-/// workers.
+/// `Placement::Nvram`, so it is physically read-only), start the service via
+/// [`ServiceBuilder`], then submit typed queries from any number of client
+/// threads. Dropping the service closes the queue, drains every accepted
+/// request, and joins the workers.
+///
+/// The served snapshot is **live-updatable**: [`GraphService::publish`]
+/// atomically swaps in a prepared [`Snapshot`] (advancing the epoch and
+/// invalidating cached results), and [`GraphService::publish_updates`] runs
+/// the whole ingestion pipeline — overlay → compact → budgeted NVRAM flush →
+/// reload → swap. Queries in flight keep the snapshot they started on.
 pub struct GraphService<G: Graph + Send + Sync + 'static> {
     core: ServiceCore<MonoEngine<G>>,
 }
 
 impl<G: Graph + Send + Sync + 'static> GraphService<G> {
     /// Start a service over `graph` with `config` workers/budget/batching.
+    #[deprecated(note = "use `ServiceBuilder` (e.g. \
+                         `ServiceBuilder::from_config(config).start(graph)`)")]
     pub fn start(graph: G, config: ServiceConfig) -> Self {
+        Self::from_snapshot(Snapshot::new(graph), config)
+    }
+
+    pub(crate) fn from_snapshot(snapshot: Snapshot<G>, config: ServiceConfig) -> Self {
         Self {
-            core: ServiceCore::start(MonoEngine(graph), config),
+            core: ServiceCore::start(
+                MonoEngine {
+                    cell: SnapshotCell::new(snapshot.into_arc()),
+                },
+                config,
+            ),
         }
     }
 
-    /// The served graph snapshot.
-    pub fn graph(&self) -> &G {
-        &self.core.engine().0
+    /// A clonable guard over the currently served snapshot (graph + epoch).
+    /// Sound against concurrent publishes: the guard keeps its version of
+    /// the graph alive, unlike the old `graph(&self) -> &G` borrow.
+    pub fn snapshot(&self) -> Snapshot<G> {
+        let v = self.core.engine().cell.load();
+        Snapshot::from_parts(Arc::clone(&v.graph), v.epoch)
+    }
+
+    /// Atomically install `snapshot` as the next epoch. Queries already
+    /// running keep the old snapshot (and their results stay tagged with its
+    /// epoch); cached results from older epochs are invalidated. Returns the
+    /// new epoch.
+    pub fn publish(&self, snapshot: Snapshot<G>) -> u64 {
+        let epoch = self.core.engine().cell.swap(snapshot.into_arc());
+        self.core.note_publish(epoch)
     }
 
     /// Total admitted-DRAM budget in bytes.
@@ -516,22 +588,73 @@ impl<G: Graph + Send + Sync + 'static> GraphService<G> {
         self.core.stats()
     }
 
-    /// Current snapshot epoch (part of every result-cache key).
+    /// Current snapshot epoch (tags every fresh result and result-cache key).
     pub fn epoch(&self) -> u64 {
         self.core.epoch()
     }
 
-    /// Advance the snapshot epoch, invalidating every cached result —
-    /// the hook a live-update path publishes new snapshots through.
-    /// Returns the new epoch.
+    /// Advance the snapshot epoch without changing the graph, invalidating
+    /// every cached result. Returns the new epoch.
+    #[deprecated(note = "epoch advance is the internal half of a publish; \
+                         use `publish` / `publish_updates`")]
     pub fn advance_epoch(&self) -> u64 {
-        self.core.advance_epoch()
+        let epoch = self.core.engine().cell.bump();
+        self.core.note_publish(epoch)
     }
 
     /// Result-cache statistics, if the service was configured with a cache
     /// (`cache_bytes > 0`).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.core.cache_stats()
+    }
+}
+
+impl<G: Publishable> GraphService<G> {
+    /// The full ingestion pipeline, from update batch to served snapshot:
+    ///
+    /// 1. layer a [`DeltaOverlay`] over the current snapshot and apply
+    ///    `updates` (DRAM-only; readers never see the overlay);
+    /// 2. compact base + delta into a fresh CSR and rebuild this service's
+    ///    representation from it, still in DRAM;
+    /// 3. gate on the configured [write budget](ServiceConfig::publish_budget_words)
+    ///    — a refused publish writes **nothing** — then flush to `path`,
+    ///    metering the exact flushed words as `graph_write` under the
+    ///    publish's own scope (the one sanctioned graph-write site);
+    /// 4. reload the flushed snapshot read-only ([`Placement::Nvram`]
+    ///    mapping) and atomically swap it in, advancing the epoch.
+    ///
+    /// Queries in flight throughout keep answering from the old epoch with
+    /// `graph_write == 0`; the returned [`PublishReport`] carries the new
+    /// epoch and the publisher's own metered traffic.
+    ///
+    /// [`Placement::Nvram`]: sage_graph::io::Placement::Nvram
+    pub fn publish_updates(
+        &self,
+        updates: &[sage_core::EdgeUpdate],
+        path: &std::path::Path,
+    ) -> Result<PublishReport, PublishError> {
+        let start = std::time::Instant::now();
+        let current = self.core.engine().cell.load();
+        let budget = self.core.publish_budget();
+        let scope = MeterScope::new();
+        let (served, words) = scope.enter(|| -> Result<(G, u64), PublishError> {
+            let mut overlay = DeltaOverlay::new(Arc::clone(&current.graph));
+            overlay.apply(updates);
+            let rebuilt = current.graph.rebuild(overlay.compact());
+            let words = rebuilt.flush_words();
+            budget.admit(words)?;
+            rebuilt.flush(path)?;
+            sage_nvram::charge_publish_write(words);
+            Ok((G::reload(path)?, words))
+        })?;
+        let epoch = self.core.engine().cell.swap(Arc::new(served));
+        self.core.note_publish(epoch);
+        Ok(PublishReport {
+            epoch,
+            graph_write: words,
+            traffic: scope.snapshot(),
+            seconds: start.elapsed().as_secs_f64(),
+        })
     }
 }
 
@@ -568,16 +691,17 @@ fn worker_loop<E: Engine>(shared: &Shared<E>) {
         };
         let grant = shared.budget.acquire(estimate);
         shared.stats.on_admit(members, grant);
-        // Key cached results by the epoch the unit *started* under: if the
-        // epoch advances mid-run, the stale-keyed insert can never be
-        // returned to a post-advance lookup.
-        let epoch = shared.epoch.load(Ordering::Relaxed);
         // Engine panics are contained inside the engine's `run` (per
         // execution unit), so the worker survives and no ticket is ever
         // stranded. Each outcome carries the wall time of the engine run
         // that answered it (the member's own run, or the shared
         // traversal/labeling) — not the whole batch's sequential wall clock.
-        let outcomes = arena.enter(|| shared.engine.run(&batch));
+        // The engine also reports the epoch of the snapshot version it
+        // loaded for this unit, so cached results and result tags always
+        // name the graph that actually answered: if a publish lands mid-run,
+        // the stale-keyed insert can never be returned to a post-publish
+        // lookup.
+        let (epoch, outcomes) = arena.enter(|| shared.engine.run(&batch));
         shared.stats.on_finish(members, grant);
         shared.budget.release(grant);
         debug_assert_eq!(outcomes.len(), batch.len());
@@ -600,6 +724,7 @@ fn worker_loop<E: Engine>(shared: &Shared<E>) {
                 traffic: outcome.traffic,
                 per_shard: outcome.per_shard,
                 seconds: outcome.seconds,
+                epoch,
             });
         }
     }

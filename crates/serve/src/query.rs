@@ -299,6 +299,11 @@ pub struct QueryResult {
     /// isolation, or the shared traversal/labeling when it was answered as
     /// part of a batch.
     pub seconds: f64,
+    /// Epoch of the snapshot that answered this query. A result produced
+    /// while a publish is in flight keeps the epoch of the snapshot it
+    /// actually ran on, so clients can tell exactly which graph version
+    /// their answer reflects.
+    pub epoch: u64,
 }
 
 /// Execute `query` against `g`. Pure: all service machinery (metering,

@@ -41,12 +41,14 @@ use crate::admission;
 use crate::batch::{failed_response, split_traffic, BatchOutcome, QueryBatch};
 use crate::query::{BatchClass, Query, Response};
 use crate::queue::Ticket;
+use crate::snapshot::{PublishError, PublishReport, Publishable, Snapshot, SnapshotCell};
 use crate::{Engine, Query as Q, QueryResult, ServiceConfig, ServiceCore, ServiceStats};
 use sage_core::algo;
 use sage_core::sharded::{connectivity_sharded, msbfs_levels_sharded, MeterShardScopes, ShardHook};
 use sage_graph::{Graph, Sharded, ShardedCsr, V};
 use sage_nvram::{meter, MeterScope, MeterSnapshot};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A concurrent query service over a partitioned snapshot — same request
@@ -59,15 +61,69 @@ pub struct ShardedService {
 
 impl ShardedService {
     /// Start a service over the sharded snapshot.
+    #[deprecated(note = "use `ServiceBuilder` (e.g. \
+                         `ServiceBuilder::from_config(config).start_sharded(graph)`)")]
     pub fn start(graph: ShardedCsr, config: ServiceConfig) -> Self {
+        Self::from_snapshot(Snapshot::new(graph), config)
+    }
+
+    pub(crate) fn from_snapshot(snapshot: Snapshot<ShardedCsr>, config: ServiceConfig) -> Self {
         Self {
-            core: ServiceCore::start(ShardedEngine { graph }, config),
+            core: ServiceCore::start(
+                ShardedEngine {
+                    cell: SnapshotCell::new(snapshot.into_arc()),
+                },
+                config,
+            ),
         }
     }
 
-    /// The served sharded snapshot.
-    pub fn graph(&self) -> &ShardedCsr {
-        &self.core.engine().graph
+    /// A clonable guard over the currently served snapshot (graph + epoch),
+    /// sound against concurrent publishes.
+    pub fn snapshot(&self) -> Snapshot<ShardedCsr> {
+        let v = self.core.engine().cell.load();
+        Snapshot::from_parts(Arc::clone(&v.graph), v.epoch)
+    }
+
+    /// Atomically install `snapshot` as the next epoch (see
+    /// [`GraphService::publish`](crate::GraphService::publish)). Returns the
+    /// new epoch.
+    pub fn publish(&self, snapshot: Snapshot<ShardedCsr>) -> u64 {
+        let epoch = self.core.engine().cell.swap(snapshot.into_arc());
+        self.core.note_publish(epoch)
+    }
+
+    /// The full ingestion pipeline over the sharded snapshot — overlay →
+    /// compact → rebuild with the same shard count and representation →
+    /// budgeted NVRAM flush → reload → swap. See
+    /// [`GraphService::publish_updates`](crate::GraphService::publish_updates).
+    pub fn publish_updates(
+        &self,
+        updates: &[sage_core::EdgeUpdate],
+        path: &std::path::Path,
+    ) -> Result<PublishReport, PublishError> {
+        let start = Instant::now();
+        let current = self.core.engine().cell.load();
+        let budget = self.core.publish_budget();
+        let scope = MeterScope::new();
+        let (served, words) = scope.enter(|| -> Result<(ShardedCsr, u64), PublishError> {
+            let mut overlay = sage_core::DeltaOverlay::new(Arc::clone(&current.graph));
+            overlay.apply(updates);
+            let rebuilt = current.graph.rebuild(overlay.compact());
+            let words = rebuilt.flush_words();
+            budget.admit(words)?;
+            rebuilt.flush(path)?;
+            sage_nvram::charge_publish_write(words);
+            Ok((ShardedCsr::reload(path)?, words))
+        })?;
+        let epoch = self.core.engine().cell.swap(Arc::new(served));
+        self.core.note_publish(epoch);
+        Ok(PublishReport {
+            epoch,
+            graph_write: words,
+            traffic: scope.snapshot(),
+            seconds: start.elapsed().as_secs_f64(),
+        })
     }
 
     /// Total admitted-DRAM budget in bytes.
@@ -93,15 +149,18 @@ impl ShardedService {
         self.core.stats()
     }
 
-    /// Current snapshot epoch (part of every result-cache key).
+    /// Current snapshot epoch (tags every fresh result and result-cache key).
     pub fn epoch(&self) -> u64 {
         self.core.epoch()
     }
 
-    /// Advance the snapshot epoch, invalidating every cached result.
-    /// Returns the new epoch.
+    /// Advance the snapshot epoch without changing the graph, invalidating
+    /// every cached result. Returns the new epoch.
+    #[deprecated(note = "epoch advance is the internal half of a publish; \
+                         use `publish` / `publish_updates`")]
     pub fn advance_epoch(&self) -> u64 {
-        self.core.advance_epoch()
+        let epoch = self.core.engine().cell.bump();
+        self.core.note_publish(epoch)
     }
 
     /// Result-cache statistics, if the service was configured with a cache.
@@ -111,20 +170,25 @@ impl ShardedService {
 }
 
 struct ShardedEngine {
-    graph: ShardedCsr,
+    cell: SnapshotCell<ShardedCsr>,
 }
 
 impl Engine for ShardedEngine {
     fn num_vertices(&self) -> usize {
-        self.graph.num_vertices()
+        self.cell.load().graph.num_vertices()
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.cell.epoch()
     }
 
     fn estimate(&self, batch: &QueryBatch) -> u64 {
-        admission::sharded_batch_estimate_for(&self.graph, batch)
+        admission::sharded_batch_estimate_for(&self.cell.load().graph, batch)
     }
 
-    fn run(&self, batch: &QueryBatch) -> Vec<BatchOutcome> {
-        run_batch_sharded(&self.graph, batch)
+    fn run(&self, batch: &QueryBatch) -> (u64, Vec<BatchOutcome>) {
+        let v = self.cell.load();
+        (v.epoch, run_batch_sharded(&v.graph, batch))
     }
 }
 

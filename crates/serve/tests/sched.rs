@@ -4,7 +4,7 @@
 
 use sage_serve::queue::{Pending, RequestQueue};
 use sage_serve::{
-    BatchPolicy, GraphService, Priority, Query, SchedPolicy, ServiceConfig, DEFAULT_DAMPING,
+    BatchPolicy, Priority, Query, SchedPolicy, ServiceBuilder, ServiceConfig, DEFAULT_DAMPING,
 };
 use std::time::Duration;
 
@@ -148,21 +148,22 @@ fn same_parameter_pagerank_batches_together() {
 /// absorbed into the forming batch — without ever violating `max_batch`.
 #[test]
 fn linger_raises_batch_occupancy_under_trickle() {
-    let service = GraphService::start(
-        sage_graph::gen::rmat(9, 8, sage_graph::gen::RmatParams::default(), 7),
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 32,
-            dram_budget_bytes: 256 << 20,
-            batch: BatchPolicy {
-                max_batch: 4,
-                // Much longer than the trickle gap: the first worker holds
-                // the batch open and absorbs the stream.
-                max_linger: Duration::from_millis(500),
-            },
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(32)
+        .dram_budget_bytes(256 << 20)
+        .batch(BatchPolicy {
+            max_batch: 4,
+            // Much longer than the trickle gap: the first worker holds
+            // the batch open and absorbs the stream.
+            max_linger: Duration::from_millis(500),
+        })
+        .start(sage_graph::gen::rmat(
+            9,
+            8,
+            sage_graph::gen::RmatParams::default(),
+            7,
+        ));
     let tickets: Vec<_> = (0..8)
         .map(|i| {
             std::thread::sleep(Duration::from_millis(3));
@@ -188,15 +189,16 @@ fn linger_raises_batch_occupancy_under_trickle() {
 /// counters surface through `ServiceStats`.
 #[test]
 fn per_class_completion_stats() {
-    let service = GraphService::start(
-        sage_graph::gen::rmat(9, 8, sage_graph::gen::RmatParams::default(), 7),
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 32,
-            dram_budget_bytes: 256 << 20,
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(32)
+        .dram_budget_bytes(256 << 20)
+        .start(sage_graph::gen::rmat(
+            9,
+            8,
+            sage_graph::gen::RmatParams::default(),
+            7,
+        ));
     let mut tickets = Vec::new();
     for i in 0..6 {
         tickets.push(service.submit(Query::Bfs { src: i }));

@@ -5,7 +5,7 @@
 use sage_core::algo;
 use sage_graph::{gen, Graph, V};
 use sage_nvram::Meter;
-use sage_serve::{BatchPolicy, GraphService, Query, Response, SchedPolicy, ServiceConfig};
+use sage_serve::{BatchPolicy, Query, Response, SchedPolicy, ServiceBuilder};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,7 +17,7 @@ fn test_graph() -> sage_graph::Csr {
 fn bfs_query_matches_direct_run() {
     let g = test_graph();
     let (expect, _) = algo::bfs::bfs_levels(&g, 3);
-    let service = GraphService::start(g, ServiceConfig::default());
+    let service = ServiceBuilder::new().start(g);
     let r = service.query(Query::Bfs { src: 3 });
     match r.response {
         Response::Bfs { levels, reached } => {
@@ -36,7 +36,7 @@ fn bfs_query_matches_direct_run() {
 fn pagerank_query_matches_direct_run() {
     let g = test_graph();
     let direct = algo::pagerank::pagerank(&g, 1e-6, 20);
-    let service = GraphService::start(g, ServiceConfig::default());
+    let service = ServiceBuilder::new().start(g);
     let r = service.query(Query::PageRank {
         iters: 20,
         damping: sage_serve::DEFAULT_DAMPING,
@@ -63,7 +63,7 @@ fn kcore_and_connectivity_queries_match() {
     let kc = algo::kcore::kcore(&g);
     let labels = algo::connectivity::connectivity(&g, 0.2, 1);
     let comps = algo::connectivity::num_components(&labels);
-    let service = GraphService::start(g, ServiceConfig::default());
+    let service = ServiceBuilder::new().start(g);
 
     let r = service.query(Query::KCore {
         k: None,
@@ -106,7 +106,7 @@ fn neighborhood_queries_match_adjacency() {
         set.dedup();
         set.retain(|&v| v != 5);
     }
-    let service = GraphService::start(g, ServiceConfig::default());
+    let service = ServiceBuilder::new().start(g);
     match service
         .query(Query::Neighborhood { src: 5, hops: 1 })
         .response
@@ -126,7 +126,7 @@ fn neighborhood_queries_match_adjacency() {
 #[test]
 #[should_panic(expected = "out of range")]
 fn out_of_range_query_panics_at_submit() {
-    let service = GraphService::start(gen::path(10), ServiceConfig::default());
+    let service = ServiceBuilder::new().start(gen::path(10));
     let _ = service.submit(Query::Bfs { src: 1000 });
 }
 
@@ -136,23 +136,19 @@ fn tiny_dram_budget_serializes_queries() {
     let n = g.num_vertices();
     // Budget below two BFS estimates: peak concurrency must stay at 1 even
     // with 4 workers and a deep backlog.
-    let service = GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 4,
-            queue_capacity: 64,
-            dram_budget_bytes: sage_serve::dram_estimate(n, &Query::Bfs { src: 0 }) + 1,
-            // Disable batching: this test is about per-query admission.
-            batch: BatchPolicy {
-                max_batch: 1,
-                ..Default::default()
-            },
-            // A-priori estimates only: the measured model would learn that a
-            // BFS is cheaper than its estimate and admit two at once.
-            measured_admission: false,
+    let service = ServiceBuilder::new()
+        .workers(4)
+        .queue_capacity(64)
+        .dram_budget_bytes(sage_serve::dram_estimate(n, &Query::Bfs { src: 0 }) + 1)
+        // Disable batching: this test is about per-query admission.
+        .batch(BatchPolicy {
+            max_batch: 1,
             ..Default::default()
-        },
-    );
+        })
+        // A-priori estimates only: the measured model would learn that a
+        // BFS is cheaper than its estimate and admit two at once.
+        .measured_admission(false)
+        .start(g);
     let tickets: Vec<_> = (0..16)
         .map(|i| service.submit(Query::Bfs { src: i % 50 }))
         .collect();
@@ -172,15 +168,11 @@ fn tiny_dram_budget_serializes_queries() {
 fn oversized_query_still_runs_alone() {
     let g = test_graph();
     // Budget far below any single estimate: grants clamp, queries proceed.
-    let service = GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 8,
-            dram_budget_bytes: 1024,
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(8)
+        .dram_budget_bytes(1024)
+        .start(g);
     let r = service.query(Query::KCore {
         k: None,
         vertices: vec![0],
@@ -204,7 +196,7 @@ fn concurrent_mixed_clients_attribute_traffic_per_query() {
     );
     assert!(live.len() >= 100);
     let global_before = Meter::global().snapshot();
-    let service = Arc::new(GraphService::start(g, ServiceConfig::default()));
+    let service = Arc::new(ServiceBuilder::new().start(g));
 
     let clients: Vec<_> = (0..4)
         .map(|c| {
@@ -347,15 +339,11 @@ impl Graph for PanickyGraph {
 
 #[test]
 fn query_panic_is_contained_and_worker_survives() {
-    let service = GraphService::start(
-        PanickyGraph(test_graph()),
-        ServiceConfig {
-            workers: 1, // one worker: it must survive to serve the follow-up
-            queue_capacity: 8,
-            dram_budget_bytes: 0,
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(1) // one worker: it must survive to serve the follow-up
+        .queue_capacity(8)
+        .dram_budget_bytes(0)
+        .start(PanickyGraph(test_graph()));
     let r = service.query(Query::Neighborhood { src: 13, hops: 1 });
     match r.response {
         Response::Failed { reason } => assert!(reason.contains("injected engine panic")),
@@ -370,15 +358,11 @@ fn query_panic_is_contained_and_worker_survives() {
 #[test]
 fn drop_drains_accepted_requests() {
     let g = test_graph();
-    let service = GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 1,
-            queue_capacity: 64,
-            dram_budget_bytes: 0,
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(1)
+        .queue_capacity(64)
+        .dram_budget_bytes(0)
+        .start(g);
     let tickets: Vec<_> = (0..8)
         .map(|i| service.submit(Query::Bfs { src: i }))
         .collect();
@@ -417,18 +401,14 @@ fn batched_responses_are_bitwise_identical_to_unbatched() {
         .collect();
 
     let run = |g: sage_graph::Csr, max_batch: usize| -> Vec<Response> {
-        let service = GraphService::start(
-            g,
-            ServiceConfig {
-                workers: 2,
-                queue_capacity: 64,
-                batch: BatchPolicy {
-                    max_batch,
-                    max_linger: Duration::from_millis(2),
-                },
-                ..Default::default()
-            },
-        );
+        let service = ServiceBuilder::new()
+            .workers(2)
+            .queue_capacity(64)
+            .batch(BatchPolicy {
+                max_batch,
+                max_linger: Duration::from_millis(2),
+            })
+            .start(g);
         // Submit the whole backlog first so batches can actually form.
         let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
         let responses = tickets.into_iter().map(|t| t.wait().response).collect();
@@ -493,18 +473,14 @@ fn batched_traffic_splits_cleanly() {
         .filter(|&v| g.degree(v) > 0)
         .collect();
     let before = Meter::global().snapshot();
-    let service = GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 1, // one worker: the backlog drains as maximal batches
-            queue_capacity: 64,
-            batch: BatchPolicy {
-                max_batch: 64,
-                max_linger: Duration::from_millis(2),
-            },
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(1) // one worker: the backlog drains as maximal batches
+        .queue_capacity(64)
+        .batch(BatchPolicy {
+            max_batch: 64,
+            max_linger: Duration::from_millis(2),
+        })
+        .start(g);
     let tickets: Vec<_> = (0..40)
         .map(|i| {
             service.submit(Query::Bfs {

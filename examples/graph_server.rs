@@ -13,8 +13,8 @@
 //! cargo run --release --example graph_server
 //! ```
 
-use sage::serve::{GraphService, Query, Response, ServiceConfig};
-use sage::{algo, gen, Graph, Meter, MeterSnapshot, V};
+use sage::serve::{Query, Response, ServiceBuilder};
+use sage::{algo, gen, EdgeUpdate, Graph, Meter, MeterSnapshot, V};
 use sage_graph::io::{load_csr, write_csr, Placement};
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,7 +51,7 @@ fn main() -> std::io::Result<()> {
     let labels = Arc::new(algo::connectivity::connectivity(&g, 0.2, 11));
 
     let global_before = Meter::global().snapshot();
-    let service = Arc::new(GraphService::start(g, ServiceConfig::default()));
+    let service = Arc::new(ServiceBuilder::new().start(g));
     println!(
         "serving with {CLIENTS} clients; admission budget {:.1} MB of DRAM",
         service.dram_budget_bytes() as f64 / 1e6
@@ -138,10 +138,12 @@ fn main() -> std::io::Result<()> {
     }
     let elapsed = t0.elapsed().as_secs_f64();
 
-    // Per-query discipline: zero NVRAM writes, every snapshot standalone.
+    // Per-query discipline: zero NVRAM writes, every snapshot standalone,
+    // every answer tagged with the epoch of the snapshot that produced it.
     let mut sum = MeterSnapshot::default();
     for r in &all {
         assert_eq!(r.traffic.graph_write, 0, "query #{} wrote NVRAM", r.id);
+        assert_eq!(r.epoch, 0, "pre-publish answers carry the initial epoch");
         sum = sum.plus(&r.traffic);
     }
 
@@ -185,8 +187,33 @@ fn main() -> std::io::Result<()> {
     );
     println!("per-query meter snapshots reconcile with the global meter: OK");
 
+    // Phase 4: a live update. Apply a small edge batch through the ingestion
+    // pipeline — overlay, compact, budgeted NVRAM flush, atomic swap — and
+    // keep serving. The publish is the one sanctioned NVRAM write; answers
+    // from the new snapshot carry the new epoch.
+    let u = live[0];
+    let updates = [
+        EdgeUpdate::insert(u, live[live.len() / 2]),
+        EdgeUpdate::insert(u, live[live.len() / 3]),
+        EdgeUpdate::delete(u, live[live.len() / 2]),
+    ];
+    let report = service
+        .publish_updates(&updates, &dir.join("graph-epoch1.sage"))
+        .expect("publish updated snapshot");
+    println!(
+        "published epoch {}: {} NVRAM words written (metered under the publish scope) in {:.3}s",
+        report.epoch, report.graph_write, report.seconds
+    );
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.traffic.graph_write, report.graph_write);
+    let after = service.query(Query::Bfs { src: u });
+    assert_eq!(after.epoch, 1, "post-publish answers carry the new epoch");
+    assert_eq!(after.traffic.graph_write, 0, "serving still never writes");
+    let stats = service.stats();
+    assert_eq!((stats.publishes, stats.epoch), (1, 1));
+    println!("epoch-tagged serving after the publish: OK");
+
     drop(service);
-    std::fs::remove_file(&path)?;
-    let _ = std::fs::remove_dir(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -13,8 +13,8 @@
 //! cargo run --release --example sharded_serve
 //! ```
 
-use sage::serve::{GraphService, Query, ServiceConfig, Ticket};
-use sage::{gen, Graph, Meter, MeterSnapshot, Sharded, ShardedCsr, ShardedService, V};
+use sage::serve::{Query, ServiceBuilder, Ticket};
+use sage::{gen, EdgeUpdate, Graph, Meter, MeterSnapshot, Sharded, ShardedCsr, V};
 use sage_graph::io::{load_sharded, write_sharded, Placement};
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,13 +63,10 @@ fn main() -> std::io::Result<()> {
     let live: Arc<Vec<V>> = Arc::new((0..n as V).filter(|&v| g.degree(v) > 0).collect());
 
     // Monolithic ground truth for the bitwise comparison.
-    let mono = GraphService::start(
-        gen::rmat(13, 24, gen::RmatParams::web(), 0x57A8),
-        ServiceConfig::default(),
-    );
+    let mono = ServiceBuilder::new().start(gen::rmat(13, 24, gen::RmatParams::web(), 0x57A8));
 
     let before = Meter::global().snapshot();
-    let service = Arc::new(ShardedService::start(g, ServiceConfig::default()));
+    let service = Arc::new(ServiceBuilder::new().start_sharded(g));
     println!(
         "serving with {CLIENTS} clients over {SHARDS} shards; admission budget {:.1} MB",
         service.dram_budget_bytes() as f64 / 1e6
@@ -95,6 +92,7 @@ fn main() -> std::io::Result<()> {
                 for t in submitted {
                     let r = t.wait();
                     assert_eq!(r.traffic.graph_write, 0, "served query wrote the graph");
+                    assert_eq!(r.epoch, 0, "pre-publish answers carry the initial epoch");
                     traffic = traffic.plus(&r.traffic);
                     for (acc, s) in per_shard.iter_mut().zip(&r.per_shard) {
                         *acc = acc.plus(s);
@@ -157,6 +155,27 @@ fn main() -> std::io::Result<()> {
             100.0 * snap.graph_read as f64 / traffic.graph_read.max(1) as f64
         );
     }
+
+    // Live update over the partitioned snapshot: the ingestion pipeline
+    // rebuilds with the same shard count and representation, flushes under
+    // the write budget, and swaps — after which answers carry epoch 1.
+    let u = live[0];
+    let report = service
+        .publish_updates(
+            &[EdgeUpdate::insert(u, live[live.len() / 2])],
+            &dir.join("graph-epoch1.sage"),
+        )
+        .expect("publish updated sharded snapshot");
+    println!(
+        "published epoch {}: {} NVRAM words written across {} shards + manifest",
+        report.epoch,
+        report.graph_write,
+        service.snapshot().num_shards()
+    );
+    assert_eq!(service.snapshot().num_shards(), SHARDS);
+    let after = service.query(Query::Bfs { src: u });
+    assert_eq!(after.epoch, 1, "post-publish answers carry the new epoch");
+    assert_eq!(after.traffic.graph_write, 0, "serving still never writes");
 
     std::fs::remove_dir_all(&dir)?;
     Ok(())

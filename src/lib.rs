@@ -53,14 +53,18 @@ pub use sage_core::algo;
 pub use sage_graph::gen;
 
 pub use sage_core::{
-    edge_map, EdgeMapFn, EdgeMapOpts, GraphFilter, QueryArena, SparseImpl, Strategy, VertexSubset,
+    edge_map, DeltaOverlay, EdgeMapFn, EdgeMapOpts, EdgeUpdate, GraphFilter, QueryArena,
+    SparseImpl, Strategy, VertexSubset,
 };
 pub use sage_graph::{
     build_csr, BuildOptions, CompressedCsr, Csr, EdgeList, Graph, ShardRepr, Sharded, ShardedCsr,
     Storage, NONE_V, V,
 };
-pub use sage_nvram::{CostModel, MemConfig, Meter, MeterScope, MeterSnapshot, NvRegion, NvSlice};
+pub use sage_nvram::{
+    CostModel, MemConfig, Meter, MeterScope, MeterSnapshot, NvRegion, NvSlice, WriteBudget,
+};
 pub use sage_serve::{
-    CacheStats, GraphService, Priority, Query, QueryResult, Response, SchedPolicy, ServiceConfig,
-    ShardedService, Ticket, DEFAULT_DAMPING,
+    CacheStats, GraphService, Priority, PublishError, PublishReport, Publishable, Query,
+    QueryResult, Response, SchedPolicy, ServiceBuilder, ServiceConfig, ShardedService, Snapshot,
+    Ticket, DEFAULT_DAMPING,
 };

@@ -7,23 +7,19 @@
 
 use sage::graph::io::{load_compressed, write_compressed, Placement};
 use sage::serve::BatchPolicy;
-use sage::{gen, CompressedCsr, Graph, GraphService, Query, Response, ServiceConfig, Ticket};
+use sage::{gen, CompressedCsr, Graph, GraphService, Query, Response, ServiceBuilder, Ticket};
 use std::time::Duration;
 
 fn start_service(path: &std::path::Path, max_batch: usize) -> GraphService<CompressedCsr> {
     let g = load_compressed(path, Placement::Nvram).expect("map compressed graph");
-    GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 64,
-            batch: BatchPolicy {
-                max_batch,
-                max_linger: Duration::from_micros(100),
-            },
-            ..Default::default()
-        },
-    )
+    ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(64)
+        .batch(BatchPolicy {
+            max_batch,
+            max_linger: Duration::from_micros(100),
+        })
+        .start(g)
 }
 
 #[test]
@@ -43,8 +39,9 @@ fn compressed_snapshot_serves_every_query_class_without_nvram_writes() {
 
     // Online phase: serve one of each query class over the mapping.
     let service = start_service(&path, 32);
-    let n = service.graph().num_vertices();
-    assert!(!service.graph().supports_random_access());
+    let snapshot = service.snapshot();
+    let n = snapshot.num_vertices();
+    assert!(!snapshot.supports_random_access());
     let queries = [
         Query::Bfs { src: 0 },
         Query::PageRank {

@@ -11,8 +11,7 @@ use proptest::prelude::*;
 use sage::graph::compressed::HYBRID_DISABLED;
 use sage::serve::BatchPolicy;
 use sage::{
-    build_csr, BuildOptions, CompressedCsr, EdgeList, Graph, GraphService, Query, Response,
-    ServiceConfig, V,
+    build_csr, BuildOptions, CompressedCsr, EdgeList, Graph, Query, Response, ServiceBuilder, V,
 };
 use std::time::Duration;
 
@@ -60,18 +59,14 @@ fn serve_all<G: Graph + Send + Sync + 'static>(
     queries: &[Query],
     max_batch: usize,
 ) -> Vec<Response> {
-    let service = GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: queries.len().max(1),
-            batch: BatchPolicy {
-                max_batch,
-                max_linger: Duration::from_micros(100),
-            },
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(queries.len().max(1))
+        .batch(BatchPolicy {
+            max_batch,
+            max_linger: Duration::from_micros(100),
+        })
+        .start(g);
     let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
     tickets
         .into_iter()

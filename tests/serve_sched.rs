@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use sage::serve::queue::{Pending, RequestQueue};
-use sage::{gen, GraphService, Meter, Query, Response, SchedPolicy, ServiceConfig, Ticket};
+use sage::{gen, GraphService, Meter, Query, Response, SchedPolicy, ServiceBuilder, Ticket};
 use sage_serve::BatchPolicy;
 use std::time::Duration;
 
@@ -92,16 +92,12 @@ proptest! {
 }
 
 fn cached_service() -> GraphService<sage_graph::Csr> {
-    GraphService::start(
-        gen::rmat(9, 8, gen::RmatParams::default(), 0xCAFE),
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 16,
-            dram_budget_bytes: 256 << 20,
-            cache_bytes: 4 << 20,
-            ..Default::default()
-        },
-    )
+    ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(16)
+        .dram_budget_bytes(256 << 20)
+        .cache_bytes(4 << 20)
+        .start(gen::rmat(9, 8, gen::RmatParams::default(), 0xCAFE))
 }
 
 /// Every query kind: the cached repeat is bitwise-identical to the fresh
@@ -168,7 +164,9 @@ fn epoch_bump_invalidates_cached_results() {
     assert_eq!(service.cache_stats().unwrap().entries, 1);
 
     assert_eq!(service.epoch(), 0);
-    assert_eq!(service.advance_epoch(), 1);
+    // Republishing the current snapshot is the no-op publish: same graph,
+    // next epoch — exactly the invalidation half of a live update.
+    assert_eq!(service.publish(service.snapshot()), 1);
     assert_eq!(
         service.cache_stats().unwrap().entries,
         0,
@@ -193,20 +191,16 @@ fn epoch_bump_invalidates_cached_results() {
 /// and batching still forms for the cold analytics stream.
 #[test]
 fn hot_stream_short_circuits_the_queue() {
-    let service = GraphService::start(
-        gen::rmat(9, 8, gen::RmatParams::default(), 0xCAFE),
-        ServiceConfig {
-            workers: 2,
-            queue_capacity: 32,
-            dram_budget_bytes: 256 << 20,
-            cache_bytes: 4 << 20,
-            batch: BatchPolicy {
-                max_batch: 8,
-                max_linger: Duration::from_millis(2),
-            },
-            ..Default::default()
-        },
-    );
+    let service = ServiceBuilder::new()
+        .workers(2)
+        .queue_capacity(32)
+        .dram_budget_bytes(256 << 20)
+        .cache_bytes(4 << 20)
+        .batch(BatchPolicy {
+            max_batch: 8,
+            max_linger: Duration::from_millis(2),
+        })
+        .start(gen::rmat(9, 8, gen::RmatParams::default(), 0xCAFE));
     // Warm one hot point lookup, then hammer it while cold same-parameter
     // PageRank queries stream through the engine.
     let hot = Query::Bfs { src: 1 };

@@ -5,7 +5,7 @@
 //! whole-graph queries) and the per-query sums must reconcile with the
 //! global meter delta.
 
-use sage::serve::{GraphService, Query, Response, ServiceConfig};
+use sage::serve::{Query, Response, ServiceBuilder};
 use sage::{algo, gen, Graph, Meter, MeterSnapshot, V};
 use sage_graph::io::{load_csr, write_csr, Placement};
 use std::sync::Arc;
@@ -30,15 +30,13 @@ fn concurrent_queries_over_one_nvram_mapping() {
     let expected_components = algo::connectivity::num_components(&labels);
 
     let global_before = Meter::global().snapshot();
-    let service = Arc::new(GraphService::start(
-        g,
-        ServiceConfig {
-            workers: 4,
-            queue_capacity: 128,
-            dram_budget_bytes: 0, // auto: 4 × the largest single-query estimate
-            ..Default::default()
-        },
-    ));
+    let service = Arc::new(
+        ServiceBuilder::new()
+            .workers(4)
+            .queue_capacity(128)
+            .dram_budget_bytes(0) // auto: 4 × the largest single-query estimate
+            .start(g),
+    );
 
     // ≥ 4 clients × 16 queries = 64 mixed queries over the shared snapshot.
     let clients: Vec<_> = (0..4)

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use sage::serve::BatchPolicy;
 use sage::{
     build_csr, BuildOptions, EdgeList, Graph, MeterSnapshot, Query, QueryResult, Response,
-    ServiceConfig, Sharded, ShardedCsr, ShardedService, V,
+    ServiceBuilder, ServiceConfig, Sharded, ShardedCsr, V,
 };
 use std::time::Duration;
 
@@ -91,7 +91,7 @@ fn serve_sharded(
     queries: &[Query],
     max_batch: usize,
 ) -> Result<Vec<Response>, TestCaseError> {
-    let service = ShardedService::start(g, config(queries.len(), max_batch));
+    let service = ServiceBuilder::from_config(config(queries.len(), max_batch)).start_sharded(g);
     let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
     tickets
         .into_iter()
@@ -107,7 +107,7 @@ fn check_sharded_equivalence(n: usize, edges: Vec<(V, V)>) -> Result<(), TestCas
     let queries = query_mix(g.num_vertices());
 
     let baseline = {
-        let service = sage::GraphService::start(csr(), config(queries.len(), 1));
+        let service = ServiceBuilder::from_config(config(queries.len(), 1)).start(csr());
         let tickets: Vec<_> = queries.iter().map(|q| service.submit(q.clone())).collect();
         tickets
             .into_iter()
